@@ -1,0 +1,32 @@
+# Convenience targets for the dohperf reproduction.
+
+.PHONY: build test bench doc repro repro-full examples clean
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench -p dohperf-bench
+
+doc:
+	cargo doc --workspace --no-deps
+
+# Quick reproduction of every table and figure (25% scale, ~1 min).
+repro:
+	cargo run --release -p dohperf-bench --bin repro -- all
+
+# The paper's full 22k-client scale (~5 min).
+repro-full:
+	cargo run --release -p dohperf-bench --bin repro -- --scale 1.0 all
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example provider_shootout
+	cargo run --release --example methodology_tour -- ID
+	cargo run --release --example live_do53
+
+clean:
+	cargo clean

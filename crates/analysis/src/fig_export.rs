@@ -1,0 +1,181 @@
+//! Plot-ready data export.
+//!
+//! Writes each figure's series as whitespace-separated `.dat` files that
+//! gnuplot/matplotlib consume directly, so the paper's plots can be
+//! regenerated outside Rust. One function per figure, all pure
+//! string-producers (the `repro` binary does the file I/O).
+
+use crate::cdfs::ProviderCdfs;
+use crate::deltas::CountryDelta;
+use crate::pop_improvement::PopImprovementStats;
+use dohperf_core::records::Dataset;
+use std::fmt::Write as _;
+
+/// Figure 3 data: `count cumulative_fraction` per country, sorted.
+pub fn fig3_dat(ds: &Dataset) -> String {
+    let rows = crate::dataset::clients_per_country(ds);
+    let n = rows.len().max(1) as f64;
+    let mut out = String::from("# clients_per_country cumulative_fraction\n");
+    for (i, (_, count)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "{} {:.6}", count, (i + 1) as f64 / n);
+    }
+    out
+}
+
+/// Figure 4 data: one block per provider with `ms p` pairs for each of
+/// the three curves, separated by blank lines (gnuplot `index` blocks in
+/// the order DoH1, DoHR, Do53 per provider).
+pub fn fig4_dat(panels: &[ProviderCdfs]) -> String {
+    let mut out = String::new();
+    for p in panels {
+        for (label, series) in [("doh1", &p.doh1), ("dohr", &p.dohr), ("do53", &p.do53)] {
+            let _ = writeln!(out, "# {} {}", p.provider.name(), label);
+            for (v, q) in series.values.iter().zip(&series.probs) {
+                let _ = writeln!(out, "{v:.3} {q:.6}");
+            }
+            out.push_str("\n\n");
+        }
+    }
+    out
+}
+
+/// Figure 6 data: potential-improvement CDF per provider, block per
+/// provider.
+pub fn fig6_dat(stats: &[PopImprovementStats]) -> String {
+    let mut out = String::new();
+    for s in stats {
+        let _ = writeln!(out, "# {} potential_improvement_miles", s.provider.name());
+        let n = s.improvements_miles.len().max(1) as f64;
+        for (i, miles) in s.improvements_miles.iter().enumerate() {
+            let _ = writeln!(out, "{miles:.1} {:.6}", (i + 1) as f64 / n);
+        }
+        out.push_str("\n\n");
+    }
+    out
+}
+
+/// Figure 7 data: `country provider delta_ms` rows.
+pub fn fig7_dat(deltas: &[CountryDelta]) -> String {
+    let mut out = String::from("# country provider delta_ms\n");
+    for d in deltas {
+        let _ = writeln!(out, "{} {} {:.2}", d.country, d.provider.name(), d.delta_ms);
+    }
+    out
+}
+
+/// DoH-N amortisation curve data: `n median_doh_n_ms` per provider
+/// (blank-line-separated blocks) — the reuse trade-off behind §5's
+/// DoH-N terminology, plot-ready.
+pub fn dohn_dat(ds: &Dataset) -> String {
+    use dohperf_providers::provider::ALL_PROVIDERS;
+    use dohperf_stats::desc::median;
+    let mut out = String::new();
+    for provider in ALL_PROVIDERS {
+        let _ = writeln!(out, "# {} n median_doh_n_ms", provider.name());
+        for n in [1u32, 2, 3, 5, 7, 10, 15, 25, 50, 100, 250, 1000] {
+            let samples: Vec<f64> = ds
+                .records
+                .iter()
+                .filter_map(|r| r.sample(provider))
+                .map(|s| s.doh_n_ms(n))
+                .collect();
+            if samples.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{n} {:.2}", median(&samples));
+        }
+        out.push_str(
+            "
+
+",
+        );
+    }
+    out
+}
+
+/// Figure 8 data: `lat lon` client scatter.
+pub fn fig8_dat(ds: &Dataset) -> String {
+    let mut out = String::from("# lat lon\n");
+    for p in crate::dataset::client_positions(ds) {
+        let _ = writeln!(out, "{:.4} {:.4}", p.lat, p.lon);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdfs::provider_cdfs;
+    use crate::deltas::country_deltas;
+    use crate::pop_improvement::pop_improvement;
+    use crate::testutil::shared_dataset;
+
+    fn parse_cols(dat: &str, cols: usize) -> usize {
+        let mut rows = 0;
+        for line in dat.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(fields.len(), cols, "{line}");
+            let last = fields.last().unwrap();
+            last.parse::<f64>()
+                .unwrap_or_else(|_| panic!("non-numeric {last}"));
+            rows += 1;
+        }
+        rows
+    }
+
+    #[test]
+    fn fig3_dat_is_a_monotone_cdf() {
+        let dat = fig3_dat(shared_dataset());
+        let rows = parse_cols(&dat, 2);
+        assert!(rows >= 200);
+        let last = dat.lines().last().unwrap();
+        let frac: f64 = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_dat_has_twelve_blocks() {
+        let panels = provider_cdfs(shared_dataset());
+        let dat = fig4_dat(&panels);
+        assert_eq!(dat.matches('#').count(), 12); // 4 providers x 3 curves
+        parse_cols(&dat, 2);
+    }
+
+    #[test]
+    fn fig6_and_fig7_parse() {
+        let ds = shared_dataset();
+        let dat6 = fig6_dat(&pop_improvement(ds));
+        assert_eq!(dat6.matches('#').count(), 4);
+        parse_cols(&dat6, 2);
+        let dat7 = fig7_dat(&country_deltas(ds, 10));
+        let rows = parse_cols(&dat7, 3);
+        assert!(rows >= 800, "{rows}"); // ~224 countries x 4 providers
+    }
+
+    #[test]
+    fn dohn_curve_is_monotone_decreasing() {
+        let dat = dohn_dat(shared_dataset());
+        assert_eq!(dat.matches('#').count(), 4);
+        for block in dat.split("\n\n").filter(|b| b.contains('#')) {
+            let values: Vec<f64> = block
+                .lines()
+                .filter(|l| !l.starts_with('#') && !l.is_empty())
+                .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+                .collect();
+            assert!(values.len() >= 10);
+            for w in values.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_matches_client_count() {
+        let ds = shared_dataset();
+        let dat = fig8_dat(ds);
+        assert_eq!(parse_cols(&dat, 2), ds.records.len());
+    }
+}

@@ -1,0 +1,78 @@
+//! # dohperf-analysis
+//!
+//! The paper's §5–§6 analyses, computed from a [`dohperf_core::Dataset`]:
+//!
+//! * [`dataset`] — dataset characterisation: Table 3 composition,
+//!   Figure 3 clients-per-country distribution, Figure 8 client map data.
+//! * [`headline`] — §5's headline numbers: global DoH1/Do53 medians,
+//!   first-request and ten-request speedup fractions, per-country medians.
+//! * [`cdfs`] — Figure 4: DoH1 / DoHR / Do53 resolution-time CDFs per
+//!   provider.
+//! * [`geography`] — Figure 5: per-country median DoH per provider plus
+//!   PoP counts.
+//! * [`pop_improvement`] — Figures 6 and 9: potential improvement in
+//!   distance to PoP, and per-client distance to the servicing PoP.
+//! * [`deltas`] — Figure 7: the per-country Do53→DoH10 delta by resolver.
+//! * [`covariates`] — the §6.1 explanatory-variable join.
+//! * [`logistic_model`] — Table 4: odds of slowdown under DoH-N.
+//! * [`linear_model`] — Tables 5 and 6: linear models of the raw delta.
+//! * [`render`] — plain-text table rendering for the `repro` binary.
+
+pub mod cdfs;
+pub mod covariates;
+pub mod dataset;
+pub mod deltas;
+pub mod fig_export;
+pub mod geography;
+pub mod headline;
+pub mod linear_model;
+pub mod logistic_model;
+pub mod pop_improvement;
+pub mod regions;
+pub mod render;
+pub mod report;
+pub mod robustness;
+pub mod vantage;
+
+pub use cdfs::{provider_cdfs, CdfSeries, ProviderCdfs};
+pub use covariates::{ClientCovariates, CovariateTable};
+pub use dataset::{clients_per_country, composition, CompositionRow};
+pub use deltas::{country_deltas, resolver_delta_summary, CountryDelta};
+pub use geography::{country_medians, CountryMedian};
+pub use headline::{headline_stats, HeadlineStats};
+pub use linear_model::{fit_linear_models, LinearModelReport};
+pub use logistic_model::{fit_logistic_models, LogisticModelReport};
+pub use pop_improvement::{pop_improvement, PopImprovementStats};
+pub use regions::{region_summaries, regional_variation, RegionSummary};
+pub use report::full_report;
+pub use robustness::{covariate_correlations, headline_cis, CovariateCorrelations, HeadlineCis};
+pub use vantage::{vantage_comparison, VantageComparison};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cdfs::{provider_cdfs, CdfSeries, ProviderCdfs};
+    pub use crate::covariates::{ClientCovariates, CovariateTable};
+    pub use crate::dataset::{clients_per_country, composition, CompositionRow};
+    pub use crate::deltas::{country_deltas, resolver_delta_summary, CountryDelta};
+    pub use crate::geography::{country_medians, CountryMedian};
+    pub use crate::headline::{headline_stats, HeadlineStats};
+    pub use crate::linear_model::{fit_linear_models, LinearModelReport};
+    pub use crate::logistic_model::{fit_logistic_models, LogisticModelReport};
+    pub use crate::pop_improvement::{pop_improvement, PopImprovementStats};
+    pub use crate::render;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dohperf_core::campaign::{Campaign, CampaignConfig};
+    use dohperf_core::records::Dataset;
+    use std::sync::OnceLock;
+
+    /// One shared quick-scale dataset for all analysis tests — campaigns
+    /// are the expensive part, and analyses are pure functions of the
+    /// dataset.
+    pub fn shared_dataset() -> &'static Dataset {
+        static DATASET: OnceLock<Dataset> = OnceLock::new();
+        DATASET.get_or_init(|| Campaign::new(CampaignConfig::quick(2021)).run())
+    }
+}

@@ -1,0 +1,255 @@
+//! One-call markdown report.
+//!
+//! [`full_report`] runs every analysis over a dataset and renders a
+//! self-contained markdown document — the programmatic equivalent of the
+//! paper's evaluation section, ready to commit or diff across runs.
+
+use crate::covariates;
+use crate::dataset::{clients_per_country, composition};
+use crate::deltas::{country_deltas, country_speedup_fraction, resolver_delta_summary};
+use crate::headline::headline_stats;
+use crate::linear_model::fit_linear_models;
+use crate::logistic_model::fit_logistic_models;
+use crate::pop_improvement::pop_improvement;
+use crate::regions::{region_name, region_summaries, regional_variation};
+use crate::robustness::headline_cis;
+use dohperf_core::records::Dataset;
+use dohperf_providers::provider::ALL_PROVIDERS;
+use dohperf_stats::desc::median;
+use std::fmt::Write as _;
+
+/// Render the complete analysis as markdown.
+pub fn full_report(ds: &Dataset, seed: u64) -> String {
+    let mut md = String::with_capacity(16 * 1024);
+    let _ = writeln!(md, "# dohperf campaign report\n");
+    let _ = writeln!(
+        md,
+        "{} clients · {} countries · {} observations · {} records discarded by the Maxmind filter\n",
+        ds.records.len(),
+        ds.country_count(),
+        ds.records.len() * 4,
+        ds.discarded_mismatches
+    );
+
+    // Headline.
+    let h = headline_stats(ds);
+    let _ = writeln!(md, "## Headline\n");
+    let _ = writeln!(md, "| metric | value |");
+    let _ = writeln!(md, "|---|---|");
+    let _ = writeln!(md, "| median DoH1 | {:.1} ms |", h.median_doh1_ms);
+    let _ = writeln!(md, "| median DoHR | {:.1} ms |", h.median_dohr_ms);
+    let _ = writeln!(md, "| median Do53 | {:.1} ms |", h.median_do53_ms);
+    let _ = writeln!(
+        md,
+        "| first-request speedups | {:.1}% |",
+        h.first_request_speedup_fraction * 100.0
+    );
+    let _ = writeln!(
+        md,
+        "| 10-request speedups | {:.1}% |",
+        h.ten_request_speedup_fraction * 100.0
+    );
+    if let Some(cis) = headline_cis(ds, seed) {
+        let _ = writeln!(
+            md,
+            "\nDoH1 95% CI [{:.1}, {:.1}] ms vs Do53 [{:.1}, {:.1}] ms — slowdown significant: {}\n",
+            cis.doh1.lo, cis.doh1.hi, cis.do53.lo, cis.do53.hi,
+            cis.slowdown_is_significant()
+        );
+    }
+
+    // Composition.
+    let _ = writeln!(md, "## Dataset composition (Table 3)\n");
+    let _ = writeln!(md, "| resolver | clients | countries |");
+    let _ = writeln!(md, "|---|---|---|");
+    for row in composition(ds) {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} |",
+            row.resolver, row.clients, row.countries
+        );
+    }
+    let counts: Vec<f64> = clients_per_country(ds)
+        .iter()
+        .map(|&(_, n)| n as f64)
+        .collect();
+    let _ = writeln!(md, "\nmedian clients per country: {:.0}\n", median(&counts));
+
+    // Providers.
+    let _ = writeln!(md, "## Providers (Figures 4 and 6)\n");
+    let panels = crate::cdfs::provider_cdfs(ds);
+    let imps = pop_improvement(ds);
+    let _ = writeln!(
+        md,
+        "| provider | DoH1 p50 | DoHR p50 | PoPs | median improvement | ≥1000 mi |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for provider in ALL_PROVIDERS {
+        let p = panels
+            .iter()
+            .find(|p| p.provider == provider)
+            .expect("panel");
+        let i = imps.iter().find(|i| i.provider == provider).expect("imp");
+        let _ = writeln!(
+            md,
+            "| {} | {:.0} ms | {:.0} ms | {} | {:.0} mi | {:.1}% |",
+            provider.name(),
+            p.doh1.median(),
+            p.dohr.median(),
+            provider.pop_count(),
+            i.median_improvement_miles,
+            i.over_1000_miles_fraction * 100.0
+        );
+    }
+
+    // Deltas.
+    let deltas = country_deltas(ds, 10);
+    let _ = writeln!(md, "\n## Country deltas at DoH-10 (Figure 7)\n");
+    let _ = writeln!(
+        md,
+        "| provider | median country delta | countries speeding up |"
+    );
+    let _ = writeln!(md, "|---|---|---|");
+    for s in resolver_delta_summary(&deltas) {
+        let _ = writeln!(
+            md,
+            "| {} | {:+.1} ms | {:.1}% |",
+            s.provider.name(),
+            s.median_delta_ms,
+            s.speedup_fraction * 100.0
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\ncountries benefiting overall: {:.1}%\n",
+        country_speedup_fraction(&deltas) * 100.0
+    );
+
+    // Regions.
+    let _ = writeln!(md, "## Regions\n");
+    let summaries = region_summaries(ds);
+    let _ = writeln!(md, "| provider | CV | slowest region | fastest region |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for provider in ALL_PROVIDERS {
+        let mine: Vec<_> = summaries
+            .iter()
+            .filter(|s| s.provider == provider)
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let slow = mine
+            .iter()
+            .max_by(|a, b| {
+                a.median_doh1_ms
+                    .partial_cmp(&b.median_doh1_ms)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        let fast = mine
+            .iter()
+            .min_by(|a, b| {
+                a.median_doh1_ms
+                    .partial_cmp(&b.median_doh1_ms)
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {} ({:.0} ms) | {} ({:.0} ms) |",
+            provider.name(),
+            regional_variation(&summaries, provider),
+            region_name(slow.region),
+            slow.median_doh1_ms,
+            region_name(fast.region),
+            fast.median_doh1_ms
+        );
+    }
+
+    // Models.
+    let cov = covariates::build(ds);
+    let logit = fit_logistic_models(&cov);
+    let _ = writeln!(md, "\n## Logistic model (Table 4)\n");
+    let _ = writeln!(md, "| variable | OR | OR₁₀ | OR₁₀₀ | OR₁₀₀₀ |");
+    let _ = writeln!(md, "|---|---|---|---|---|");
+    for row in &logit.rows {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2}x | {:.2}x | {:.2}x | {:.2}x |",
+            row.variable,
+            row.odds_ratios[0],
+            row.odds_ratios[1],
+            row.odds_ratios[2],
+            row.odds_ratios[3]
+        );
+    }
+    let linear = fit_linear_models(&cov);
+    let _ = writeln!(md, "\n## Linear model (Table 5)\n");
+    for block in &linear.table5 {
+        let _ = writeln!(
+            md,
+            "**{}** (n = {}, R² = {:.3})\n",
+            block.output, block.n, block.r_squared
+        );
+        let _ = writeln!(md, "| metric | coef (ms) | scaled (ms) | p |");
+        let _ = writeln!(md, "|---|---|---|---|");
+        for r in &block.rows {
+            let _ = writeln!(
+                md,
+                "| {} | {:.3e} | {:.1} | {} |",
+                r.metric,
+                r.coef,
+                r.scaled_coef,
+                if r.p_value < 0.001 {
+                    "<0.001".to_string()
+                } else {
+                    format!("{:.3}", r.p_value)
+                }
+            );
+        }
+        let _ = writeln!(md);
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shared_dataset;
+
+    #[test]
+    fn report_renders_every_section() {
+        let md = full_report(shared_dataset(), 7);
+        for heading in [
+            "# dohperf campaign report",
+            "## Headline",
+            "## Dataset composition",
+            "## Providers",
+            "## Country deltas",
+            "## Regions",
+            "## Logistic model",
+            "## Linear model",
+        ] {
+            assert!(md.contains(heading), "missing {heading}");
+        }
+        assert!(!md.contains("NaN"));
+        assert!(md.len() > 2_000, "{} bytes", md.len());
+    }
+
+    #[test]
+    fn report_tables_are_well_formed_markdown() {
+        let md = full_report(shared_dataset(), 7);
+        // Every table row has matching pipe counts with its header.
+        let mut lines = md.lines().peekable();
+        while let Some(line) = lines.next() {
+            if line.starts_with('|') && line.ends_with('|') {
+                let pipes = line.matches('|').count();
+                if let Some(next) = lines.peek() {
+                    if next.starts_with('|') {
+                        assert_eq!(next.matches('|').count(), pipes, "{next}");
+                    }
+                }
+            }
+        }
+    }
+}

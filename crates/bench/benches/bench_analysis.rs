@@ -1,0 +1,33 @@
+//! Analysis benchmarks (Figures 4–9 and the headline statistics): each
+//! figure's data-generation pass over a fixed dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dohperf_analysis::dataset::{clients_per_country, composition};
+use dohperf_analysis::deltas::country_deltas;
+use dohperf_analysis::prelude::*;
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::records::Dataset;
+
+fn dataset() -> Dataset {
+    Campaign::new(CampaignConfig::quick(21)).run()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("table3_composition", |b| b.iter(|| composition(&ds)));
+    c.bench_function("fig3_clients_per_country", |b| {
+        b.iter(|| clients_per_country(&ds))
+    });
+    c.bench_function("fig4_provider_cdfs", |b| b.iter(|| provider_cdfs(&ds)));
+    c.bench_function("fig5_country_medians", |b| b.iter(|| country_medians(&ds)));
+    c.bench_function("fig6_fig9_pop_improvement", |b| {
+        b.iter(|| pop_improvement(&ds))
+    });
+    c.bench_function("fig7_country_deltas", |b| {
+        b.iter(|| country_deltas(&ds, 10))
+    });
+    c.bench_function("headline_stats", |b| b.iter(|| headline_stats(&ds)));
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

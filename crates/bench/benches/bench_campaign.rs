@@ -1,0 +1,30 @@
+//! Campaign benchmarks (Table 3, Figures 3 and 8): the full measurement
+//! pipeline at reduced scales — shows the cost of regenerating the
+//! dataset grows linearly in client count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+
+fn bench_campaign_scales(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for &scale in &[0.01f64, 0.02, 0.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| {
+                let cfg = CampaignConfig {
+                    seed: 5,
+                    scale,
+                    runs_per_client: 1,
+                    atlas_probes_per_country: 2,
+                    atlas_samples_per_country: 10,
+                    ..CampaignConfig::default()
+                };
+                Campaign::new(cfg).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_scales);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Real-socket benchmarks: loopback Do53 and DoH resolution latency using
+//! the live servers. These measure the protocol stack's actual I/O cost,
+//! complementing the simulated latencies elsewhere.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dohperf_dns::message::Message;
+use dohperf_dns::name::DnsName;
+use dohperf_dns::types::RecordType;
+use dohperf_livenet::prelude::*;
+use std::net::Ipv4Addr;
+
+fn zone() -> Zone {
+    let z = Zone::new();
+    z.insert_wildcard("a.com", Ipv4Addr::new(203, 0, 113, 1));
+    z
+}
+
+fn bench_live_do53(c: &mut Criterion) {
+    let server = Do53Server::start(zone()).unwrap();
+    let client = Do53Client::new(server.addr());
+    let mut group = c.benchmark_group("livenet");
+    group.sample_size(30);
+    let mut i: u16 = 0;
+    group.bench_function("do53_udp_loopback_resolve", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let q = Message::query(
+                i,
+                &DnsName::parse(&format!("b{i}.a.com")).unwrap(),
+                RecordType::A,
+            );
+            client.resolve(&q).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_live_doh(c: &mut Criterion) {
+    let server = DohServer::start(zone()).unwrap();
+    let client = DohClient::new(server.addr());
+    let mut group = c.benchmark_group("livenet");
+    group.sample_size(30);
+    let mut i: u16 = 0;
+    group.bench_function("doh_http_loopback_resolve_fresh_tcp", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let q = Message::query(
+                i,
+                &DnsName::parse(&format!("h{i}.a.com")).unwrap(),
+                RecordType::A,
+            );
+            client.resolve_get(&q).unwrap()
+        })
+    });
+    group.bench_function("doh_http_loopback_resolve_reused_x10", |b| {
+        b.iter(|| {
+            let queries: Vec<Message> = (0..10)
+                .map(|k| {
+                    Message::query(
+                        k,
+                        &DnsName::parse(&format!("r{k}.a.com")).unwrap(),
+                        RecordType::A,
+                    )
+                })
+                .collect();
+            client.resolve_many_reused(&queries).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_live_do53, bench_live_doh);
+criterion_main!(benches);

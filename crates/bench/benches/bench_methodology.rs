@@ -1,0 +1,77 @@
+//! Methodology benchmarks (Tables 1–2 machinery): one full Figure 2
+//! choreography plus the Equation 6/7/8 derivations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dohperf_core::equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms};
+use dohperf_core::testbed::Testbed;
+use dohperf_netsim::rng::SimRng;
+use dohperf_providers::provider::ProviderKind;
+use dohperf_proxy::exitnode::ExitNode;
+use dohperf_world::countries::country;
+use dohperf_world::geoloc::GeolocationService;
+
+fn bench_doh_measurement(c: &mut Criterion) {
+    let mut tb = Testbed::new(11);
+    let br = country("BR").unwrap();
+    let mut geoloc = GeolocationService::new(SimRng::new(1), 0.0, vec!["BR"]);
+    let mut rng = SimRng::new(2);
+    let exit = ExitNode::create(&mut tb.sim, &mut geoloc, br, 0, br.centroid(), 1, &mut rng);
+    let pop_index = tb.deployments[0].nearest_index(&exit.position);
+    c.bench_function("doh_measurement_full_choreography", |b| {
+        b.iter(|| {
+            tb.network.doh_measurement(
+                &mut tb.sim,
+                tb.client,
+                &exit,
+                ProviderKind::Cloudflare,
+                &tb.deployments[0],
+                pop_index,
+                tb.auth_ns,
+                &mut rng,
+            )
+        })
+    });
+    let obs = tb.network.doh_measurement(
+        &mut tb.sim,
+        tb.client,
+        &exit,
+        ProviderKind::Cloudflare,
+        &tb.deployments[0],
+        pop_index,
+        tb.auth_ns,
+        &mut rng,
+    );
+    c.bench_function("equations_derive_all", |b| {
+        b.iter(|| {
+            (
+                derive_rtt_ms(black_box(&obs)),
+                derive_t_doh_ms(black_box(&obs)),
+                derive_t_dohr_ms(black_box(&obs)),
+            )
+        })
+    });
+}
+
+fn bench_do53_measurement(c: &mut Criterion) {
+    let mut tb = Testbed::new(12);
+    let ng = country("NG").unwrap();
+    let mut geoloc = GeolocationService::new(SimRng::new(3), 0.0, vec!["NG"]);
+    let mut rng = SimRng::new(4);
+    let exit = ExitNode::create(&mut tb.sim, &mut geoloc, ng, 0, ng.centroid(), 2, &mut rng);
+    c.bench_function("do53_measurement_full_choreography", |b| {
+        b.iter(|| {
+            tb.network.do53_measurement(
+                &mut tb.sim,
+                tb.client,
+                &exit,
+                tb.web_server,
+                tb.auth_ns,
+                "uuid.a.com",
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_doh_measurement, bench_do53_measurement);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regression benchmarks (Tables 4–6): covariate join, the IRLS logistic
+//! fit with four horizons, and the OLS linear fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dohperf_analysis::covariates::{self, CovariateTable};
+use dohperf_analysis::prelude::*;
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::records::Dataset;
+
+fn dataset() -> Dataset {
+    Campaign::new(CampaignConfig::quick(22)).run()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("covariate_join", |b| b.iter(|| covariates::build(&ds)));
+    let table: CovariateTable = covariates::build(&ds);
+    let mut group = c.benchmark_group("regressions");
+    group.sample_size(10);
+    group.bench_function("table4_logistic_irls", |b| {
+        b.iter(|| fit_logistic_models(&table))
+    });
+    group.bench_function("table5_table6_ols", |b| {
+        b.iter(|| fit_linear_models(&table))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

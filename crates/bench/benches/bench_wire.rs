@@ -1,0 +1,82 @@
+//! Substrate benchmarks: the DNS wire codec, base64url and HTTP codec.
+//!
+//! These are the per-message costs underneath every simulated and live
+//! measurement; they bound how fast a full-scale (22k-client) campaign
+//! can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dohperf_dns::base64url;
+use dohperf_dns::prelude::*;
+use dohperf_http::codec::{Method, Request, Response, StatusCode};
+
+fn sample_response() -> Message {
+    let q = Message::query(
+        0x42,
+        &DnsName::parse("0123456789abcdef.a.com").unwrap(),
+        RecordType::A,
+    );
+    Message::answer_a(&q, std::net::Ipv4Addr::new(203, 0, 113, 9), 300)
+}
+
+fn bench_dns_codec(c: &mut Criterion) {
+    let msg = sample_response();
+    let wire = msg.encode().unwrap();
+    c.bench_function("dns_encode_response", |b| {
+        b.iter(|| black_box(&msg).encode().unwrap())
+    });
+    c.bench_function("dns_decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_base64url(c: &mut Criterion) {
+    let data: Vec<u8> = (0..255).collect();
+    let encoded = base64url::encode(&data);
+    c.bench_function("base64url_encode_255B", |b| {
+        b.iter(|| base64url::encode(black_box(&data)))
+    });
+    c.bench_function("base64url_decode_255B", |b| {
+        b.iter(|| base64url::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_doh_payload(c: &mut Criterion) {
+    let query = Message::query(
+        0,
+        &DnsName::parse("0123456789abcdef.a.com").unwrap(),
+        RecordType::A,
+    );
+    c.bench_function("doh_get_build_and_parse", |b| {
+        b.iter(|| {
+            let req = DohRequest::get(black_box(&query)).unwrap();
+            req.decode_message().unwrap()
+        })
+    });
+}
+
+fn bench_http_codec(c: &mut Criterion) {
+    let mut resp = Response::new(StatusCode::OK).with_body(vec![0u8; 120]);
+    resp.headers
+        .insert("X-Luminati-Tun-Timeline", "dns:12.345ms,connect:33.100ms");
+    resp.headers.insert(
+        "X-Luminati-Timeline",
+        "auth:1.200ms,init:0.800ms,select:6.000ms,domain_check:0.500ms",
+    );
+    let wire = resp.encode();
+    let req = Request::new(Method::Get, "/dns-query?dns=AAABAAABAAAAAAAAA3d3dw").encode();
+    c.bench_function("http_response_decode", |b| {
+        b.iter(|| Response::decode(black_box(&wire)).unwrap())
+    });
+    c.bench_function("http_request_decode", |b| {
+        b.iter(|| Request::decode(black_box(&req)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dns_codec,
+    bench_base64url,
+    bench_doh_payload,
+    bench_http_codec
+);
+criterion_main!(benches);

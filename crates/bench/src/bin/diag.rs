@@ -1,0 +1,86 @@
+//! Calibration diagnostics (not part of the public deliverables).
+use dohperf_analysis::covariates;
+use dohperf_analysis::prelude::*;
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_providers::provider::ALL_PROVIDERS;
+use dohperf_stats::desc::median;
+
+fn main() {
+    let ds = Campaign::new(CampaignConfig::quick(2021)).run();
+    println!(
+        "records {}  countries {}",
+        ds.records.len(),
+        ds.country_count()
+    );
+    let h = headline_stats(&ds);
+    println!("{h:#?}");
+    let panels = provider_cdfs(&ds);
+    for p in &panels {
+        println!(
+            "{:<10} doh1 med {:>7.1}  dohr med {:>7.1}  do53 med {:>7.1}",
+            p.provider.name(),
+            p.doh1.median(),
+            p.dohr.median(),
+            p.do53.median()
+        );
+    }
+    let stats = pop_improvement(&ds);
+    for s in &stats {
+        println!(
+            "{:<10} med improv {:>7.1}mi  >1000mi {:>5.1}%  optimal {:>5.1}%  med dist {:>7.1}mi",
+            s.provider.name(),
+            s.median_improvement_miles,
+            s.over_1000_miles_fraction * 100.0,
+            s.optimal_fraction * 100.0,
+            median(&s.distances_miles),
+        );
+    }
+    let deltas = country_deltas(&ds, 10);
+    for s in resolver_delta_summary(&deltas) {
+        println!(
+            "{:<10} median country delta(10) {:>8.1}ms  speedup countries {:>5.1}%",
+            s.provider.name(),
+            s.median_delta_ms,
+            s.speedup_fraction * 100.0
+        );
+    }
+    println!(
+        "overall country speedup frac (N=1): {:.3}",
+        dohperf_analysis::deltas::country_speedup_fraction(&country_deltas(&ds, 1))
+    );
+    let table = covariates::build(&ds);
+    println!(
+        "covariate rows {}  median AS {}",
+        table.rows.len(),
+        table.median_as_count
+    );
+    let logit = fit_logistic_models(&table);
+    println!("median multipliers {:?}", logit.median_multipliers);
+    for row in &logit.rows {
+        println!(
+            "{:<50} OR1 {:>5.2} OR10 {:>5.2} OR100 {:>5.2} OR1000 {:>5.2}  p1 {:.4}",
+            row.variable,
+            row.odds_ratios[0],
+            row.odds_ratios[1],
+            row.odds_ratios[2],
+            row.odds_ratios[3],
+            row.p_values[0]
+        );
+    }
+    let lin = fit_linear_models(&table);
+    for block in &lin.table5 {
+        println!(
+            "== {} (n={}, R2={:.3})",
+            block.output, block.n, block.r_squared
+        );
+        for r in &block.rows {
+            println!(
+                "  {:<18} coef {:>12.5}  scaled {:>9.1}  p {:.4}",
+                r.metric, r.coef, r.scaled_coef, r.p_value
+            );
+        }
+    }
+    for p in ALL_PROVIDERS {
+        let _ = p;
+    }
+}

@@ -1,0 +1,130 @@
+//! `repro` — regenerate every table and figure of *Measuring
+//! DNS-over-HTTPS Performance Around the World* (IMC 2021).
+//!
+//! ```text
+//! repro [--seed N] [--scale F] <experiment>...
+//! repro all                    # everything, in paper order
+//! ```
+//!
+//! Experiments: table1 table2 table3 table4 table5 table6
+//!              fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!              sec4-3 sec4-4 headline
+
+use dohperf_bench::{ReproConfig, ReproContext};
+
+const EXPERIMENTS: [&str; 27] = [
+    "table1",
+    "table2",
+    "sec4-3",
+    "sec4-4",
+    "table3",
+    "fig3",
+    "fig8",
+    "headline",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig9",
+    "fig7",
+    "table4",
+    "table5",
+    "table6",
+    "regions",
+    "robustness",
+    "ablation-tls12",
+    "ablation-anycast",
+    "ablation-cache",
+    "ablation-loss",
+    "ablation-vantage",
+    "compare-dot",
+    "export",
+    "figdata",
+    "report",
+];
+
+fn main() {
+    let mut config = ReproConfig::default();
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--scale" => {
+                config.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a float in (0,1]"));
+            }
+            "--help" | "-h" => usage(""),
+            "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if EXPERIMENTS.contains(&other) => requested.push(other.to_string()),
+            other => usage(&format!("unknown experiment {other:?}")),
+        }
+    }
+    if requested.is_empty() {
+        usage("no experiment given");
+    }
+    eprintln!(
+        "# dohperf repro: seed {} scale {:.2} — running {} experiment(s)",
+        config.seed,
+        config.scale,
+        requested.len()
+    );
+    let mut ctx = ReproContext::new(config);
+    for name in requested {
+        let output = match name.as_str() {
+            "table1" => ctx.table1(),
+            "table2" => ctx.table2(),
+            "table3" => ctx.table3(),
+            "table4" => ctx.table4(),
+            "table5" => ctx.table5(),
+            "table6" => ctx.table6(),
+            "fig3" => ctx.fig3(),
+            "fig4" => ctx.fig4(),
+            "fig5" => ctx.fig5(),
+            "fig6" => ctx.fig6(),
+            "fig7" => ctx.fig7(),
+            "fig8" => ctx.fig8(),
+            "fig9" => ctx.fig9(),
+            "sec4-3" => ctx.sec4_3(),
+            "sec4-4" => ctx.sec4_4(),
+            "headline" => ctx.headline(),
+            "regions" => ctx.regions(),
+            "robustness" => ctx.robustness(),
+            "report" => ctx
+                .report(std::path::Path::new("target/report.md"))
+                .unwrap_or_else(|e| format!("report failed: {e}\n")),
+            "figdata" => ctx
+                .figdata(std::path::Path::new("target/figdata"))
+                .unwrap_or_else(|e| format!("figdata failed: {e}\n")),
+            "export" => ctx
+                .export(std::path::Path::new("target/dataset"))
+                .unwrap_or_else(|e| format!("export failed: {e}\n")),
+            "ablation-tls12" => ctx.ablation_tls12(),
+            "ablation-anycast" => ctx.ablation_anycast(),
+            "ablation-cache" => ctx.ablation_cache(),
+            "ablation-loss" => ctx.ablation_loss(),
+            "ablation-vantage" => ctx.ablation_vantage(),
+            "compare-dot" => ctx.compare_dot(),
+            _ => unreachable!("validated above"),
+        };
+        println!("{}", "=".repeat(100));
+        println!("{output}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--seed N] [--scale F] <experiment>...\n       repro all\nexperiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,9 @@
+//! # dohperf-bench
+//!
+//! The reproduction harness: [`repro`] renders every table and figure of
+//! the paper from a simulated campaign, and the Criterion benches (under
+//! `benches/`) measure the performance of each pipeline stage.
+
+pub mod repro;
+
+pub use repro::{ReproConfig, ReproContext};

@@ -1,0 +1,926 @@
+//! Table/figure regeneration.
+//!
+//! One function per experiment, each returning the rendered text the
+//! `repro` binary prints. Paper-reported values are embedded alongside so
+//! every output is a paper-vs-measured comparison.
+
+use dohperf_analysis::covariates;
+use dohperf_analysis::dataset::client_positions;
+use dohperf_analysis::deltas::{country_deltas, country_speedup_fraction};
+use dohperf_analysis::geography::country_median_for;
+use dohperf_analysis::pop_improvement::stats_for;
+use dohperf_analysis::prelude::*;
+use dohperf_analysis::render::{f, pct, pval, table};
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::records::Dataset;
+use dohperf_core::validation;
+use dohperf_netsim::transport::TlsVersion;
+use dohperf_providers::provider::{ProviderKind, ALL_PROVIDERS};
+use dohperf_stats::desc::median;
+use std::fmt::Write as _;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReproConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Campaign scale in (0, 1]; 1.0 is the paper's 22k clients.
+    pub scale: f64,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            seed: 2021,
+            scale: 0.25,
+        }
+    }
+}
+
+/// Lazily runs the campaign once and serves every experiment from it.
+pub struct ReproContext {
+    config: ReproConfig,
+    dataset: Option<Dataset>,
+}
+
+impl ReproContext {
+    /// Create a context.
+    pub fn new(config: ReproConfig) -> Self {
+        ReproContext {
+            config,
+            dataset: None,
+        }
+    }
+
+    /// The (cached) campaign dataset.
+    pub fn dataset(&mut self) -> &Dataset {
+        if self.dataset.is_none() {
+            let cfg = CampaignConfig {
+                seed: self.config.seed,
+                scale: self.config.scale,
+                ..CampaignConfig::default()
+            };
+            self.dataset = Some(Campaign::new(cfg).run());
+        }
+        self.dataset.as_ref().expect("just initialised")
+    }
+
+    /// Table 1: ground-truth DoH/DoHR validation.
+    pub fn table1(&self) -> String {
+        let rows = validation::run_table1(self.config.seed, 10);
+        let mut out = String::from(
+            "Table 1: Ground-truth experiments for DoH and DoHR (median ms; paper: diffs <= ~9ms)\n",
+        );
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.country.to_string(),
+                    f(r.derived_doh_ms, 0),
+                    f(r.truth_doh_ms, 0),
+                    f(r.doh_error_ms(), 1),
+                    f(r.derived_dohr_ms, 0),
+                    f(r.truth_dohr_ms, 0),
+                    f(r.dohr_error_ms(), 1),
+                ]
+            })
+            .collect();
+        out += &table(
+            &[
+                "Country",
+                "DoH est",
+                "DoH truth",
+                "|err|",
+                "DoHR est",
+                "DoHR truth",
+                "|err|",
+            ],
+            &body,
+        );
+        out
+    }
+
+    /// Table 2: ground-truth Do53 validation.
+    pub fn table2(&self) -> String {
+        let rows = validation::run_table2(self.config.seed, 10);
+        let mut out = String::from(
+            "Table 2: Ground-truth experiments for Do53 (median ms; paper: diffs <= 2ms)\n",
+        );
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.country.to_string(),
+                    f(r.derived_ms, 0),
+                    f(r.truth_ms, 0),
+                    f(r.error_ms(), 2),
+                ]
+            })
+            .collect();
+        out += &table(&["Country", "Header", "Ground truth", "|err|"], &body);
+        out
+    }
+
+    /// Table 3: dataset composition.
+    pub fn table3(&mut self) -> String {
+        let scale = self.config.scale;
+        let ds = self.dataset();
+        let rows = composition(ds);
+        let mut out = String::from(
+            "Table 3: Dataset composition (paper: >=21,858 clients, >=222 countries per resolver at full scale)\n",
+        );
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.resolver.clone(),
+                    r.clients.to_string(),
+                    r.countries.to_string(),
+                ]
+            })
+            .collect();
+        out += &table(&["Resolver", "Clients", "Countries"], &body);
+        let _ = writeln!(
+            out,
+            "(scale = {:.2}; mismatch-discarded: {} = {})",
+            scale,
+            ds.discarded_mismatches,
+            pct(ds.discard_fraction())
+        );
+        out
+    }
+
+    /// Table 4: logistic model of slowdowns.
+    pub fn table4(&mut self) -> String {
+        let ds = self.dataset();
+        let cov = covariates::build(ds);
+        let report = fit_logistic_models(&cov);
+        let mut out = String::from("Table 4: Modeling DoH vs Do53 slowdowns (odds ratios)\n");
+        let _ = writeln!(
+            out,
+            "global median multipliers (paper 1.84/1.24/1.18/1.17): {:.2} / {:.2} / {:.2} / {:.2}",
+            report.median_multipliers[0],
+            report.median_multipliers[1],
+            report.median_multipliers[2],
+            report.median_multipliers[3]
+        );
+        let body: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variable.clone(),
+                    format!("{:.2}x", r.odds_ratios[0]),
+                    format!("{:.2}x", r.odds_ratios[1]),
+                    format!("{:.2}x", r.odds_ratios[2]),
+                    format!("{:.2}x", r.odds_ratios[3]),
+                    pval(r.p_values[0]),
+                ]
+            })
+            .collect();
+        out += &table(
+            &["Variable", "OR", "OR_10", "OR_100", "OR_1000", "p(OR)"],
+            &body,
+        );
+        out += "paper:   Slow 1.81/1.69/1.66/1.65 | Low income 1.98/1.37/1.27/1.25 | Low ASes 1.99/1.76/1.70/1.69\n";
+        out += "paper:   Google 1.76/1.77/1.71/1.70 | NextDNS 2.25/1.99/1.91/1.90 | Quad9 1.78/1.34/1.27/1.25\n";
+        out
+    }
+
+    /// Table 5: linear models of the delta.
+    pub fn table5(&mut self) -> String {
+        let ds = self.dataset();
+        let cov = covariates::build(ds);
+        let report = fit_linear_models(&cov);
+        let mut out = String::from("Table 5: Linear modeling of DNS performance\n");
+        for block in &report.table5 {
+            let _ = writeln!(
+                out,
+                "Output: {} (n = {}, R^2 = {:.3})",
+                block.output, block.n, block.r_squared
+            );
+            let body: Vec<Vec<String>> = block
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.metric.to_string(),
+                        format!("{:.3e}", r.coef),
+                        f(r.scaled_coef, 1),
+                        pval(r.p_value),
+                    ]
+                })
+                .collect();
+            out += &table(&["Metric", "Coef (ms)", "Scaled (ms)", "p"], &body);
+        }
+        out += "paper (Delta, scaled): GDP -13.8 (n.s.) | Bandwidth -134.5 | Num ASes -80.8 | NS Dist +30.0 | Resolver Dist +93.4\n";
+        out
+    }
+
+    /// Table 6: per-resolver linear models.
+    pub fn table6(&mut self) -> String {
+        let ds = self.dataset();
+        let cov = covariates::build(ds);
+        let report = fit_linear_models(&cov);
+        let mut out = String::from("Table 6: Linear modeling by resolver (Delta-1)\n");
+        for block in &report.table6 {
+            let _ = writeln!(
+                out,
+                "Resolver: {} (n = {}, R^2 = {:.3})",
+                block.output, block.n, block.r_squared
+            );
+            let body: Vec<Vec<String>> = block
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.metric.to_string(),
+                        format!("{:.3e}", r.coef),
+                        f(r.scaled_coef, 1),
+                        pval(r.p_value),
+                    ]
+                })
+                .collect();
+            out += &table(&["Metric", "Coef (ms)", "Scaled (ms)", "p"], &body);
+        }
+        out
+    }
+
+    /// Figure 3: clients per country.
+    pub fn fig3(&mut self) -> String {
+        let ds = self.dataset();
+        let rows = clients_per_country(ds);
+        let counts: Vec<f64> = rows.iter().map(|&(_, n)| n as f64).collect();
+        let med = median(&counts);
+        let over_200 = counts.iter().filter(|&&n| n >= 200.0).count() as f64 / counts.len() as f64;
+        let mut out = String::from("Figure 3: Clients per country (paper: median 103, >=200 for 17% of countries at full scale)\n");
+        let _ = writeln!(
+            out,
+            "countries: {}   median clients: {:.0}   >=200 clients: {}",
+            counts.len(),
+            med,
+            pct(over_200)
+        );
+        let (vals, probs) = dohperf_stats::desc::ecdf(&counts);
+        out += &dohperf_analysis::render::ascii_cdf(&vals, &probs, 50);
+        out
+    }
+
+    /// Figure 4: resolution-time CDFs per resolver.
+    pub fn fig4(&mut self) -> String {
+        let ds = self.dataset();
+        let panels = provider_cdfs(ds);
+        let mut out = String::from(
+            "Figure 4: Resolution times by resolver (paper medians: DoH1 CF 338 / GG 429 / ND 467 / Q9 447; DoHR CF 257 / GG 315 / Q9 298; Do53 ~250)\n",
+        );
+        for p in &panels {
+            let _ = writeln!(
+                out,
+                "{:<11} DoH1 p50 {:>6.0}ms p90 {:>6.0}ms | DoHR p50 {:>6.0}ms p90 {:>6.0}ms | Do53 p50 {:>6.0}ms",
+                p.provider.name(),
+                p.doh1.median(),
+                p.doh1.quantile(0.9),
+                p.dohr.median(),
+                p.dohr.quantile(0.9),
+                p.do53.median(),
+            );
+        }
+        let cf = panels
+            .iter()
+            .find(|p| p.provider == ProviderKind::Cloudflare)
+            .expect("cloudflare panel");
+        out += "\nCloudflare DoH1 CDF:\n";
+        out += &dohperf_analysis::render::ascii_cdf(&cf.doh1.values, &cf.doh1.probs, 50);
+        out
+    }
+
+    /// Figure 5: per-country medians and PoP counts.
+    pub fn fig5(&mut self) -> String {
+        let ds = self.dataset();
+        let rows = country_medians(ds);
+        let mut out = String::from(
+            "Figure 5: Median DoH per country + PoPs (paper PoPs: CF 146 / GG 26 / ND 107)\n",
+        );
+        for &provider in &ALL_PROVIDERS {
+            let meds: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.provider == provider)
+                .map(|r| r.median_doh1_ms)
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<11} PoPs {:>3}   country-median DoH1: p10 {:>6.0}ms  p50 {:>6.0}ms  p90 {:>6.0}ms",
+                provider.name(),
+                provider.pop_count(),
+                dohperf_stats::desc::quantile(&meds, 0.1),
+                median(&meds),
+                dohperf_stats::desc::quantile(&meds, 0.9),
+            );
+        }
+        // The Senegal story (§5.2).
+        let cf_sn = country_median_for(&rows, "SN", ProviderKind::Cloudflare);
+        let gg_sn = country_median_for(&rows, "SN", ProviderKind::Google);
+        if let (Some(cf), Some(gg)) = (cf_sn, gg_sn) {
+            let _ = writeln!(
+                out,
+                "Senegal (paper: CF 274ms beats GG 381ms thanks to the Dakar PoP): CF {cf:.0}ms vs GG {gg:.0}ms"
+            );
+        }
+        // Extremes (§5.3: Chad 2011ms, Bermuda 204ms).
+        for iso in ["TD", "BM"] {
+            let all: Vec<f64> = ALL_PROVIDERS
+                .iter()
+                .filter_map(|&p| country_median_for(&rows, iso, p))
+                .collect();
+            if !all.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{iso} median DoH1 across providers: {:.0}ms",
+                    median(&all)
+                );
+            }
+        }
+        out
+    }
+
+    /// Figure 6: potential improvement in distance to PoP.
+    pub fn fig6(&mut self) -> String {
+        let ds = self.dataset();
+        let stats = pop_improvement(ds);
+        let mut out = String::from(
+            "Figure 6: Potential improvement (paper medians: ND 6mi / GG 44mi / CF 46mi / Q9 769mi; >=1000mi: CF 26%, GG 10%)\n",
+        );
+        for s in &stats {
+            let _ = writeln!(
+                out,
+                "{:<11} median {:>6.0}mi   >=1000mi {:>6}   assigned-to-closest {:>6}",
+                s.provider.name(),
+                s.median_improvement_miles,
+                pct(s.over_1000_miles_fraction),
+                pct(s.optimal_fraction),
+            );
+        }
+        let q9 = stats_for(&stats, ProviderKind::Quad9);
+        out += "\nQuad9 potential-improvement CDF:\n";
+        let (vals, probs) = dohperf_stats::desc::ecdf(&q9.improvements_miles);
+        out += &dohperf_analysis::render::ascii_cdf(&vals, &probs, 50);
+        out
+    }
+
+    /// Figure 7: per-country deltas by resolver.
+    pub fn fig7(&mut self) -> String {
+        let ds = self.dataset();
+        let deltas = country_deltas(ds, 10);
+        let summary = resolver_delta_summary(&deltas);
+        let mut out = String::from(
+            "Figure 7: Do53 -> DoH10 delta per country (paper: CF +49.65ms median, ND +159.62ms; 8.8% of countries speed up)\n",
+        );
+        for s in &summary {
+            let _ = writeln!(
+                out,
+                "{:<11} median country delta {:>7.1}ms   countries speeding up {:>6}   (n = {})",
+                s.provider.name(),
+                s.median_delta_ms,
+                pct(s.speedup_fraction),
+                s.countries,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "overall countries benefiting from DoH (median across providers): {}",
+            pct(country_speedup_fraction(&deltas))
+        );
+        out
+    }
+
+    /// Figure 8: the client map.
+    pub fn fig8(&mut self) -> String {
+        let ds = self.dataset();
+        let positions = client_positions(ds);
+        let mut out = String::from(
+            "Figure 8: Clients in the dataset (paper: 22,052 clients, 224 countries)\n",
+        );
+        let _ = writeln!(
+            out,
+            "clients: {}   countries: {}",
+            positions.len(),
+            ds.country_count()
+        );
+        // Coarse ASCII world density map: 18 rows x 72 cols.
+        let (rows, cols) = (18usize, 72usize);
+        let mut grid = vec![vec![0u32; cols]; rows];
+        for p in &positions {
+            let r = (((90.0 - p.lat) / 180.0) * rows as f64).clamp(0.0, rows as f64 - 1.0) as usize;
+            let c =
+                (((p.lon + 180.0) / 360.0) * cols as f64).clamp(0.0, cols as f64 - 1.0) as usize;
+            grid[r][c] += 1;
+        }
+        for row in grid {
+            let line: String = row
+                .iter()
+                .map(|&n| match n {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=9 => '+',
+                    _ => '#',
+                })
+                .collect();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Figure 9: per-client distance to the servicing PoP.
+    pub fn fig9(&mut self) -> String {
+        let ds = self.dataset();
+        let stats = pop_improvement(ds);
+        let mut out = String::from("Figure 9: Per-client distance to servicing PoP\n");
+        for s in &stats {
+            let _ = writeln!(
+                out,
+                "{:<11} p25 {:>6.0}mi  p50 {:>6.0}mi  p75 {:>6.0}mi  p90 {:>6.0}mi",
+                s.provider.name(),
+                dohperf_stats::desc::quantile(&s.distances_miles, 0.25),
+                median(&s.distances_miles),
+                dohperf_stats::desc::quantile(&s.distances_miles, 0.75),
+                s.p90_distance_miles,
+            );
+        }
+        out
+    }
+
+    /// §4.3: resolver confirmation.
+    pub fn sec4_3(&self) -> String {
+        let ok = validation::run_resolver_confirmation(self.config.seed, 10);
+        format!(
+            "Section 4.3: exit nodes use the OS-configured resolver: {}\n",
+            if ok {
+                "CONFIRMED (all trace packets target the default resolver)"
+            } else {
+                "VIOLATED"
+            }
+        )
+    }
+
+    /// §4.4: BrightData vs RIPE Atlas.
+    pub fn sec4_4(&self) -> String {
+        let result = validation::run_platform_consistency(self.config.seed, 100);
+        let mut out = String::from(
+            "Section 4.4: BrightData vs RIPE Atlas Do53 consistency (paper: mean 7.6ms, sd 5.2ms)\n",
+        );
+        for (iso, diff) in &result.per_country_diff_ms {
+            let _ = writeln!(out, "  {iso}: |median diff| = {diff:.1}ms");
+        }
+        let _ = writeln!(
+            out,
+            "mean |diff| = {:.1}ms, sd = {:.1}ms",
+            result.mean_diff_ms, result.sd_diff_ms
+        );
+        out
+    }
+
+    /// Ablation: TLS 1.2 vs TLS 1.3 (the paper's §7 limitation note).
+    pub fn ablation_tls12(&self) -> String {
+        let base = self.variant_dataset(|_| {});
+        let tls12 = self.variant_dataset(|cfg| cfg.measurement.tls = TlsVersion::V1_2);
+        let h13 = headline_stats(&base);
+        let h12 = headline_stats(&tls12);
+        let mut out = String::from(
+            "Ablation: TLS 1.2 clients (paper §7: \"clients that still use TLS 1.2 will have slower DoH performance overall\")
+",
+        );
+        let _ = writeln!(
+            out,
+            "median DoH1:  TLS 1.3 {:>6.1}ms   TLS 1.2 {:>6.1}ms   (+{:.1}ms for the extra handshake round trip)",
+            h13.median_doh1_ms,
+            h12.median_doh1_ms,
+            h12.median_doh1_ms - h13.median_doh1_ms
+        );
+        let _ = writeln!(
+            out,
+            "median DoHR:  TLS 1.3 {:>6.1}ms   TLS 1.2 {:>6.1}ms",
+            h13.median_dohr_ms, h12.median_dohr_ms
+        );
+        out += "note: both derived numbers inflate under TLS 1.2 because Equations 7-8 hard-code a one-RTT
+";
+        out += "handshake — reproducing exactly the overestimate the paper's pipeline would produce for 1.2 clients.
+";
+        let _ = writeln!(
+            out,
+            "first-request speedups: {} -> {}",
+            pct(h13.first_request_speedup_fraction),
+            pct(h12.first_request_speedup_fraction)
+        );
+        out
+    }
+
+    /// Ablation: perfect anycast routing for every provider.
+    pub fn ablation_anycast(&self) -> String {
+        let base = self.variant_dataset(|_| {});
+        let perfect = self.variant_dataset(|cfg| cfg.perfect_anycast = true);
+        let mut out = String::from(
+            "Ablation: perfect nearest-PoP anycast (how much of the slowdown is routing?)
+",
+        );
+        let base_cdfs = provider_cdfs(&base);
+        let perf_cdfs = provider_cdfs(&perfect);
+        for (b, p) in base_cdfs.iter().zip(&perf_cdfs) {
+            let _ = writeln!(
+                out,
+                "{:<11} DoH1 median {:>6.0}ms -> {:>6.0}ms ({:+.0}ms)   DoHR median {:>6.0}ms -> {:>6.0}ms",
+                b.provider.name(),
+                b.doh1.median(),
+                p.doh1.median(),
+                p.doh1.median() - b.doh1.median(),
+                b.dohr.median(),
+                p.dohr.median(),
+            );
+        }
+        let imp = pop_improvement(&perfect);
+        let _ = writeln!(
+            out,
+            "(sanity: with perfect routing every provider's median potential improvement is ~0: {})",
+            imp.iter()
+                .map(|s| format!("{} {:.0}mi", s.provider.name(), s.median_improvement_miles))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out += "Quad9 gains the most — its default policy leaves only ~21% of clients on the nearest PoP.
+";
+        out
+    }
+
+    /// Ablation: warm caches (the §7 "cache hits and misses" future work).
+    pub fn ablation_cache(&self) -> String {
+        let base = self.variant_dataset(|_| {});
+        let warm = self.variant_dataset(|cfg| {
+            cfg.measurement.doh_cache_hit_p = 0.7;
+            cfg.measurement.do53_cache_hit_p = 0.7;
+        });
+        let hb = headline_stats(&base);
+        let hw = headline_stats(&warm);
+        let mut out = String::from(
+            "Ablation: 70% cache-hit world vs the paper's forced misses (§7 future work)
+",
+        );
+        let _ = writeln!(
+            out,
+            "median Do53: miss-only {:>6.1}ms   70% hits {:>6.1}ms",
+            hb.median_do53_ms, hw.median_do53_ms
+        );
+        let _ = writeln!(
+            out,
+            "median DoH1: miss-only {:>6.1}ms   70% hits {:>6.1}ms",
+            hb.median_doh1_ms, hw.median_doh1_ms
+        );
+        let _ = writeln!(
+            out,
+            "median DoHR: miss-only {:>6.1}ms   70% hits {:>6.1}ms",
+            hb.median_dohr_ms, hw.median_dohr_ms
+        );
+        let _ = writeln!(
+            out,
+            "10-request speedup fraction: {} -> {}",
+            pct(hb.ten_request_speedup_fraction),
+            pct(hw.ten_request_speedup_fraction)
+        );
+        out += "Caching helps Do53 mostly at the resolver and DoH mostly at the PoP; the handshake cost is untouched,
+so DoH-by-default remains a first-connection tax even in a warm-cache world.
+";
+        out
+    }
+
+    /// Regional (continent-level) summary — the §8 claim that every
+    /// provider shows high regional variance.
+    pub fn regions(&mut self) -> String {
+        let ds = self.dataset();
+        let summaries = dohperf_analysis::regions::region_summaries(ds);
+        let mut out = String::from(
+            "Regional analysis (§8: all resolvers, including Cloudflare, vary strongly across regions)
+",
+        );
+        for &provider in &ALL_PROVIDERS {
+            let cv = dohperf_analysis::regions::regional_variation(&summaries, provider);
+            let mut meds: Vec<String> = Vec::new();
+            for s in summaries.iter().filter(|s| s.provider == provider) {
+                meds.push(format!(
+                    "{} {:.0}ms",
+                    dohperf_analysis::regions::region_name(s.region),
+                    s.median_doh1_ms
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "{:<11} CV {:.2}   {}",
+                provider.name(),
+                cv,
+                meds.join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Write gnuplot-ready .dat files for every figure into `dir`.
+    pub fn figdata(&mut self, dir: &std::path::Path) -> std::io::Result<String> {
+        let ds = self.dataset();
+        std::fs::create_dir_all(dir)?;
+        let files = [
+            ("fig3.dat", dohperf_analysis::fig_export::fig3_dat(ds)),
+            (
+                "fig4.dat",
+                dohperf_analysis::fig_export::fig4_dat(&provider_cdfs(ds)),
+            ),
+            (
+                "fig6.dat",
+                dohperf_analysis::fig_export::fig6_dat(&pop_improvement(ds)),
+            ),
+            (
+                "fig7.dat",
+                dohperf_analysis::fig_export::fig7_dat(&country_deltas(ds, 10)),
+            ),
+            ("fig8.dat", dohperf_analysis::fig_export::fig8_dat(ds)),
+            ("dohn.dat", dohperf_analysis::fig_export::dohn_dat(ds)),
+        ];
+        let mut out = String::from(
+            "figure data written:
+",
+        );
+        for (name, contents) in files {
+            let path = dir.join(name);
+            std::fs::write(&path, &contents)?;
+            let _ = writeln!(out, "  {} ({} bytes)", path.display(), contents.len());
+        }
+        Ok(out)
+    }
+
+    /// Write the one-document markdown report to `path`.
+    pub fn report(&mut self, path: &std::path::Path) -> std::io::Result<String> {
+        let seed = self.config.seed;
+        let ds = self.dataset();
+        let md = dohperf_analysis::report::full_report(ds, seed);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &md)?;
+        Ok(format!(
+            "report written to {} ({} bytes)
+",
+            path.display(),
+            md.len()
+        ))
+    }
+
+    /// Robustness report: bootstrap CIs + rank correlations.
+    pub fn robustness(&mut self) -> String {
+        let seed = self.config.seed;
+        let ds = self.dataset();
+        let mut out = String::from(
+            "Robustness: bootstrap CIs and rank correlations (beyond the paper)
+",
+        );
+        if let Some(cis) = dohperf_analysis::robustness::headline_cis(ds, seed) {
+            let _ = writeln!(
+                out,
+                "median DoH1 {:.1}ms [{:.1}, {:.1}]   DoHR {:.1}ms [{:.1}, {:.1}]   Do53 {:.1}ms [{:.1}, {:.1}]  (95% bootstrap)",
+                cis.doh1.estimate, cis.doh1.lo, cis.doh1.hi,
+                cis.dohr.estimate, cis.dohr.lo, cis.dohr.hi,
+                cis.do53.estimate, cis.do53.lo, cis.do53.hi,
+            );
+            let _ = writeln!(
+                out,
+                "headline slowdown significant at 95%: {}",
+                cis.slowdown_is_significant()
+            );
+        }
+        let deltas = country_deltas(ds, 1);
+        if let Some(corr) = dohperf_analysis::robustness::covariate_correlations(&deltas) {
+            let _ = writeln!(
+                out,
+                "Spearman rho vs country-median delta (n={}): bandwidth {:+.2}, AS count {:+.2}, GDP {:+.2}",
+                corr.n, corr.bandwidth, corr.as_count, corr.gdp
+            );
+            out += "(nonparametric confirmation of Table 5's signs, immune to min-max scaling outliers)
+";
+        }
+        out
+    }
+
+    /// Export the dataset to `dataset.csv` and `dataset.jsonl` in `dir`.
+    pub fn export(&mut self, dir: &std::path::Path) -> std::io::Result<String> {
+        let ds = self.dataset();
+        let csv = dohperf_core::export::to_csv(ds);
+        let jsonl = dohperf_core::export::to_jsonl(ds);
+        std::fs::create_dir_all(dir)?;
+        let csv_path = dir.join("dataset.csv");
+        let jsonl_path = dir.join("dataset.jsonl");
+        std::fs::write(&csv_path, &csv)?;
+        std::fs::write(&jsonl_path, &jsonl)?;
+        Ok(format!(
+            "exported {} clients: {} ({} bytes) and {} ({} bytes)
+",
+            ds.records.len(),
+            csv_path.display(),
+            csv.len(),
+            jsonl_path.display(),
+            jsonl.len(),
+        ))
+    }
+
+    /// Ablation: vantage-point bias (the §7 single-proxy limitation).
+    pub fn ablation_vantage(&mut self) -> String {
+        let ds = self.dataset();
+        let cmp = dohperf_analysis::vantage::vantage_comparison(ds);
+        let mut out = String::from(
+            "Ablation: vantage reweighting (clients reweighted by national AS-count share, §7's single-proxy bias)
+",
+        );
+        let _ = writeln!(
+            out,
+            "median DoH1: BrightData distribution {:>6.1}ms   ecosystem-weighted {:>6.1}ms   ({:+.1}% bias)",
+            cmp.doh1_unweighted_ms,
+            cmp.doh1_weighted_ms,
+            cmp.doh1_bias_fraction() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "median Do53: BrightData distribution {:>6.1}ms   ecosystem-weighted {:>6.1}ms",
+            cmp.do53_unweighted_ms, cmp.do53_weighted_ms
+        );
+        out += "BrightData's exit distribution over-represents thin markets, inflating both medians relative to
+a traffic-weighted view of the Internet — the direction of bias the paper's §7 anticipates.
+";
+        out
+    }
+
+    /// Comparison: DoT vs DoH (the Doan et al. §8 contrast, executable).
+    pub fn compare_dot(&self) -> String {
+        use dohperf_proxy::network::EncryptedProtocol;
+        let doh = self.variant_dataset(|_| {});
+        let dot = self.variant_dataset(|cfg| cfg.measurement.protocol = EncryptedProtocol::DoT);
+        let mut out = String::from(
+            "DoT vs DoH (Doan et al. found DoT slower than Do53 with Cloudflare/Google ahead of Quad9; \
+DoT trades lighter framing for port-853 middlebox exposure)
+",
+        );
+        let doh_cdfs = provider_cdfs(&doh);
+        let dot_cdfs = provider_cdfs(&dot);
+        for (h, t) in doh_cdfs.iter().zip(&dot_cdfs) {
+            let _ = writeln!(
+                out,
+                "{:<11} first-query {:>6.0}ms (DoH) vs {:>6.0}ms (DoT)   reused {:>6.0}ms vs {:>6.0}ms",
+                h.provider.name(),
+                h.doh1.median(),
+                t.doh1.median(),
+                h.dohr.median(),
+                t.dohr.median(),
+            );
+        }
+        let hd = headline_stats(&dot);
+        let _ = writeln!(
+            out,
+            "DoT vs Do53: median first-query {:.0}ms vs {:.0}ms — DoT, like DoH, remains slower than Do53",
+            hd.median_doh1_ms, hd.median_do53_ms
+        );
+        out
+    }
+
+    /// Ablation: 2% access-link packet loss — UDP timers vs TCP repair.
+    pub fn ablation_loss(&self) -> String {
+        let base = self.variant_dataset(|_| {});
+        let lossy = self.variant_dataset(|cfg| cfg.measurement.extra_loss_p = 0.02);
+        let hb = headline_stats(&base);
+        let hl = headline_stats(&lossy);
+        let mut out = String::from(
+            "Ablation: 2% access-link loss (UDP pays ~1s retransmission timers; TCP repairs in ~1 RTT)
+",
+        );
+        let _ = writeln!(
+            out,
+            "median Do53: clean {:>6.1}ms   lossy {:>6.1}ms",
+            hb.median_do53_ms, hl.median_do53_ms
+        );
+        let _ = writeln!(
+            out,
+            "median DoHR: clean {:>6.1}ms   lossy {:>6.1}ms",
+            hb.median_dohr_ms, hl.median_dohr_ms
+        );
+        let p95 = |ds: &Dataset, pick: fn(&dohperf_core::records::ClientRecord) -> Option<f64>| {
+            let xs: Vec<f64> = ds.records.iter().filter_map(pick).collect();
+            dohperf_stats::desc::quantile(&xs, 0.95)
+        };
+        let _ = writeln!(
+            out,
+            "p95 Do53:    clean {:>6.1}ms   lossy {:>6.1}ms   <- the timer tail",
+            p95(&base, |r| r.do53_ms),
+            p95(&lossy, |r| r.do53_ms)
+        );
+        let _ = writeln!(
+            out,
+            "10-request speedup fraction: {} -> {}  (loss shifts the comparison toward DoH)",
+            pct(hb.ten_request_speedup_fraction),
+            pct(hl.ten_request_speedup_fraction)
+        );
+        out
+    }
+
+    fn variant_dataset(&self, tweak: impl FnOnce(&mut CampaignConfig)) -> Dataset {
+        let mut cfg = CampaignConfig {
+            seed: self.config.seed,
+            scale: (self.config.scale * 0.5).clamp(0.02, 0.25),
+            runs_per_client: 1,
+            atlas_probes_per_country: 4,
+            atlas_samples_per_country: 25,
+            ..CampaignConfig::default()
+        };
+        tweak(&mut cfg);
+        Campaign::new(cfg).run()
+    }
+
+    /// §5 headline statistics.
+    pub fn headline(&mut self) -> String {
+        let ds = self.dataset();
+        let h = headline_stats(ds);
+        let mut out = String::from("Section 5 headline statistics (paper values in parentheses)\n");
+        let _ = writeln!(
+            out,
+            "global median DoH1:  {:>6.1}ms  (415ms)",
+            h.median_doh1_ms
+        );
+        let _ = writeln!(
+            out,
+            "global median Do53:  {:>6.1}ms  (234ms)",
+            h.median_do53_ms
+        );
+        let _ = writeln!(out, "global median DoHR:  {:>6.1}ms", h.median_dohr_ms);
+        let _ = writeln!(
+            out,
+            "first-request speedups: {}  (19.1%)",
+            pct(h.first_request_speedup_fraction)
+        );
+        let _ = writeln!(
+            out,
+            "10-request speedups:    {}  (28%)",
+            pct(h.ten_request_speedup_fraction)
+        );
+        let _ = writeln!(
+            out,
+            "median DoH10 slowdown:  {:>6.1}ms (65ms per query)",
+            h.median_doh10_slowdown_ms
+        );
+        let _ = writeln!(
+            out,
+            "median country DoH1 / Do53: {:.1} / {:.1}ms  (564.7 / 332.9ms)",
+            h.median_country_doh1_ms, h.median_country_do53_ms
+        );
+        let _ = writeln!(
+            out,
+            "clients whose DoH1 >= 3x Do53: {}  (~10%)",
+            pct(h.tripled_fraction)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_context() -> ReproContext {
+        ReproContext::new(ReproConfig {
+            seed: 7,
+            scale: 0.05,
+        })
+    }
+
+    #[test]
+    fn every_experiment_renders() {
+        let mut ctx = quick_context();
+        for (name, text) in [
+            ("table3", ctx.table3()),
+            ("table4", ctx.table4()),
+            ("table5", ctx.table5()),
+            ("table6", ctx.table6()),
+            ("fig3", ctx.fig3()),
+            ("fig4", ctx.fig4()),
+            ("fig5", ctx.fig5()),
+            ("fig6", ctx.fig6()),
+            ("fig7", ctx.fig7()),
+            ("fig8", ctx.fig8()),
+            ("fig9", ctx.fig9()),
+            ("headline", ctx.headline()),
+        ] {
+            assert!(text.len() > 50, "{name} output too short:\n{text}");
+            assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
+        }
+    }
+
+    #[test]
+    fn validation_experiments_render() {
+        let ctx = quick_context();
+        assert!(ctx.table1().contains("Table 1"));
+        assert!(ctx.table2().contains("Table 2"));
+        assert!(ctx.sec4_3().contains("CONFIRMED"));
+        assert!(ctx.sec4_4().contains("mean |diff|"));
+    }
+}

@@ -1,0 +1,157 @@
+//! The timing algebra of §3.2–§3.4.
+//!
+//! Known quantities per measurement:
+//!
+//! * `T_A`–`T_D` — client-side timestamps (Figure 2 points A–D);
+//! * `dns = t3+t4`, `connect = t5+t6` — from `X-luminati-tun-timeline`;
+//! * `t_BrightData` — from `X-luminati-timeline`.
+//!
+//! Equation 6 recovers the client↔exit RTT; Equation 7 the DoH time:
+//!
+//! ```text
+//! RTT   = (T_B − T_A) − (t3+t4+t5+t6) − t_BrightData               (6)
+//! t_DoH = (T_D − T_C) − 2·(T_B − T_A) + 3·(t3+t4+t5+t6)
+//!         + 2·t_BrightData                                          (7)
+//! t_DoHR = t_DoH − (t3+t4+t5+t6) − (t11+t12),  (t11+t12) ≈ (t5+t6)  (8)
+//! ```
+//!
+//! Derived values are in **fractional milliseconds as `f64`** rather than
+//! unsigned durations: the derivation subtracts large quantities, and a
+//! measurement corrupted by jitter can legitimately come out slightly
+//! negative — the methodology must surface that rather than clamp it away.
+
+use dohperf_proxy::observation::DohObservation;
+
+/// Equation 6: the recovered client↔exit round-trip time, in ms.
+pub fn derive_rtt_ms(obs: &DohObservation) -> f64 {
+    let tb_ta = obs.t_b.saturating_since(obs.t_a).as_millis_f64();
+    tb_ta - obs.tun.total().as_millis_f64() - obs.proxy.total().as_millis_f64()
+}
+
+/// Equation 7: the derived DoH resolution time, in ms.
+pub fn derive_t_doh_ms(obs: &DohObservation) -> f64 {
+    let td_tc = obs.t_d.saturating_since(obs.t_c).as_millis_f64();
+    let tb_ta = obs.t_b.saturating_since(obs.t_a).as_millis_f64();
+    td_tc - 2.0 * tb_ta
+        + 3.0 * obs.tun.total().as_millis_f64()
+        + 2.0 * obs.proxy.total().as_millis_f64()
+}
+
+/// Equation 8: the derived connection-reuse query time, in ms, using the
+/// paper's `(t11+t12) ≈ (t5+t6)` approximation.
+pub fn derive_t_dohr_ms(obs: &DohObservation) -> f64 {
+    derive_t_doh_ms(obs) - obs.tun.total().as_millis_f64() - obs.tun.connect.as_millis_f64()
+}
+
+/// DoH-N: the average per-request time over `n` requests on one
+/// connection — the first pays `t_doh` (handshake included), the rest pay
+/// `t_dohr` (§5, "Terminology").
+pub fn doh_n_ms(t_doh_ms: f64, t_dohr_ms: f64, n: u32) -> f64 {
+    assert!(n >= 1, "DoH-N needs at least one request");
+    (t_doh_ms + f64::from(n - 1) * t_dohr_ms) / f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohperf_http::luminati::{ProxyTimeline, TunTimeline};
+    use dohperf_netsim::time::{SimDuration, SimTime};
+
+    /// Build a synthetic observation from exact leg timings so the
+    /// equations can be checked against hand-computed values.
+    fn synthetic(
+        rtt_ms: f64,
+        dns_ms: f64,
+        connect_ms: f64,
+        bd_ms: f64,
+        tls_leg_ms: f64,
+        query_total_ms: f64,
+    ) -> DohObservation {
+        let t_a = SimTime::from_nanos(0);
+        let phase1 = rtt_ms + bd_ms + dns_ms + connect_ms;
+        let t_b = t_a + SimDuration::from_millis_f64(phase1);
+        let t_c = t_b;
+        // Phase 2: 2 tunnel RTTs + TLS leg + query legs.
+        let phase2 = 2.0 * rtt_ms + tls_leg_ms + query_total_ms;
+        let t_d = t_c + SimDuration::from_millis_f64(phase2);
+        DohObservation {
+            t_a,
+            t_b,
+            t_c,
+            t_d,
+            tun: TunTimeline {
+                dns: SimDuration::from_millis_f64(dns_ms),
+                connect: SimDuration::from_millis_f64(connect_ms),
+            },
+            proxy: ProxyTimeline {
+                auth: SimDuration::from_millis_f64(bd_ms),
+                init: SimDuration::ZERO,
+                select_node: SimDuration::ZERO,
+                domain_check: SimDuration::ZERO,
+            },
+            truth_t_doh: SimDuration::from_millis_f64(
+                dns_ms + connect_ms + tls_leg_ms + query_total_ms,
+            ),
+            truth_t_dohr: SimDuration::from_millis_f64(query_total_ms),
+        }
+    }
+
+    #[test]
+    fn equation_6_recovers_rtt_exactly_without_jitter() {
+        let obs = synthetic(80.0, 20.0, 30.0, 10.0, 30.0, 90.0);
+        assert!((derive_rtt_ms(&obs) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_7_recovers_t_doh_exactly_without_jitter() {
+        let obs = synthetic(80.0, 20.0, 30.0, 10.0, 30.0, 90.0);
+        // Truth: dns+connect+tls_leg+query = 20+30+30+90 = 170.
+        assert!((derive_t_doh_ms(&obs) - 170.0).abs() < 1e-9);
+        assert!((derive_t_doh_ms(&obs) - obs.truth_t_doh.as_millis_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_8_matches_truth_when_tls_leg_equals_connect() {
+        // The paper assumes (t11+t12) = (t5+t6); make them equal and the
+        // derivation is exact.
+        let obs = synthetic(80.0, 20.0, 30.0, 10.0, 30.0, 90.0);
+        assert!((derive_t_dohr_ms(&obs) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_8_error_is_bounded_by_assumption_gap() {
+        // TLS leg differs from connect by 7ms -> DoHR off by exactly 7ms.
+        let obs = synthetic(80.0, 20.0, 30.0, 10.0, 37.0, 90.0);
+        let err = derive_t_dohr_ms(&obs) - obs.truth_t_dohr.as_millis_f64();
+        assert!((err - 7.0).abs() < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn doh_n_interpolates_between_first_and_reused() {
+        let t1 = doh_n_ms(400.0, 200.0, 1);
+        let t10 = doh_n_ms(400.0, 200.0, 10);
+        let t100 = doh_n_ms(400.0, 200.0, 100);
+        assert_eq!(t1, 400.0);
+        assert!((t10 - 220.0).abs() < 1e-9);
+        assert!(t100 < t10 && t100 > 200.0);
+        // Limit: as N grows, DoH-N approaches t_DoHR.
+        assert!((doh_n_ms(400.0, 200.0, 100_000) - 200.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn doh_n_rejects_zero() {
+        doh_n_ms(1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn derivation_degrades_gracefully_with_proxy_noise() {
+        // Add 5ms of unaccounted forwarding overhead in phase 2: t_DoH is
+        // overestimated by exactly that amount.
+        let clean = synthetic(80.0, 20.0, 30.0, 10.0, 30.0, 90.0);
+        let mut noisy = clean;
+        noisy.t_d += SimDuration::from_millis_f64(5.0);
+        let err = derive_t_doh_ms(&noisy) - derive_t_doh_ms(&clean);
+        assert!((err - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dohperf-core
+//!
+//! The paper's primary contribution: a methodology for measuring absolute
+//! DoH and Do53 resolution times at proxy-network exit nodes **without
+//! controlling the exit node**, using only four client-side timestamps and
+//! the Super Proxy's timing headers.
+//!
+//! * [`equations`] — the §3.2–§3.4 timing algebra: recovering the
+//!   client↔exit RTT (Equation 6), the DoH resolution time t_DoH
+//!   (Equation 7), the connection-reuse time t_DoHR (Equation 8), and the
+//!   DoH-N amortisation used throughout §5–§6.
+//! * [`testbed`] — the fixed experimental infrastructure of Figure 1:
+//!   measurement client, web server and authoritative name server (all in
+//!   the US), the BrightData network, and the four provider deployments.
+//! * [`records`] — the dataset schema: one record per client with
+//!   per-provider DoH samples and the Do53 baseline.
+//! * [`campaign`] — the full measurement campaign over 224 countries,
+//!   including the Maxmind mismatch discard (§3.5) and the RIPE Atlas
+//!   remedy for the 11 Super Proxy countries.
+//! * [`validation`] — the §4 ground-truth experiments (Tables 1 and 2,
+//!   the §4.3 resolver-confirmation trace, and the §4.4 BrightData vs
+//!   RIPE Atlas consistency check).
+
+pub mod campaign;
+pub mod equations;
+pub mod export;
+pub mod records;
+pub mod testbed;
+pub mod validation;
+
+pub use campaign::{Campaign, CampaignConfig};
+pub use equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
+pub use export::{to_csv, to_jsonl};
+pub use records::{ClientRecord, Dataset, Do53Source, DohSample};
+pub use testbed::Testbed;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignConfig};
+    pub use crate::equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
+    pub use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+    pub use crate::testbed::Testbed;
+    pub use crate::validation;
+}

@@ -1,0 +1,127 @@
+//! The fixed experimental infrastructure of Figure 1.
+//!
+//! Everything the authors controlled: a measurement client, a web server
+//! and the authoritative name server for the measurement zone `a.com`
+//! (all hosted in the US), plus the deployed BrightData Super Proxy fleet
+//! and the four DoH provider PoP fleets.
+
+use dohperf_netsim::engine::Simulator;
+use dohperf_netsim::topology::{GeoPoint, NodeId, NodeRole, NodeSpec};
+use dohperf_providers::pops::PopDeployment;
+use dohperf_providers::provider::{ProviderKind, ALL_PROVIDERS};
+use dohperf_proxy::network::BrightDataNetwork;
+use dohperf_world::countries::country;
+
+/// The measurement zone the authors control.
+pub const MEASUREMENT_ZONE: &str = "a.com";
+
+/// The assembled testbed.
+pub struct Testbed {
+    /// The simulator everything lives in.
+    pub sim: Simulator,
+    /// BrightData Super Proxy fleet.
+    pub network: BrightDataNetwork,
+    /// Provider PoP deployments, in [`ALL_PROVIDERS`] order.
+    pub deployments: Vec<PopDeployment>,
+    /// The authors' measurement client (Illinois).
+    pub client: NodeId,
+    /// The authors' web server (answers the Do53-triggering GETs).
+    pub web_server: NodeId,
+    /// The authoritative name server for `a.com`.
+    pub auth_ns: NodeId,
+}
+
+impl Testbed {
+    /// Assemble the full testbed on a fresh simulator.
+    pub fn new(seed: u64) -> Testbed {
+        let mut sim = Simulator::new(seed);
+        let network = BrightDataNetwork::deploy(&mut sim);
+        let us = country("US").expect("US in table");
+        let dc = us.datacenter_profile();
+        // The authors ran from UIUC; the servers sit in a US data centre.
+        let client = sim.add_node(
+            NodeSpec::new(
+                "measurement-client",
+                GeoPoint::new(40.1, -88.2),
+                NodeRole::Server,
+            )
+            .with_infra(dc)
+            .with_country(*b"US"),
+        );
+        let web_server = sim.add_node(
+            NodeSpec::new("web-server", GeoPoint::new(39.0, -77.5), NodeRole::Server)
+                .with_infra(dc)
+                .with_country(*b"US"),
+        );
+        let auth_ns = sim.add_node(
+            NodeSpec::new(
+                "auth-ns-a.com",
+                GeoPoint::new(39.0, -77.5),
+                NodeRole::AuthoritativeNs,
+            )
+            .with_infra(dc)
+            .with_country(*b"US"),
+        );
+        let deployments = ALL_PROVIDERS
+            .iter()
+            .map(|&kind| PopDeployment::deploy(kind, &mut sim))
+            .collect();
+        Testbed {
+            sim,
+            network,
+            deployments,
+            client,
+            web_server,
+            auth_ns,
+        }
+    }
+
+    /// The deployment for a provider.
+    pub fn deployment(&self, kind: ProviderKind) -> &PopDeployment {
+        let idx = ALL_PROVIDERS
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known provider");
+        &self.deployments[idx]
+    }
+
+    /// Mint a fresh UUID-style subdomain of the measurement zone, one per
+    /// request, defeating caches (§3.1).
+    pub fn fresh_subdomain(&mut self) -> String {
+        let id = self.sim.rng_mut().next_u64();
+        format!("{id:016x}.{MEASUREMENT_ZONE}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_assembles_every_component() {
+        let tb = Testbed::new(1);
+        assert_eq!(tb.network.super_proxies.len(), 11);
+        assert_eq!(tb.deployments.len(), 4);
+        assert_eq!(tb.deployment(ProviderKind::Cloudflare).len(), 146);
+        assert_eq!(tb.deployment(ProviderKind::Google).len(), 26);
+        let topo = tb.sim.topology();
+        assert_eq!(topo.node(tb.auth_ns).spec.role, NodeRole::AuthoritativeNs);
+        assert_eq!(topo.node(tb.web_server).spec.role, NodeRole::Server);
+    }
+
+    #[test]
+    fn fresh_subdomains_are_unique_and_in_zone() {
+        let mut tb = Testbed::new(2);
+        let a = tb.fresh_subdomain();
+        let b = tb.fresh_subdomain();
+        assert_ne!(a, b);
+        assert!(a.ends_with(".a.com"));
+    }
+
+    #[test]
+    fn same_seed_same_testbed() {
+        let a = Testbed::new(3);
+        let b = Testbed::new(3);
+        assert_eq!(a.sim.topology().len(), b.sim.topology().len());
+    }
+}

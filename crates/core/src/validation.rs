@@ -1,0 +1,348 @@
+//! §4 ground-truth validation.
+//!
+//! Before trusting the Equation 7/8 derivation at scale, the paper runs it
+//! against exit nodes the authors *do* control:
+//!
+//! * **Table 1** — six EC2 machines (Ireland, Brazil, Sweden, Italy,
+//!   India, USA) enrolled as exit nodes; derived DoH/DoHR medians agree
+//!   with directly measured ground truth within ~10ms.
+//! * **Table 2** — the same for Do53 header values in the four countries
+//!   where the header is valid (USA and India are Super Proxy countries).
+//! * **§4.3** — packet captures show exit nodes resolve with the
+//!   OS-configured resolver.
+//! * **§4.4** — BrightData and RIPE Atlas Do53 medians agree across ten
+//!   overlap countries (paper: mean diff 7.6ms, sd 5.2ms).
+//!
+//! In the simulation, "ground truth" is the hidden `truth_*` fields of
+//! the observations — quantities the derivation never reads.
+
+use crate::equations::{derive_t_doh_ms, derive_t_dohr_ms};
+use crate::testbed::Testbed;
+use dohperf_netsim::rng::SimRng;
+use dohperf_providers::provider::ProviderKind;
+use dohperf_proxy::atlas::AtlasNetwork;
+use dohperf_proxy::exitnode::ExitNode;
+use dohperf_world::countries::country;
+use dohperf_world::geoloc::GeolocationService;
+use serde::Serialize;
+
+/// The six ground-truth countries of Table 1.
+pub const TABLE1_COUNTRIES: [&str; 6] = ["IE", "BR", "SE", "IT", "IN", "US"];
+/// The four Do53-valid ground-truth countries of Table 2.
+pub const TABLE2_COUNTRIES: [&str; 4] = ["IE", "BR", "SE", "IT"];
+/// The §4.4 overlap countries (paper footnote 3 lists 13; ten are used).
+pub const OVERLAP_COUNTRIES: [&str; 10] =
+    ["BE", "ZA", "SE", "IT", "IR", "GR", "CH", "ES", "NO", "DK"];
+
+/// One country row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct DohValidationRow {
+    /// ISO code.
+    pub country: &'static str,
+    /// Median derived t_DoH (ms).
+    pub derived_doh_ms: f64,
+    /// Median ground-truth t_DoH (ms).
+    pub truth_doh_ms: f64,
+    /// Median derived t_DoHR (ms).
+    pub derived_dohr_ms: f64,
+    /// Median ground-truth t_DoHR (ms).
+    pub truth_dohr_ms: f64,
+}
+
+impl DohValidationRow {
+    /// |derived − truth| for DoH.
+    pub fn doh_error_ms(&self) -> f64 {
+        (self.derived_doh_ms - self.truth_doh_ms).abs()
+    }
+
+    /// |derived − truth| for DoHR.
+    pub fn dohr_error_ms(&self) -> f64 {
+        (self.derived_dohr_ms - self.truth_dohr_ms).abs()
+    }
+}
+
+/// One country row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Do53ValidationRow {
+    /// ISO code.
+    pub country: &'static str,
+    /// Median header-reported Do53 (ms).
+    pub derived_ms: f64,
+    /// Median ground-truth Do53 at the exit (ms).
+    pub truth_ms: f64,
+}
+
+impl Do53ValidationRow {
+    /// |derived − truth|.
+    pub fn error_ms(&self) -> f64 {
+        (self.derived_ms - self.truth_ms).abs()
+    }
+}
+
+/// Outcome of the §4.4 platform-consistency experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformConsistency {
+    /// Per-country |median difference| between BrightData and Atlas (ms).
+    pub per_country_diff_ms: Vec<(&'static str, f64)>,
+    /// Mean of the absolute differences.
+    pub mean_diff_ms: f64,
+    /// Standard deviation of the absolute differences.
+    pub sd_diff_ms: f64,
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Create a controlled EC2-style exit node, as the paper did for §4.1
+/// and §4.2 (six EC2 machines enrolled into the BrightData network).
+fn controlled_exit(tb: &mut Testbed, iso: &str, id: u64) -> ExitNode {
+    let c = country(iso).expect("validation country in table");
+    let mut geoloc = GeolocationService::new(SimRng::new(id ^ 0x5a5a), 0.0, vec![c.iso]);
+    let mut rng = SimRng::new(id);
+    ExitNode::create_datacenter(&mut tb.sim, &mut geoloc, c, 0, c.centroid(), id, &mut rng)
+}
+
+/// Create a *residential* exit node (used by the §4.4 platform
+/// comparison, which contrasts real exits with Atlas probes).
+fn residential_exit(tb: &mut Testbed, iso: &str, id: u64) -> ExitNode {
+    let c = country(iso).expect("validation country in table");
+    let mut geoloc = GeolocationService::new(SimRng::new(id ^ 0xa5a5), 0.0, vec![c.iso]);
+    let mut rng = SimRng::new(id);
+    ExitNode::create(&mut tb.sim, &mut geoloc, c, 0, c.centroid(), id, &mut rng)
+}
+
+/// Run the Table 1 experiment: `runs` DoH measurements per country
+/// against Cloudflare (as in the paper), reporting derived vs truth
+/// medians.
+pub fn run_table1(seed: u64, runs: u32) -> Vec<DohValidationRow> {
+    let mut tb = Testbed::new(seed);
+    let mut rows = Vec::new();
+    for (i, iso) in TABLE1_COUNTRIES.iter().enumerate() {
+        let exit = controlled_exit(&mut tb, iso, 1000 + i as u64);
+        let deployment = tb.deployment(ProviderKind::Cloudflare);
+        let pop_index = deployment.nearest_index(&exit.position);
+        let mut derived_doh = Vec::new();
+        let mut truth_doh = Vec::new();
+        let mut derived_dohr = Vec::new();
+        let mut truth_dohr = Vec::new();
+        let mut rng = SimRng::new(seed).fork_indexed("t1", i as u64);
+        for _ in 0..runs {
+            let obs = tb.network.doh_measurement(
+                &mut tb.sim,
+                tb.client,
+                &exit,
+                ProviderKind::Cloudflare,
+                &tb.deployments[0], // Cloudflare is ALL_PROVIDERS[0]
+                pop_index,
+                tb.auth_ns,
+                &mut rng,
+            );
+            derived_doh.push(derive_t_doh_ms(&obs));
+            truth_doh.push(obs.truth_t_doh.as_millis_f64());
+            derived_dohr.push(derive_t_dohr_ms(&obs));
+            truth_dohr.push(obs.truth_t_dohr.as_millis_f64());
+        }
+        rows.push(DohValidationRow {
+            country: country(iso).unwrap().iso,
+            derived_doh_ms: median(&mut derived_doh),
+            truth_doh_ms: median(&mut truth_doh),
+            derived_dohr_ms: median(&mut derived_dohr),
+            truth_dohr_ms: median(&mut truth_dohr),
+        });
+    }
+    rows
+}
+
+/// Run the Table 2 experiment: `runs` Do53 measurements per country,
+/// comparing the header value against the exit node's true time.
+pub fn run_table2(seed: u64, runs: u32) -> Vec<Do53ValidationRow> {
+    let mut tb = Testbed::new(seed);
+    let mut rows = Vec::new();
+    for (i, iso) in TABLE2_COUNTRIES.iter().enumerate() {
+        let exit = controlled_exit(&mut tb, iso, 2000 + i as u64);
+        let mut derived = Vec::new();
+        let mut truth = Vec::new();
+        let mut rng = SimRng::new(seed).fork_indexed("t2", i as u64);
+        for _ in 0..runs {
+            let qname = tb.fresh_subdomain();
+            let obs = tb.network.do53_measurement(
+                &mut tb.sim,
+                tb.client,
+                &exit,
+                tb.web_server,
+                tb.auth_ns,
+                &qname,
+                &mut rng,
+            );
+            assert!(
+                !obs.resolved_at_super_proxy,
+                "Table 2 countries must not be Super Proxy countries"
+            );
+            derived.push(obs.tun.dns.as_millis_f64());
+            truth.push(obs.truth_t_do53.as_millis_f64());
+        }
+        rows.push(Do53ValidationRow {
+            country: country(iso).unwrap().iso,
+            derived_ms: median(&mut derived),
+            truth_ms: median(&mut truth),
+        });
+    }
+    rows
+}
+
+/// §4.3: verify via packet traces that an exit node's first DNS packet
+/// goes to its OS-configured resolver. Returns true when every observed
+/// resolution used the default resolver.
+pub fn run_resolver_confirmation(seed: u64, resolutions: u32) -> bool {
+    let mut tb = Testbed::new(seed);
+    let exit = controlled_exit(&mut tb, "BR", 3000);
+    tb.sim.set_tracing(true);
+    let mut rng = SimRng::new(seed).fork("sec43");
+    for _ in 0..resolutions {
+        let qname = tb.fresh_subdomain();
+        tb.network.do53_measurement(
+            &mut tb.sim,
+            tb.client,
+            &exit,
+            tb.web_server,
+            tb.auth_ns,
+            &qname,
+            &mut rng,
+        );
+    }
+    // Every dns/udp packet originated by the exit host must target its
+    // configured resolver.
+    let all_via_default = tb
+        .sim
+        .trace()
+        .by_proto("dns/udp")
+        .filter(|r| r.src == exit.node)
+        .all(|r| r.dst == exit.resolver);
+    all_via_default
+}
+
+/// §4.4: compare BrightData and Atlas Do53 medians in the overlap
+/// countries, `runs` measurements per platform per country.
+pub fn run_platform_consistency(seed: u64, runs: u32) -> PlatformConsistency {
+    let mut tb = Testbed::new(seed);
+    let mut atlas = AtlasNetwork::new();
+    let mut per_country = Vec::new();
+    let mut rng = SimRng::new(seed).fork("sec44");
+    for (i, iso) in OVERLAP_COUNTRIES.iter().enumerate() {
+        let c = country(iso).unwrap();
+        // The Super Proxy picks a random exit per request (§3.1); model
+        // that by rotating over a pool of residential exits, so both
+        // platforms estimate the same country-level median.
+        let exits: Vec<ExitNode> = (0..24)
+            .map(|e| residential_exit(&mut tb, iso, 4000 + (i as u64) * 64 + e))
+            .collect();
+        let probes = atlas.deploy_probes(&mut tb.sim, c, 24, &mut rng);
+        let mut bright = Vec::new();
+        let mut ripe = Vec::new();
+        for r in 0..runs {
+            let qname = tb.fresh_subdomain();
+            let obs = tb.network.do53_measurement(
+                &mut tb.sim,
+                tb.client,
+                &exits[(r as usize) % exits.len()],
+                tb.web_server,
+                tb.auth_ns,
+                &qname,
+                &mut rng,
+            );
+            bright.push(obs.tun.dns.as_millis_f64());
+            let d = atlas.measure_do53(
+                &mut tb.sim,
+                probes[(r as usize) % probes.len()],
+                tb.auth_ns,
+                &mut rng,
+            );
+            ripe.push(d.as_millis_f64());
+        }
+        per_country.push((c.iso, (median(&mut bright) - median(&mut ripe)).abs()));
+    }
+    let diffs: Vec<f64> = per_country.iter().map(|(_, d)| *d).collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (diffs.len() - 1) as f64;
+    PlatformConsistency {
+        per_country_diff_ms: per_country,
+        mean_diff_ms: mean,
+        sd_diff_ms: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_errors_within_paper_bounds() {
+        // Paper: diffs within ~8ms DoH, ~10ms DoHR at 10 runs/country.
+        let rows = run_table1(11, 10);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.doh_error_ms() < 15.0,
+                "{}: DoH error {:.1}ms",
+                row.country,
+                row.doh_error_ms()
+            );
+            assert!(
+                row.dohr_error_ms() < 15.0,
+                "{}: DoHR error {:.1}ms",
+                row.country,
+                row.dohr_error_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn table1_dohr_faster_than_doh() {
+        let rows = run_table1(12, 10);
+        for row in &rows {
+            assert!(row.derived_dohr_ms < row.derived_doh_ms, "{}", row.country);
+        }
+    }
+
+    #[test]
+    fn table2_errors_within_paper_bounds() {
+        // Paper: Do53 header matches ground truth within 2ms. Our header
+        // IS the exit measurement outside SP countries, so the error is
+        // exactly zero.
+        let rows = run_table2(13, 10);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(
+                row.error_ms() < 2.0,
+                "{}: {:.2}ms",
+                row.country,
+                row.error_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn resolver_confirmation_holds() {
+        assert!(run_resolver_confirmation(14, 10));
+    }
+
+    #[test]
+    fn platform_consistency_within_paper_bounds() {
+        // Paper: mean 7.6ms, sd 5.2ms across overlap countries. Allow a
+        // loose band — the claim is that platforms agree to ~10ms scale.
+        let result = run_platform_consistency(15, 60);
+        assert_eq!(result.per_country_diff_ms.len(), 10);
+        assert!(
+            result.mean_diff_ms < 25.0,
+            "mean diff {:.1}ms",
+            result.mean_diff_ms
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the timing algebra (Equations 6–8).
+
+use dohperf_core::equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
+use dohperf_http::luminati::{ProxyTimeline, TunTimeline};
+use dohperf_netsim::time::{SimDuration, SimTime};
+use dohperf_proxy::observation::DohObservation;
+use proptest::prelude::*;
+
+/// Build an observation from exact leg timings (no jitter): the generative
+/// inverse of the derivation.
+fn observation(
+    rtt_ms: f64,
+    dns_ms: f64,
+    connect_ms: f64,
+    bd_ms: f64,
+    tls_extra_ms: f64,
+    query_ms: f64,
+) -> DohObservation {
+    let t_a = SimTime::ZERO;
+    let t_b = t_a + SimDuration::from_millis_f64(rtt_ms + bd_ms + dns_ms + connect_ms);
+    let t_c = t_b;
+    // TLS leg mirrors connect plus a controlled violation of Assumption 8.
+    let tls_leg = connect_ms + tls_extra_ms;
+    let t_d = t_c + SimDuration::from_millis_f64(2.0 * rtt_ms + tls_leg + query_ms);
+    DohObservation {
+        t_a,
+        t_b,
+        t_c,
+        t_d,
+        tun: TunTimeline {
+            dns: SimDuration::from_millis_f64(dns_ms),
+            connect: SimDuration::from_millis_f64(connect_ms),
+        },
+        proxy: ProxyTimeline {
+            auth: SimDuration::from_millis_f64(bd_ms),
+            init: SimDuration::ZERO,
+            select_node: SimDuration::ZERO,
+            domain_check: SimDuration::ZERO,
+        },
+        truth_t_doh: SimDuration::from_millis_f64(dns_ms + connect_ms + tls_leg + query_ms),
+        truth_t_dohr: SimDuration::from_millis_f64(query_ms),
+    }
+}
+
+proptest! {
+    /// With the paper's assumptions satisfied exactly, Equations 6 and 7
+    /// are *identities*: they recover RTT and t_DoH for any leg values.
+    #[test]
+    fn equations_are_exact_under_assumptions(
+        rtt in 1.0f64..500.0,
+        dns in 0.5f64..300.0,
+        connect in 0.5f64..300.0,
+        bd in 0.5f64..50.0,
+        query in 1.0f64..800.0,
+    ) {
+        let obs = observation(rtt, dns, connect, bd, 0.0, query);
+        prop_assert!((derive_rtt_ms(&obs) - rtt).abs() < 1e-3);
+        prop_assert!((derive_t_doh_ms(&obs) - obs.truth_t_doh.as_millis_f64()).abs() < 1e-3);
+        prop_assert!((derive_t_dohr_ms(&obs) - query).abs() < 1e-3);
+    }
+
+    /// Violating the (t11+t12) ≈ (t5+t6) assumption by δ shifts the DoHR
+    /// estimate by exactly δ — and t_DoH stays exact.
+    #[test]
+    fn dohr_error_equals_assumption_gap(
+        rtt in 1.0f64..500.0,
+        connect in 0.5f64..300.0,
+        delta in -50.0f64..50.0,
+        query in 1.0f64..800.0,
+    ) {
+        // Keep the TLS leg non-negative.
+        prop_assume!(connect + delta >= 0.0);
+        let obs = observation(rtt, 20.0, connect, 5.0, delta, query);
+        prop_assert!((derive_t_doh_ms(&obs) - obs.truth_t_doh.as_millis_f64()).abs() < 1e-3);
+        let err = derive_t_dohr_ms(&obs) - obs.truth_t_dohr.as_millis_f64();
+        prop_assert!((err - delta).abs() < 1e-3, "err {err} delta {delta}");
+    }
+
+    /// DoH-N is monotone decreasing in N and bounded by [t_DoHR, t_DoH].
+    #[test]
+    fn doh_n_monotone_and_bounded(
+        t_doh in 1.0f64..2000.0,
+        frac in 0.05f64..1.0,
+        n1 in 1u32..1000,
+        n2 in 1u32..1000,
+    ) {
+        let t_dohr = t_doh * frac;
+        let (lo_n, hi_n) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let v_lo = doh_n_ms(t_doh, t_dohr, lo_n);
+        let v_hi = doh_n_ms(t_doh, t_dohr, hi_n);
+        prop_assert!(v_hi <= v_lo + 1e-9);
+        prop_assert!(v_lo <= t_doh + 1e-9);
+        prop_assert!(v_hi >= t_dohr - 1e-9);
+        prop_assert!((doh_n_ms(t_doh, t_dohr, 1) - t_doh).abs() < 1e-12);
+    }
+
+    /// Unaccounted forwarding overhead ε in phase 2 inflates t_DoH by
+    /// exactly ε (Assumption 2's failure mode).
+    #[test]
+    fn phase2_noise_maps_linearly(
+        rtt in 1.0f64..300.0,
+        query in 1.0f64..500.0,
+        eps in 0.0f64..20.0,
+    ) {
+        let clean = observation(rtt, 10.0, 30.0, 5.0, 0.0, query);
+        let mut noisy = clean;
+        noisy.t_d += SimDuration::from_millis_f64(eps);
+        let diff = derive_t_doh_ms(&noisy) - derive_t_doh_ms(&clean);
+        prop_assert!((diff - eps).abs() < 1e-3);
+    }
+}

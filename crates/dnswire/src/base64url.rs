@@ -1,0 +1,133 @@
+//! Base64url without padding (RFC 4648 §5), as required by RFC 8484 for the
+//! `dns` query parameter of DoH GET requests.
+
+use crate::error::DnsError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Encode bytes as unpadded base64url.
+pub fn encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
+    for chunk in input.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3F] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3F] as char);
+        }
+    }
+    out
+}
+
+/// Decode unpadded base64url. Padding characters are rejected, as RFC 8484
+/// requires the unpadded form.
+pub fn decode(input: &str) -> Result<Vec<u8>, DnsError> {
+    fn value(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'-' => Some(62),
+            b'_' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes = input.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(DnsError::BadBase64(format!(
+            "invalid length {}",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    for chunk in bytes.chunks(4) {
+        let mut acc: u32 = 0;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = value(c)
+                .ok_or_else(|| DnsError::BadBase64(format!("invalid character {:?}", c as char)))?;
+            acc |= v << (18 - 6 * i);
+        }
+        out.push((acc >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((acc >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(acc as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 4648 test vectors, translated to the url alphabet, unpadded.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg");
+        assert_eq!(encode(b"fo"), "Zm8");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn url_safe_alphabet_used() {
+        // 0xfb 0xff encodes to characters including '-' and '_' variants.
+        let s = encode(&[0xFB, 0xEF, 0xFF]);
+        assert!(!s.contains('+') && !s.contains('/'));
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for len in 0..32 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn padding_rejected() {
+        assert!(decode("Zg==").is_err());
+    }
+
+    #[test]
+    fn invalid_characters_rejected() {
+        assert!(decode("Zm9v!").is_err());
+        assert!(decode("Zm+v").is_err());
+        assert!(decode("Zm/v").is_err());
+    }
+
+    #[test]
+    fn invalid_length_rejected() {
+        assert!(decode("A").is_err());
+        assert!(decode("AAAAA").is_err());
+    }
+
+    #[test]
+    fn rfc8484_example() {
+        // RFC 8484 §4.1 example: query for www.example.com encodes to a
+        // known string starting with "AAABAAABAAAAAAAAA3d3dw".
+        let msg: &[u8] = &[
+            0x00, 0x00, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x77,
+            0x77, 0x77, 0x07, 0x65, 0x78, 0x61, 0x6d, 0x70, 0x6c, 0x65, 0x03, 0x63, 0x6f, 0x6d,
+            0x00, 0x00, 0x01, 0x00, 0x01,
+        ];
+        assert_eq!(encode(msg), "AAABAAABAAAAAAAAA3d3dwdleGFtcGxlA2NvbQAAAQAB");
+    }
+}

@@ -1,0 +1,227 @@
+//! A TTL-driven DNS cache.
+//!
+//! The paper deliberately measures *cache misses* (fresh UUID subdomains),
+//! but the surrounding system still needs a cache: resolvers cache the NS
+//! records of the measurement zone, exit nodes cache the DoH provider's
+//! bootstrap A record, and the "cache hits vs misses" future-work item
+//! (§7) is exercised in tests and examples through this type.
+//!
+//! Time is supplied by the caller in whole seconds, so the cache works with
+//! both simulated and wall-clock time.
+
+use crate::name::DnsName;
+use crate::record::ResourceRecord;
+use crate::types::RecordType;
+use std::collections::HashMap;
+
+/// Cache key: (owner name, record type).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Owner name.
+    pub name: DnsName,
+    /// Record type.
+    pub rtype: RecordType,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    records: Vec<ResourceRecord>,
+    expires_at: u64,
+}
+
+/// A positive-answer cache with per-entry absolute expiry.
+#[derive(Debug, Default)]
+pub struct DnsCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DnsCache::default()
+    }
+
+    /// Insert records under `key`, expiring `ttl` seconds after `now`.
+    /// A zero TTL is honoured as "do not cache".
+    pub fn insert(&mut self, key: CacheKey, records: Vec<ResourceRecord>, now: u64, ttl: u32) {
+        if ttl == 0 {
+            return;
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                records,
+                expires_at: now.saturating_add(u64::from(ttl)),
+            },
+        );
+    }
+
+    /// Look up `key` at time `now`; expired entries are evicted lazily.
+    pub fn get(&mut self, key: &CacheKey, now: u64) -> Option<&[ResourceRecord]> {
+        match self.entries.get(key) {
+            Some(entry) if entry.expires_at > now => {
+                self.hits += 1;
+                // Reborrow immutably for the return.
+                Some(
+                    self.entries
+                        .get(key)
+                        .expect("entry vanished")
+                        .records
+                        .as_slice(),
+                )
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remove every expired entry eagerly; returns how many were evicted.
+    pub fn evict_expired(&mut self, now: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+
+    /// Number of live entries (may include expired-but-unevicted ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit ratio in \[0,1\]; zero when no lookups have happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn key(name: &str) -> CacheKey {
+        CacheKey {
+            name: DnsName::parse(name).unwrap(),
+            rtype: RecordType::A,
+        }
+    }
+
+    fn record(name: &str, ttl: u32) -> ResourceRecord {
+        ResourceRecord::new(
+            DnsName::parse(name).unwrap(),
+            ttl,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        )
+    }
+
+    #[test]
+    fn hit_within_ttl() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 300)], 1000, 300);
+        assert!(c.get(&key("a.com"), 1299).is_some());
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn miss_after_expiry() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 300)], 1000, 300);
+        assert!(c.get(&key("a.com"), 1300).is_none());
+        assert!(c.is_empty(), "expired entry should be evicted lazily");
+    }
+
+    #[test]
+    fn zero_ttl_not_cached() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 0)], 1000, 0);
+        assert!(c.get(&key("a.com"), 1000).is_none());
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 60)], 0, 60);
+        let aaaa = CacheKey {
+            name: DnsName::parse("a.com").unwrap(),
+            rtype: RecordType::Aaaa,
+        };
+        assert!(c.get(&aaaa, 10).is_none());
+        assert!(c.get(&key("a.com"), 10).is_some());
+    }
+
+    #[test]
+    fn eager_eviction_counts() {
+        let mut c = DnsCache::new();
+        for i in 0..10 {
+            c.insert(
+                key(&format!("h{i}.a.com")),
+                vec![record("a.com", 10)],
+                0,
+                10,
+            );
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.evict_expired(5), 0);
+        assert_eq!(c.evict_expired(10), 10);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_ratio_tracks_lookups() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 100)], 0, 100);
+        c.get(&key("a.com"), 1);
+        c.get(&key("b.com"), 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = DnsCache::new();
+        c.insert(key("a.com"), vec![record("a.com", 100)], 0, 100);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn uuid_subdomains_always_miss() {
+        // The paper's cache-miss methodology: every query uses a fresh
+        // UUID subdomain, so the cache never helps.
+        let mut c = DnsCache::new();
+        for i in 0..100 {
+            let k = key(&format!("uuid{i}.a.com"));
+            assert!(c.get(&k, i).is_none());
+            c.insert(k, vec![record("a.com", 300)], i, 300);
+        }
+        assert_eq!(c.stats().0, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for DNS encoding and decoding.
+
+use std::fmt;
+
+/// Everything that can go wrong while encoding or decoding DNS data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A full name exceeded 255 octets.
+    NameTooLong(usize),
+    /// A label contained a forbidden byte.
+    InvalidLabel(String),
+    /// An empty label appeared somewhere other than the root.
+    EmptyLabel,
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A compression pointer pointed forward or formed a loop.
+    BadCompressionPointer(u16),
+    /// Too many compression hops (loop protection).
+    CompressionLoop,
+    /// An unknown or unsupported value in a typed field.
+    UnsupportedValue(&'static str, u32),
+    /// RDATA length did not match the declared RDLENGTH.
+    RdataLengthMismatch { declared: usize, actual: usize },
+    /// The message would exceed the maximum encodable size.
+    MessageTooLong(usize),
+    /// Invalid base64url input (DoH GET payload).
+    BadBase64(String),
+    /// A malformed DoH request (missing parameter, wrong content type…).
+    BadDohRequest(String),
+    /// A TXT character-string exceeded 255 octets.
+    TxtSegmentTooLong(usize),
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            DnsError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            DnsError::InvalidLabel(l) => write!(f, "invalid label {l:?}"),
+            DnsError::EmptyLabel => write!(f, "empty label inside a name"),
+            DnsError::Truncated => write!(f, "message truncated"),
+            DnsError::BadCompressionPointer(p) => write!(f, "bad compression pointer to {p}"),
+            DnsError::CompressionLoop => write!(f, "compression pointer loop"),
+            DnsError::UnsupportedValue(what, v) => write!(f, "unsupported {what} value {v}"),
+            DnsError::RdataLengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "rdata length mismatch: declared {declared}, actual {actual}"
+                )
+            }
+            DnsError::MessageTooLong(n) => write!(f, "message of {n} octets too long"),
+            DnsError::BadBase64(s) => write!(f, "invalid base64url: {s}"),
+            DnsError::BadDohRequest(s) => write!(f, "malformed DoH request: {s}"),
+            DnsError::TxtSegmentTooLong(n) => write!(f, "TXT segment of {n} octets exceeds 255"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}

@@ -1,0 +1,63 @@
+//! # dohperf-dns
+//!
+//! A from-scratch DNS implementation: the RFC 1035 wire format (names with
+//! message compression, headers, questions, resource records), EDNS(0)
+//! (RFC 6891), a TTL-driven cache, and the RFC 8484 DNS-over-HTTPS payload
+//! encodings (base64url GET and POST).
+//!
+//! This crate is pure protocol logic — no sockets, no simulation — so it is
+//! shared by both the simulated substrate (`dohperf-proxy`,
+//! `dohperf-providers`) and the real loopback servers in `dohperf-livenet`.
+//!
+//! ## Example
+//!
+//! ```
+//! use dohperf_dns::prelude::*;
+//!
+//! let query = Message::query(0x1234, &DnsName::parse("example.com").unwrap(), RecordType::A);
+//! let bytes = query.encode().unwrap();
+//! let decoded = Message::decode(&bytes).unwrap();
+//! assert_eq!(decoded.header.id, 0x1234);
+//! assert_eq!(decoded.questions[0].qtype, RecordType::A);
+//! ```
+
+pub mod base64url;
+pub mod cache;
+pub mod doh;
+pub mod edns;
+pub mod error;
+pub mod header;
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod record;
+pub mod resolver;
+pub mod types;
+pub mod wire;
+pub mod zonefile;
+
+pub use cache::{CacheKey, DnsCache};
+pub use doh::{DohMethod, DohRequest};
+pub use edns::{add_edns, edns_of, EdnsOptions};
+pub use error::DnsError;
+pub use header::{Header, HeaderFlags};
+pub use message::Message;
+pub use name::DnsName;
+pub use rdata::RData;
+pub use record::{Question, ResourceRecord};
+pub use resolver::{Answer, IterativeResolver, ResolveError, Step};
+pub use types::{Opcode, RCode, RecordClass, RecordType};
+pub use zonefile::{format_zone, parse_zone, ZoneFileError};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cache::{CacheKey, DnsCache};
+    pub use crate::doh::{DohMethod, DohRequest};
+    pub use crate::error::DnsError;
+    pub use crate::header::{Header, HeaderFlags};
+    pub use crate::message::Message;
+    pub use crate::name::DnsName;
+    pub use crate::rdata::RData;
+    pub use crate::record::{Question, ResourceRecord};
+    pub use crate::types::{Opcode, RCode, RecordClass, RecordType};
+}

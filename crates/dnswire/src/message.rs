@@ -1,0 +1,304 @@
+//! Full DNS messages.
+
+use crate::error::DnsError;
+use crate::header::Header;
+use crate::name::DnsName;
+use crate::rdata::RData;
+use crate::record::{Question, ResourceRecord};
+use crate::types::{RCode, RecordType};
+use crate::wire::{WireReader, WireWriter};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Conventional maximum UDP payload without EDNS (RFC 1035 §4.2.1).
+pub const CLASSIC_UDP_LIMIT: usize = 512;
+
+/// A complete DNS message: header plus four sections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// Message header. Section counts are recomputed at encode time.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Build a standard recursive query for `name`/`rtype`.
+    pub fn query(id: u16, name: &DnsName, rtype: RecordType) -> Self {
+        let mut header = Header::new_query(id);
+        header.qdcount = 1;
+        Message {
+            header,
+            questions: vec![Question::new(name.clone(), rtype)],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build a response to `query` with the given answers. The question
+    /// section is echoed per convention.
+    pub fn response(query: &Message, rcode: RCode, answers: Vec<ResourceRecord>) -> Self {
+        let header = Header::new_response(&query.header, rcode);
+        Message {
+            header,
+            questions: query.questions.clone(),
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Shorthand: an A-record answer to `query`'s first question.
+    pub fn answer_a(query: &Message, ip: Ipv4Addr, ttl: u32) -> Self {
+        let name = query
+            .questions
+            .first()
+            .map(|q| q.qname.clone())
+            .unwrap_or_else(DnsName::root);
+        Message::response(
+            query,
+            RCode::NoError,
+            vec![ResourceRecord::new(name, ttl, RData::A(ip))],
+        )
+    }
+
+    /// The first question, if present.
+    pub fn first_question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// First A answer, if any.
+    pub fn first_a(&self) -> Option<Ipv4Addr> {
+        self.answers.iter().find_map(|rr| match rr.rdata {
+            RData::A(ip) => Some(ip),
+            _ => None,
+        })
+    }
+
+    /// Encode the message, recomputing section counts.
+    pub fn encode(&self) -> Result<Vec<u8>, DnsError> {
+        let mut header = self.header;
+        header.qdcount = u16::try_from(self.questions.len())
+            .map_err(|_| DnsError::MessageTooLong(self.questions.len()))?;
+        header.ancount = u16::try_from(self.answers.len())
+            .map_err(|_| DnsError::MessageTooLong(self.answers.len()))?;
+        header.nscount = u16::try_from(self.authorities.len())
+            .map_err(|_| DnsError::MessageTooLong(self.authorities.len()))?;
+        header.arcount = u16::try_from(self.additionals.len())
+            .map_err(|_| DnsError::MessageTooLong(self.additionals.len()))?;
+        let mut w = WireWriter::new();
+        header.encode(&mut w);
+        for q in &self.questions {
+            q.encode(&mut w)?;
+        }
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            rr.encode(&mut w)?;
+        }
+        w.finish()
+    }
+
+    /// Decode a complete message.
+    pub fn decode(buf: &[u8]) -> Result<Self, DnsError> {
+        let mut r = WireReader::new(buf);
+        let header = Header::decode(&mut r)?;
+        let mut questions = Vec::with_capacity(header.qdcount as usize);
+        for _ in 0..header.qdcount {
+            questions.push(Question::decode(&mut r)?);
+        }
+        let mut read_section = |count: u16| -> Result<Vec<ResourceRecord>, DnsError> {
+            let mut v = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                v.push(ResourceRecord::decode(&mut r)?);
+            }
+            Ok(v)
+        };
+        let answers = read_section(header.ancount)?;
+        let authorities = read_section(header.nscount)?;
+        let additionals = read_section(header.arcount)?;
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+
+    /// Wire size when encoded.
+    pub fn encoded_len(&self) -> Result<usize, DnsError> {
+        Ok(self.encode()?.len())
+    }
+
+    /// Encode for a size-limited transport (classic UDP): if the full
+    /// message exceeds `limit`, drop answer/authority/additional records
+    /// until it fits and set the TC bit, signalling the client to retry
+    /// over TCP (RFC 1035 §4.2.1 / RFC 2181 §9).
+    pub fn encode_bounded(&self, limit: usize) -> Result<Vec<u8>, DnsError> {
+        let full = self.encode()?;
+        if full.len() <= limit {
+            return Ok(full);
+        }
+        let mut truncated = self.clone();
+        truncated.header.flags.tc = true;
+        // Drop additionals, then authorities, then answers from the back.
+        while truncated.encoded_len()? > limit {
+            if truncated.additionals.pop().is_some() {
+                continue;
+            }
+            if truncated.authorities.pop().is_some() {
+                continue;
+            }
+            if truncated.answers.pop().is_some() {
+                continue;
+            }
+            // Nothing left to drop: the question alone exceeds the limit.
+            return Err(DnsError::MessageTooLong(truncated.encoded_len()?));
+        }
+        truncated.encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Message {
+        Message::query(
+            0x4242,
+            &DnsName::parse("e4b1c2d3.a.com").unwrap(),
+            RecordType::A,
+        )
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = sample_query();
+        let buf = q.encode().unwrap();
+        let d = Message::decode(&buf).unwrap();
+        assert_eq!(d.header.id, 0x4242);
+        assert_eq!(d.questions, q.questions);
+        assert!(d.answers.is_empty());
+        assert!(!d.header.flags.qr);
+    }
+
+    #[test]
+    fn response_roundtrip_with_all_sections() {
+        let q = sample_query();
+        let mut resp = Message::answer_a(&q, Ipv4Addr::new(203, 0, 113, 9), 300);
+        resp.authorities.push(ResourceRecord::new(
+            DnsName::parse("a.com").unwrap(),
+            3600,
+            RData::Ns(DnsName::parse("ns1.a.com").unwrap()),
+        ));
+        resp.additionals.push(ResourceRecord::new(
+            DnsName::parse("ns1.a.com").unwrap(),
+            3600,
+            RData::A(Ipv4Addr::new(198, 51, 100, 1)),
+        ));
+        let buf = resp.encode().unwrap();
+        let d = Message::decode(&buf).unwrap();
+        assert_eq!(d.header.ancount, 1);
+        assert_eq!(d.header.nscount, 1);
+        assert_eq!(d.header.arcount, 1);
+        assert_eq!(d.answers, resp.answers);
+        assert_eq!(d.authorities, resp.authorities);
+        assert_eq!(d.additionals, resp.additionals);
+        assert_eq!(d.first_a(), Some(Ipv4Addr::new(203, 0, 113, 9)));
+    }
+
+    #[test]
+    fn counts_recomputed_on_encode() {
+        let mut q = sample_query();
+        q.header.qdcount = 99; // wrong on purpose
+        let buf = q.encode().unwrap();
+        let d = Message::decode(&buf).unwrap();
+        assert_eq!(d.header.qdcount, 1);
+    }
+
+    #[test]
+    fn compression_shrinks_response() {
+        let q = sample_query();
+        let resp = Message::answer_a(&q, Ipv4Addr::new(1, 2, 3, 4), 300);
+        let buf = resp.encode().unwrap();
+        // Without compression the owner name would repeat (16 bytes); with
+        // compression it is a 2-byte pointer.
+        let q_len = q.encode().unwrap().len();
+        assert!(buf.len() < q_len + 2 + 2 + 2 + 4 + 2 + 4 + 10);
+    }
+
+    #[test]
+    fn classic_udp_query_fits() {
+        let q = sample_query();
+        assert!(q.encoded_len().unwrap() <= CLASSIC_UDP_LIMIT);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_cut() {
+        let q = sample_query();
+        let resp = Message::answer_a(&q, Ipv4Addr::new(9, 9, 9, 9), 60);
+        let buf = resp.encode().unwrap();
+        for cut in 0..buf.len() {
+            assert!(Message::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn encode_bounded_passes_small_messages_untouched() {
+        let q = sample_query();
+        let bounded = q.encode_bounded(512).unwrap();
+        assert_eq!(bounded, q.encode().unwrap());
+        let decoded = Message::decode(&bounded).unwrap();
+        assert!(!decoded.header.flags.tc);
+    }
+
+    #[test]
+    fn encode_bounded_truncates_and_sets_tc() {
+        let q = sample_query();
+        let mut resp = Message::answer_a(&q, Ipv4Addr::new(1, 1, 1, 1), 300);
+        for i in 0..40 {
+            resp.answers.push(ResourceRecord::new(
+                DnsName::parse(&format!("r{i}.a.com")).unwrap(),
+                60,
+                RData::A(Ipv4Addr::new(10, 0, 0, i as u8)),
+            ));
+        }
+        let full_len = resp.encoded_len().unwrap();
+        assert!(full_len > 512);
+        let bounded = resp.encode_bounded(512).unwrap();
+        assert!(bounded.len() <= 512, "{}", bounded.len());
+        let decoded = Message::decode(&bounded).unwrap();
+        assert!(decoded.header.flags.tc, "TC bit must be set");
+        assert!(decoded.answers.len() < 41);
+        assert_eq!(decoded.questions, resp.questions);
+    }
+
+    #[test]
+    fn encode_bounded_impossible_limit_errors() {
+        let q = sample_query();
+        assert!(matches!(
+            q.encode_bounded(10),
+            Err(DnsError::MessageTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn answer_a_echoes_question_name() {
+        let q = sample_query();
+        let resp = Message::answer_a(&q, Ipv4Addr::new(7, 7, 7, 7), 1);
+        assert_eq!(resp.answers[0].name, q.questions[0].qname);
+        assert_eq!(resp.questions, q.questions);
+        assert!(resp.header.flags.qr);
+    }
+}

@@ -1,0 +1,558 @@
+//! A sans-I/O iterative resolution engine.
+//!
+//! Real recursive resolvers (the paper's ISP resolvers, and its BIND9
+//! authoritative) walk the delegation tree: root → TLD → zone, chasing
+//! CNAMEs and caching referrals. This module implements that walk as a
+//! *driven state machine*: it never touches a socket. The caller asks for
+//! the next step, performs the I/O however it likes (UDP in
+//! `dohperf-livenet`, simulated exchanges in the campaign), and feeds the
+//! response back.
+//!
+//! ```text
+//! let mut r = IterativeResolver::new(roots);
+//! let mut step = r.begin(name, RecordType::A, now)?;
+//! loop {
+//!     match step {
+//!         Step::Query { server, question } => {
+//!             let response = /* caller I/O */;
+//!             step = r.advance(response, now)?;
+//!         }
+//!         Step::Answered(answer) => break,
+//!     }
+//! }
+//! ```
+
+use crate::cache::{CacheKey, DnsCache};
+use crate::error::DnsError;
+use crate::message::Message;
+use crate::name::DnsName;
+use crate::rdata::RData;
+use crate::record::Question;
+use crate::types::{RCode, RecordType};
+use std::net::Ipv4Addr;
+
+/// Safety bound on delegation hops (root → TLD → … ).
+const MAX_REFERRALS: usize = 16;
+/// Safety bound on CNAME chain length.
+const MAX_CNAME_CHAIN: usize = 8;
+
+/// The final outcome of a resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Addresses for the (possibly CNAME-rewritten) final name.
+    Addresses(Vec<Ipv4Addr>),
+    /// The name does not exist.
+    NxDomain,
+    /// The name exists but has no records of the queried type.
+    NoData,
+}
+
+/// What the driver must do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Send `question` to `server` and feed the response to `advance`.
+    Query {
+        /// Name server to contact.
+        server: Ipv4Addr,
+        /// The question to pose.
+        question: Question,
+    },
+    /// Resolution finished.
+    Answered(Answer),
+}
+
+/// Errors specific to the resolution walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Too many referrals (delegation loop or overly deep tree).
+    ReferralLimit,
+    /// CNAME chain too long or looping.
+    CnameLimit,
+    /// A server returned something unusable (lame delegation).
+    LameDelegation(String),
+    /// `advance` called without an outstanding query.
+    NotWaiting,
+    /// Wire-level problem in a response.
+    Wire(DnsError),
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::ReferralLimit => write!(f, "referral limit exceeded"),
+            ResolveError::CnameLimit => write!(f, "CNAME chain limit exceeded"),
+            ResolveError::LameDelegation(s) => write!(f, "lame delegation: {s}"),
+            ResolveError::NotWaiting => write!(f, "advance() without outstanding query"),
+            ResolveError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// The driven iterative resolver.
+///
+/// ```
+/// use dohperf_dns::prelude::*;
+/// use dohperf_dns::resolver::{IterativeResolver, Step};
+/// use std::net::Ipv4Addr;
+///
+/// let root = Ipv4Addr::new(198, 41, 0, 4);
+/// let mut resolver = IterativeResolver::new(vec![root]);
+/// let name = DnsName::parse("www.example.com").unwrap();
+/// match resolver.begin(&name, RecordType::A, 0) {
+///     Step::Query { server, question } => {
+///         assert_eq!(server, root); // cold cache: start at the root
+///         assert_eq!(question.qname, name);
+///     }
+///     Step::Answered(_) => unreachable!("cache is cold"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct IterativeResolver {
+    cache: DnsCache,
+    roots: Vec<Ipv4Addr>,
+    state: State,
+    referrals: usize,
+    cnames: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    Waiting {
+        qname: DnsName,
+        qtype: RecordType,
+        server: Ipv4Addr,
+    },
+}
+
+impl IterativeResolver {
+    /// Create a resolver primed with root server addresses.
+    pub fn new(roots: Vec<Ipv4Addr>) -> Self {
+        assert!(!roots.is_empty(), "need at least one root server");
+        IterativeResolver {
+            cache: DnsCache::new(),
+            roots,
+            state: State::Idle,
+            referrals: 0,
+            cnames: 0,
+        }
+    }
+
+    /// Access the internal cache (e.g. to inspect hit rates).
+    pub fn cache(&self) -> &DnsCache {
+        &self.cache
+    }
+
+    /// Begin resolving `name`/`rtype` at time `now` (seconds). Returns the
+    /// first step — possibly `Answered` immediately on a cache hit.
+    pub fn begin(&mut self, name: &DnsName, rtype: RecordType, now: u64) -> Step {
+        self.referrals = 0;
+        self.cnames = 0;
+        // Positive cache hit?
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
+        if let Some(records) = self.cache.get(&key, now) {
+            let addrs: Vec<Ipv4Addr> = records
+                .iter()
+                .filter_map(|rr| match rr.rdata {
+                    RData::A(ip) => Some(ip),
+                    _ => None,
+                })
+                .collect();
+            if !addrs.is_empty() {
+                self.state = State::Idle;
+                return Step::Answered(Answer::Addresses(addrs));
+            }
+        }
+        let server = self.best_server_for(name, now);
+        self.state = State::Waiting {
+            qname: name.clone(),
+            qtype: rtype,
+            server,
+        };
+        Step::Query {
+            server,
+            question: Question::new(name.clone(), rtype),
+        }
+    }
+
+    /// Feed the response to the outstanding query; returns the next step.
+    pub fn advance(&mut self, response: &Message, now: u64) -> Result<Step, ResolveError> {
+        let (qname, qtype, _server) = match &self.state {
+            State::Waiting {
+                qname,
+                qtype,
+                server,
+            } => (qname.clone(), *qtype, *server),
+            State::Idle => return Err(ResolveError::NotWaiting),
+        };
+        self.state = State::Idle;
+
+        if response.header.rcode == RCode::NxDomain {
+            return Ok(Step::Answered(Answer::NxDomain));
+        }
+
+        // 1. Direct answers (following CNAMEs within the answer section).
+        let mut target = qname.clone();
+        for _ in 0..MAX_CNAME_CHAIN {
+            let addrs: Vec<Ipv4Addr> = response
+                .answers
+                .iter()
+                .filter(|rr| rr.name == target && rr.rtype == qtype)
+                .filter_map(|rr| match rr.rdata {
+                    RData::A(ip) => Some(ip),
+                    _ => None,
+                })
+                .collect();
+            if !addrs.is_empty() {
+                let records: Vec<_> = response
+                    .answers
+                    .iter()
+                    .filter(|rr| rr.name == target && rr.rtype == qtype)
+                    .cloned()
+                    .collect();
+                let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+                self.cache.insert(
+                    CacheKey {
+                        name: qname.clone(),
+                        rtype: qtype,
+                    },
+                    records,
+                    now,
+                    ttl,
+                );
+                return Ok(Step::Answered(Answer::Addresses(addrs)));
+            }
+            // In-message CNAME?
+            let cname = response.answers.iter().find_map(|rr| {
+                if rr.name == target {
+                    if let RData::Cname(ref c) = rr.rdata {
+                        return Some(c.clone());
+                    }
+                }
+                None
+            });
+            match cname {
+                Some(next) => {
+                    target = next;
+                }
+                None => break,
+            }
+        }
+
+        // 2. Out-of-message CNAME: restart the walk at the new target.
+        if target != qname {
+            self.cnames += 1;
+            if self.cnames > MAX_CNAME_CHAIN {
+                return Err(ResolveError::CnameLimit);
+            }
+            let server = self.best_server_for(&target, now);
+            self.state = State::Waiting {
+                qname: target.clone(),
+                qtype,
+                server,
+            };
+            return Ok(Step::Query {
+                server,
+                question: Question::new(target, qtype),
+            });
+        }
+
+        // 3. Referral: authority NS records plus glue.
+        let mut referral_servers: Vec<Ipv4Addr> = Vec::new();
+        let mut referral_zone: Option<DnsName> = None;
+        for auth in &response.authorities {
+            if let RData::Ns(ref ns_name) = auth.rdata {
+                if !qname.is_subdomain_of(&auth.name) {
+                    continue; // irrelevant delegation
+                }
+                referral_zone = Some(auth.name.clone());
+                // Glue lookup in the additional section.
+                for add in &response.additionals {
+                    if add.name == *ns_name {
+                        if let RData::A(ip) = add.rdata {
+                            referral_servers.push(ip);
+                        }
+                    }
+                }
+                // Cache the NS records for future best-server choices.
+                self.cache.insert(
+                    CacheKey {
+                        name: auth.name.clone(),
+                        rtype: RecordType::Ns,
+                    },
+                    vec![auth.clone()],
+                    now,
+                    auth.ttl,
+                );
+            }
+        }
+        if !referral_servers.is_empty() {
+            self.referrals += 1;
+            if self.referrals > MAX_REFERRALS {
+                return Err(ResolveError::ReferralLimit);
+            }
+            // Cache the glue under the zone name so best_server_for works.
+            if let Some(zone) = referral_zone {
+                let glue: Vec<_> = response
+                    .additionals
+                    .iter()
+                    .filter(|rr| matches!(rr.rdata, RData::A(_)))
+                    .cloned()
+                    .collect();
+                let ttl = glue.iter().map(|r| r.ttl).min().unwrap_or(0);
+                self.cache.insert(
+                    CacheKey {
+                        name: zone,
+                        rtype: RecordType::A,
+                    },
+                    glue,
+                    now,
+                    ttl,
+                );
+            }
+            let server = referral_servers[0];
+            self.state = State::Waiting {
+                qname: qname.clone(),
+                qtype,
+                server,
+            };
+            return Ok(Step::Query {
+                server,
+                question: Question::new(qname, qtype),
+            });
+        }
+
+        // 4. NOERROR with nothing useful.
+        if response.header.rcode == RCode::NoError {
+            return Ok(Step::Answered(Answer::NoData));
+        }
+        Err(ResolveError::LameDelegation(format!(
+            "rcode {:?} with no answer, referral or cname",
+            response.header.rcode
+        )))
+    }
+
+    /// Pick the deepest cached delegation covering `name`, falling back to
+    /// a root server.
+    fn best_server_for(&mut self, name: &DnsName, now: u64) -> Ipv4Addr {
+        let mut zone = name.clone();
+        loop {
+            let key = CacheKey {
+                name: zone.clone(),
+                rtype: RecordType::A,
+            };
+            if let Some(records) = self.cache.get(&key, now) {
+                if let Some(ip) = records.iter().find_map(|rr| match rr.rdata {
+                    RData::A(ip) => Some(ip),
+                    _ => None,
+                }) {
+                    // Only use cached glue for *zones*, not the exact
+                    // query name (that would be a positive answer, already
+                    // handled in begin()).
+                    if zone != *name {
+                        return ip;
+                    }
+                }
+            }
+            if zone.is_root() {
+                break;
+            }
+            zone = zone.parent();
+        }
+        self.roots[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ResourceRecord;
+
+    const ROOT: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+    const TLD: Ipv4Addr = Ipv4Addr::new(192, 5, 6, 30);
+    const AUTH: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 53);
+    const WEB: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 80);
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    /// A scripted upstream: answers like a root, .com TLD, and a.com auth.
+    fn scripted_response(server: Ipv4Addr, question: &Question) -> Message {
+        let query = Message::query(1, &question.qname, question.qtype);
+        if server == ROOT {
+            // Referral to .com with glue.
+            let mut resp = Message::response(&query, RCode::NoError, Vec::new());
+            resp.authorities.push(ResourceRecord::new(
+                name("com"),
+                86_400,
+                RData::Ns(name("ns.tld")),
+            ));
+            resp.additionals
+                .push(ResourceRecord::new(name("ns.tld"), 86_400, RData::A(TLD)));
+            resp
+        } else if server == TLD {
+            let mut resp = Message::response(&query, RCode::NoError, Vec::new());
+            resp.authorities.push(ResourceRecord::new(
+                name("a.com"),
+                3_600,
+                RData::Ns(name("ns1.a.com")),
+            ));
+            resp.additionals.push(ResourceRecord::new(
+                name("ns1.a.com"),
+                3_600,
+                RData::A(AUTH),
+            ));
+            resp
+        } else if server == AUTH {
+            if question.qname == name("missing.a.com") {
+                Message::response(&query, RCode::NxDomain, Vec::new())
+            } else if question.qname == name("alias.a.com") {
+                // CNAME to www.a.com plus the target's A (in-message).
+                let mut resp = Message::response(&query, RCode::NoError, Vec::new());
+                resp.answers.push(ResourceRecord::new(
+                    name("alias.a.com"),
+                    60,
+                    RData::Cname(name("www.a.com")),
+                ));
+                resp.answers
+                    .push(ResourceRecord::new(name("www.a.com"), 60, RData::A(WEB)));
+                resp
+            } else {
+                Message::answer_a(&query, WEB, 300)
+            }
+        } else {
+            panic!("unexpected server {server}");
+        }
+    }
+
+    fn drive(resolver: &mut IterativeResolver, qname: &str, now: u64) -> (Answer, Vec<Ipv4Addr>) {
+        let mut servers = Vec::new();
+        let mut step = resolver.begin(&name(qname), RecordType::A, now);
+        for _ in 0..32 {
+            match step {
+                Step::Query {
+                    server,
+                    ref question,
+                } => {
+                    servers.push(server);
+                    let resp = scripted_response(server, question);
+                    step = resolver.advance(&resp, now).unwrap();
+                }
+                Step::Answered(answer) => return (answer, servers),
+            }
+        }
+        panic!("resolution did not terminate");
+    }
+
+    #[test]
+    fn cold_resolution_walks_root_tld_auth() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let (answer, servers) = drive(&mut r, "www.a.com", 0);
+        assert_eq!(answer, Answer::Addresses(vec![WEB]));
+        assert_eq!(servers, vec![ROOT, TLD, AUTH]);
+    }
+
+    #[test]
+    fn warm_resolution_skips_the_walk_via_delegation_cache() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        drive(&mut r, "first.a.com", 0);
+        // Second query for a *different* name in the same zone: the cached
+        // a.com glue lets us go straight to the authoritative.
+        let (answer, servers) = drive(&mut r, "second.a.com", 1);
+        assert_eq!(answer, Answer::Addresses(vec![WEB]));
+        assert_eq!(servers, vec![AUTH], "should start at cached delegation");
+    }
+
+    #[test]
+    fn positive_cache_hit_answers_without_io() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        drive(&mut r, "www.a.com", 0);
+        let step = r.begin(&name("www.a.com"), RecordType::A, 10);
+        assert_eq!(step, Step::Answered(Answer::Addresses(vec![WEB])));
+    }
+
+    #[test]
+    fn positive_cache_expires_with_ttl() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        drive(&mut r, "www.a.com", 0);
+        // TTL of the answer is 300s; at t=301 the cache must miss.
+        let step = r.begin(&name("www.a.com"), RecordType::A, 301);
+        assert!(matches!(step, Step::Query { .. }));
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let (answer, _) = drive(&mut r, "missing.a.com", 0);
+        assert_eq!(answer, Answer::NxDomain);
+    }
+
+    #[test]
+    fn in_message_cname_is_followed() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let (answer, _) = drive(&mut r, "alias.a.com", 0);
+        assert_eq!(answer, Answer::Addresses(vec![WEB]));
+    }
+
+    #[test]
+    fn advance_without_query_errors() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let q = Message::query(1, &name("x.com"), RecordType::A);
+        let resp = Message::answer_a(&q, WEB, 60);
+        assert_eq!(r.advance(&resp, 0), Err(ResolveError::NotWaiting));
+    }
+
+    #[test]
+    fn referral_loops_are_bounded() {
+        // A malicious upstream that always refers to itself.
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let mut step = r.begin(&name("loop.evil"), RecordType::A, 0);
+        let mut err = None;
+        for _ in 0..64 {
+            match step {
+                Step::Query { ref question, .. } => {
+                    let query = Message::query(1, &question.qname, question.qtype);
+                    let mut resp = Message::response(&query, RCode::NoError, Vec::new());
+                    resp.authorities.push(ResourceRecord::new(
+                        name("evil"),
+                        60,
+                        RData::Ns(name("ns.evil")),
+                    ));
+                    resp.additionals.push(ResourceRecord::new(
+                        name("ns.evil"),
+                        60,
+                        RData::A(Ipv4Addr::new(10, 0, 0, 1)),
+                    ));
+                    match r.advance(&resp, 0) {
+                        Ok(next) => step = next,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Step::Answered(_) => panic!("loop should not answer"),
+            }
+        }
+        assert_eq!(err, Some(ResolveError::ReferralLimit));
+    }
+
+    #[test]
+    fn nodata_for_empty_noerror() {
+        let mut r = IterativeResolver::new(vec![ROOT]);
+        let mut step = r.begin(&name("www.a.com"), RecordType::A, 0);
+        // Feed a bare NOERROR immediately.
+        if let Step::Query { ref question, .. } = step {
+            let query = Message::query(1, &question.qname, question.qtype);
+            let resp = Message::response(&query, RCode::NoError, Vec::new());
+            step = r.advance(&resp, 0).unwrap();
+        }
+        assert_eq!(step, Step::Answered(Answer::NoData));
+    }
+}

@@ -1,0 +1,545 @@
+//! A strict HTTP/1.1 codec.
+//!
+//! Supports exactly what the measurement pipeline needs: request lines,
+//! status lines, header blocks, and Content-Length-delimited bodies. Header
+//! names compare case-insensitively; duplicate headers are preserved in
+//! order. Chunked transfer encoding is deliberately unsupported — every
+//! peer in this system sends explicit lengths — and is rejected loudly
+//! rather than mis-framed silently.
+
+use std::fmt;
+
+/// HTTP request methods used in this system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET — DoH GET form and plain web fetches.
+    Get,
+    /// POST — DoH POST form.
+    Post,
+    /// CONNECT — proxy tunnel establishment.
+    Connect,
+    /// HEAD — used in tests.
+    Head,
+}
+
+impl Method {
+    /// Canonical token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Connect => "CONNECT",
+            Method::Head => "HEAD",
+        }
+    }
+
+    /// Parse a token.
+    pub fn parse(s: &str) -> Result<Self, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            "CONNECT" => Ok(Method::Connect),
+            "HEAD" => Ok(Method::Head),
+            other => Err(HttpError::UnsupportedMethod(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP status code newtype with the handful of constants we use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 502 Bad Gateway (proxy could not reach the exit node).
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+
+    /// Default reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx check.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// Errors from parsing or serialising HTTP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Input ended before the head (request/status line + headers) finished.
+    IncompleteHead,
+    /// Input ended before the declared body finished.
+    IncompleteBody { declared: usize, got: usize },
+    /// Malformed request or status line.
+    BadStartLine(String),
+    /// Malformed header line.
+    BadHeader(String),
+    /// Unknown method token.
+    UnsupportedMethod(String),
+    /// Content-Length was not a number.
+    BadContentLength(String),
+    /// Chunked transfer encoding is not supported by this codec.
+    ChunkedUnsupported,
+    /// Unsupported HTTP version.
+    BadVersion(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::IncompleteHead => write!(f, "incomplete HTTP head"),
+            HttpError::IncompleteBody { declared, got } => {
+                write!(f, "incomplete body: declared {declared}, got {got}")
+            }
+            HttpError::BadStartLine(l) => write!(f, "bad start line {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "bad header line {l:?}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            HttpError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            HttpError::ChunkedUnsupported => write!(f, "chunked transfer encoding unsupported"),
+            HttpError::BadVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An ordered, case-insensitive header multimap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header block.
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Append a header, preserving insertion order.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove all values for `name`; returns whether any existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Replace any existing values of `name` with a single value.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        self.remove(&name);
+        self.insert(name, value);
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        for (name, value) in &self.entries {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Request target (origin-form path or authority-form for CONNECT).
+    pub target: String,
+    /// Header block.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A bodyless request.
+    pub fn new(method: Method, target: impl Into<String>) -> Self {
+        Request {
+            method,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a body and set Content-Length.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.headers.set("Content-Length", body.len().to_string());
+        self.body = body;
+        self
+    }
+
+    /// Serialise to wire bytes. Content-Length is added when a body exists
+    /// and none was set.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        let mut headers = self.headers.clone();
+        if !self.body.is_empty() && headers.get("content-length").is_none() {
+            headers.set("Content-Length", self.body.len().to_string());
+        }
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a complete request from `buf`, returning it and the number of
+    /// bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Request, usize), HttpError> {
+        let (head, body_start) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(HttpError::IncompleteHead)?;
+        let mut parts = start.split(' ');
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?
+            .to_string();
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?;
+        check_version(version)?;
+        let headers = parse_headers(lines)?;
+        let (body, consumed) = read_body(buf, body_start, &headers)?;
+        Ok((
+            Request {
+                method,
+                target,
+                headers,
+                body,
+            },
+            consumed,
+        ))
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Header block.
+    pub headers: Headers,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A bodyless response.
+    pub fn new(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a body and set Content-Length.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.headers.set("Content-Length", body.len().to_string());
+        self.body = body;
+        self
+    }
+
+    /// Serialise to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(b"HTTP/1.1 ");
+        out.extend_from_slice(self.status.0.to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.status.reason().as_bytes());
+        out.extend_from_slice(b"\r\n");
+        let mut headers = self.headers.clone();
+        if headers.get("content-length").is_none() {
+            headers.set("Content-Length", self.body.len().to_string());
+        }
+        headers.write_to(&mut out);
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a complete response, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Response, usize), HttpError> {
+        let (head, body_start) = split_head(buf)?;
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(HttpError::IncompleteHead)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?;
+        check_version(version)?;
+        let code: u16 = parts
+            .next()
+            .ok_or_else(|| HttpError::BadStartLine(start.to_string()))?
+            .parse()
+            .map_err(|_| HttpError::BadStartLine(start.to_string()))?;
+        let headers = parse_headers(lines)?;
+        let (body, consumed) = read_body(buf, body_start, &headers)?;
+        Ok((
+            Response {
+                status: StatusCode(code),
+                headers,
+                body,
+            },
+            consumed,
+        ))
+    }
+}
+
+fn check_version(v: &str) -> Result<(), HttpError> {
+    if v == "HTTP/1.1" || v == "HTTP/1.0" {
+        Ok(())
+    } else {
+        Err(HttpError::BadVersion(v.to_string()))
+    }
+}
+
+/// Locate the CRLFCRLF boundary; returns (head text, body offset).
+fn split_head(buf: &[u8]) -> Result<(&str, usize), HttpError> {
+    let pos = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(HttpError::IncompleteHead)?;
+    let head =
+        std::str::from_utf8(&buf[..pos]).map_err(|_| HttpError::BadHeader("non-utf8".into()))?;
+    Ok((head, pos + 4))
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader(line.to_string()));
+        }
+        headers.insert(name.trim().to_string(), value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn read_body(
+    buf: &[u8],
+    body_start: usize,
+    headers: &Headers,
+) -> Result<(Vec<u8>, usize), HttpError> {
+    if let Some(te) = headers.get("transfer-encoding") {
+        if te.to_ascii_lowercase().contains("chunked") {
+            return Err(HttpError::ChunkedUnsupported);
+        }
+    }
+    let declared = match headers.get("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadContentLength(v.to_string()))?,
+        None => 0,
+    };
+    let available = buf.len() - body_start;
+    if available < declared {
+        return Err(HttpError::IncompleteBody {
+            declared,
+            got: available,
+        });
+    }
+    Ok((
+        buf[body_start..body_start + declared].to_vec(),
+        body_start + declared,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_body() {
+        let req = Request::new(Method::Post, "/dns-query").with_body(b"payload".to_vec());
+        let bytes = req.encode();
+        let (decoded, consumed) = Request::decode(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded.method, Method::Post);
+        assert_eq!(decoded.target, "/dns-query");
+        assert_eq!(decoded.body, b"payload");
+        assert_eq!(decoded.headers.get("content-length"), Some("7"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut resp = Response::new(StatusCode::OK).with_body(b"hi".to_vec());
+        resp.headers
+            .insert("X-Luminati-Tun-Timeline", "dns:10ms,connect:20ms");
+        let bytes = resp.encode();
+        let (decoded, consumed) = Response::decode(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded.status, StatusCode::OK);
+        assert_eq!(decoded.body, b"hi");
+        assert_eq!(
+            decoded.headers.get("x-luminati-tun-timeline"),
+            Some("dns:10ms,connect:20ms")
+        );
+    }
+
+    #[test]
+    fn header_names_case_insensitive() {
+        let mut h = Headers::new();
+        h.insert("Content-Type", "application/dns-message");
+        assert_eq!(h.get("content-type"), Some("application/dns-message"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("application/dns-message"));
+        assert!(h.get("content-length").is_none());
+    }
+
+    #[test]
+    fn duplicate_headers_preserved() {
+        let mut h = Headers::new();
+        h.insert("Via", "a");
+        h.insert("Via", "b");
+        assert_eq!(h.get_all("via").collect::<Vec<_>>(), vec!["a", "b"]);
+        h.set("Via", "c");
+        assert_eq!(h.get_all("via").collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn incomplete_head_detected() {
+        assert_eq!(
+            Request::decode(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(HttpError::IncompleteHead)
+        );
+    }
+
+    #[test]
+    fn incomplete_body_detected() {
+        let bytes = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            Request::decode(bytes),
+            Err(HttpError::IncompleteBody {
+                declared: 10,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_report_consumed() {
+        let one = Request::new(Method::Get, "/a").encode();
+        let two = Request::new(Method::Get, "/b").encode();
+        let mut buf = one.clone();
+        buf.extend_from_slice(&two);
+        let (first, consumed) = Request::decode(&buf).unwrap();
+        assert_eq!(first.target, "/a");
+        let (second, _) = Request::decode(&buf[consumed..]).unwrap();
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn chunked_rejected() {
+        let bytes = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(Request::decode(bytes), Err(HttpError::ChunkedUnsupported));
+    }
+
+    #[test]
+    fn bad_method_and_version_rejected() {
+        assert!(Request::decode(b"BREW / HTTP/1.1\r\n\r\n").is_err());
+        assert!(Request::decode(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert!(Response::decode(b"HTTP/3.0 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        let bytes = b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n";
+        assert!(matches!(
+            Request::decode(bytes),
+            Err(HttpError::BadContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn connect_request_authority_form() {
+        let req = Request::new(Method::Connect, "1.2.3.4:443");
+        let bytes = req.encode();
+        let (decoded, _) = Request::decode(&bytes).unwrap();
+        assert_eq!(decoded.method, Method::Connect);
+        assert_eq!(decoded.target, "1.2.3.4:443");
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::BAD_GATEWAY.is_success());
+    }
+
+    #[test]
+    fn header_with_colon_in_value() {
+        let bytes = b"GET / HTTP/1.1\r\nX-Time: 12:34:56\r\n\r\n";
+        let (req, _) = Request::decode(bytes).unwrap();
+        assert_eq!(req.headers.get("x-time"), Some("12:34:56"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the HTTP codec and timing-header grammar.
+
+use dohperf_http::codec::{Headers, Method, Request, Response, StatusCode};
+use dohperf_http::luminati::{ProxyTimeline, TunTimeline};
+use dohperf_netsim::time::SimDuration;
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,20}").unwrap()
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Header values: printable ASCII minus CR/LF; trimmed by the parser,
+    // so avoid leading/trailing spaces to keep equality exact.
+    proptest::string::string_regex("[!-~]([ -~]{0,30}[!-~])?").unwrap()
+}
+
+proptest! {
+    /// Requests roundtrip through encode/decode for arbitrary targets,
+    /// headers and bodies.
+    #[test]
+    fn request_roundtrip(
+        target in proptest::string::string_regex("/[!-~&&[^ ]]{0,40}").unwrap(),
+        names in proptest::collection::vec(arb_token(), 0..6),
+        values in proptest::collection::vec(arb_header_value(), 0..6),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut req = Request::new(Method::Post, target.clone());
+        for (n, v) in names.iter().zip(&values) {
+            // Avoid clashing with the auto Content-Length and framing headers.
+            prop_assume!(!n.eq_ignore_ascii_case("content-length"));
+            prop_assume!(!n.eq_ignore_ascii_case("transfer-encoding"));
+            req.headers.insert(n.clone(), v.clone());
+        }
+        let req = req.with_body(body.clone());
+        let bytes = req.encode();
+        let (decoded, consumed) = Request::decode(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded.target, target);
+        prop_assert_eq!(decoded.body, body);
+        for (n, v) in names.iter().zip(&values) {
+            prop_assert_eq!(decoded.headers.get(n), Some(v.as_str()));
+        }
+    }
+
+    /// Responses roundtrip for arbitrary status codes and bodies.
+    #[test]
+    fn response_roundtrip(code in 100u16..600, body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let resp = Response::new(StatusCode(code)).with_body(body.clone());
+        let bytes = resp.encode();
+        let (decoded, consumed) = Response::decode(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded.status, StatusCode(code));
+        prop_assert_eq!(decoded.body, body);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Truncating an encoded request anywhere never yields a spurious
+    /// success claiming the full length was consumed.
+    #[test]
+    fn truncation_is_detected(
+        body in proptest::collection::vec(any::<u8>(), 1..128),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let req = Request::new(Method::Post, "/x").with_body(body);
+        let bytes = req.encode();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        if let Ok((_, consumed)) = Request::decode(&bytes[..cut]) {
+            prop_assert!(consumed <= cut);
+        }
+    }
+
+    /// Timing-header grammar roundtrips for arbitrary millisecond values.
+    #[test]
+    fn timelines_roundtrip(
+        dns in 0.0f64..10_000.0,
+        connect in 0.0f64..10_000.0,
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+        c in 0.0f64..100.0,
+        d in 0.0f64..100.0,
+    ) {
+        let tun = TunTimeline {
+            dns: SimDuration::from_millis_f64(dns),
+            connect: SimDuration::from_millis_f64(connect),
+        };
+        let parsed = TunTimeline::parse(&tun.to_header_value()).unwrap();
+        prop_assert!((parsed.dns.as_millis_f64() - dns).abs() < 0.001);
+        prop_assert!((parsed.connect.as_millis_f64() - connect).abs() < 0.001);
+
+        let proxy = ProxyTimeline {
+            auth: SimDuration::from_millis_f64(a),
+            init: SimDuration::from_millis_f64(b),
+            select_node: SimDuration::from_millis_f64(c),
+            domain_check: SimDuration::from_millis_f64(d),
+        };
+        let parsed = ProxyTimeline::parse(&proxy.to_header_value()).unwrap();
+        prop_assert!((parsed.total().as_millis_f64() - (a + b + c + d)).abs() < 0.01);
+    }
+
+    /// Header multimap: set replaces all, get is case-insensitive.
+    #[test]
+    fn headers_multimap_laws(name in arb_token(), v1 in arb_header_value(), v2 in arb_header_value()) {
+        let mut h = Headers::new();
+        h.insert(name.clone(), v1.clone());
+        h.insert(name.to_ascii_uppercase(), v2.clone());
+        prop_assert_eq!(h.get_all(&name).count(), 2);
+        h.set(name.to_ascii_lowercase(), v2.clone());
+        prop_assert_eq!(h.get_all(&name).count(), 1);
+        prop_assert_eq!(h.get(&name.to_ascii_uppercase()), Some(v2.as_str()));
+    }
+}

@@ -1,0 +1,262 @@
+//! An authoritative server backed by zone data, including delegations.
+//!
+//! Unlike the flat [`crate::zone::Zone`] (which answers only A lookups),
+//! an [`AuthorityServer`] holds arbitrary records parsed from a master
+//! file and answers like a real authoritative: direct answers for names
+//! it owns, *referrals* (authority NS + glue) for delegated subtrees, and
+//! NXDOMAIN otherwise. Three of these chained together form a live
+//! root/TLD/leaf hierarchy for the recursive-resolver tests.
+
+use dohperf_dns::message::Message;
+use dohperf_dns::name::DnsName;
+use dohperf_dns::rdata::RData;
+use dohperf_dns::record::ResourceRecord;
+use dohperf_dns::types::{RCode, RecordType};
+use dohperf_dns::zonefile::parse_zone;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Zone data plus the apex name.
+#[derive(Debug, Clone)]
+struct ZoneData {
+    apex: DnsName,
+    records: Vec<ResourceRecord>,
+}
+
+impl ZoneData {
+    fn answer(&self, query: &Message) -> Message {
+        let Some(q) = query.first_question() else {
+            return Message::response(query, RCode::FormErr, Vec::new());
+        };
+        if !q.qname.is_subdomain_of(&self.apex) {
+            return Message::response(query, RCode::Refused, Vec::new());
+        }
+        // Exact-name answers of the queried type.
+        let direct: Vec<ResourceRecord> = self
+            .records
+            .iter()
+            .filter(|rr| rr.name == q.qname && rr.rtype == q.qtype)
+            .cloned()
+            .collect();
+        if !direct.is_empty() {
+            let mut resp = Message::response(query, RCode::NoError, direct);
+            resp.header.flags.aa = true;
+            return resp;
+        }
+        // CNAME at the name?
+        if let Some(cname) = self
+            .records
+            .iter()
+            .find(|rr| rr.name == q.qname && rr.rtype == RecordType::Cname)
+        {
+            let mut answers = vec![cname.clone()];
+            if let RData::Cname(target) = &cname.rdata {
+                answers.extend(
+                    self.records
+                        .iter()
+                        .filter(|rr| rr.name == *target && rr.rtype == q.qtype)
+                        .cloned(),
+                );
+            }
+            let mut resp = Message::response(query, RCode::NoError, answers);
+            resp.header.flags.aa = true;
+            return resp;
+        }
+        // Delegation: an NS set strictly below the apex covering the name.
+        let delegation: Vec<&ResourceRecord> = self
+            .records
+            .iter()
+            .filter(|rr| {
+                rr.rtype == RecordType::Ns
+                    && rr.name != self.apex
+                    && q.qname.is_subdomain_of(&rr.name)
+            })
+            .collect();
+        if !delegation.is_empty() {
+            let mut resp = Message::response(query, RCode::NoError, Vec::new());
+            for ns in &delegation {
+                resp.authorities.push((*ns).clone());
+                if let RData::Ns(ns_name) = &ns.rdata {
+                    resp.additionals.extend(
+                        self.records
+                            .iter()
+                            .filter(|g| g.name == *ns_name && g.rtype == RecordType::A)
+                            .cloned(),
+                    );
+                }
+            }
+            return resp;
+        }
+        // Name exists with other types? NoData. Else NXDOMAIN.
+        let exists = self.records.iter().any(|rr| rr.name == q.qname);
+        let rcode = if exists {
+            RCode::NoError
+        } else {
+            RCode::NxDomain
+        };
+        let mut resp = Message::response(query, rcode, Vec::new());
+        resp.header.flags.aa = true;
+        resp
+    }
+}
+
+/// A threaded authoritative UDP server for one zone.
+pub struct AuthorityServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AuthorityServer {
+    /// Parse a master file and start serving it. `apex` is the zone apex
+    /// (`"."` for the root).
+    pub fn start_from_zonefile(zone_text: &str, apex: &str) -> io::Result<AuthorityServer> {
+        let apex = DnsName::parse(apex)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let records = parse_zone(zone_text, Some(&apex))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        Self::start(ZoneData { apex, records })
+    }
+
+    fn start(zone: ZoneData) -> io::Result<AuthorityServer> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 1500];
+            while !flag.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((len, peer)) => {
+                        let Ok(query) = Message::decode(&buf[..len]) else {
+                            continue;
+                        };
+                        let response = zone.answer(&query);
+                        if let Ok(bytes) = response.encode() {
+                            let _ = socket.send_to(&bytes, peer);
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(AuthorityServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AuthorityServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::do53::Do53Client;
+    use std::net::Ipv4Addr;
+
+    const LEAF_ZONE: &str = r#"
+$ORIGIN a.com.
+$TTL 300
+@ IN NS ns1
+ns1 IN A 203.0.113.53
+www IN A 203.0.113.80
+sub IN NS ns.sub
+ns.sub IN A 203.0.113.99
+mail IN MX 10 mx1
+mx1 IN A 203.0.113.25
+"#;
+
+    fn leaf() -> AuthorityServer {
+        AuthorityServer::start_from_zonefile(LEAF_ZONE, "a.com").unwrap()
+    }
+
+    fn ask(server: &AuthorityServer, name: &str, rtype: RecordType) -> Message {
+        let client = Do53Client::new(server.addr());
+        let q = Message::query(9, &DnsName::parse(name).unwrap(), rtype);
+        client.resolve(&q).unwrap()
+    }
+
+    #[test]
+    fn authoritative_answer() {
+        let server = leaf();
+        let resp = ask(&server, "www.a.com", RecordType::A);
+        assert_eq!(resp.header.rcode, RCode::NoError);
+        assert!(resp.header.flags.aa);
+        assert_eq!(resp.first_a(), Some(Ipv4Addr::new(203, 0, 113, 80)));
+    }
+
+    #[test]
+    fn referral_with_glue_for_delegated_subtree() {
+        let server = leaf();
+        let resp = ask(&server, "deep.sub.a.com", RecordType::A);
+        assert_eq!(resp.header.rcode, RCode::NoError);
+        assert!(resp.answers.is_empty());
+        assert_eq!(resp.authorities.len(), 1);
+        assert!(matches!(resp.authorities[0].rdata, RData::Ns(_)));
+        assert_eq!(resp.additionals.len(), 1);
+        assert!(matches!(
+            resp.additionals[0].rdata,
+            RData::A(ip) if ip == Ipv4Addr::new(203, 0, 113, 99)
+        ));
+    }
+
+    #[test]
+    fn out_of_zone_refused() {
+        let server = leaf();
+        let resp = ask(&server, "elsewhere.net", RecordType::A);
+        assert_eq!(resp.header.rcode, RCode::Refused);
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let server = leaf();
+        // mail.a.com exists (MX) but has no A record.
+        let nodata = ask(&server, "mail.a.com", RecordType::A);
+        assert_eq!(nodata.header.rcode, RCode::NoError);
+        assert!(nodata.answers.is_empty());
+        let nx = ask(&server, "ghost.a.com", RecordType::A);
+        assert_eq!(nx.header.rcode, RCode::NxDomain);
+    }
+
+    #[test]
+    fn mx_lookup_works() {
+        let server = leaf();
+        let resp = ask(&server, "mail.a.com", RecordType::Mx);
+        assert_eq!(resp.answers.len(), 1);
+        assert!(matches!(resp.answers[0].rdata, RData::Mx(10, _)));
+    }
+}

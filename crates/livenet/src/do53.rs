@@ -1,0 +1,224 @@
+//! Do53 over real UDP sockets on loopback.
+
+use crate::zone::Zone;
+use dohperf_dns::message::Message;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A threaded authoritative Do53 server.
+///
+/// Binds an ephemeral UDP port on 127.0.0.1 and answers from a [`Zone`]
+/// until shut down (dropping the server shuts it down).
+pub struct Do53Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Do53Server {
+    /// Start the server.
+    pub fn start(zone: Zone) -> io::Result<Do53Server> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 1500];
+            while !flag.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((len, peer)) => {
+                        let Ok(query) = Message::decode(&buf[..len]) else {
+                            continue; // malformed datagram: drop silently
+                        };
+                        let response = zone.answer(&query);
+                        if let Ok(bytes) = response.encode() {
+                            let _ = socket.send_to(&bytes, peer);
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Do53Server {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Do53Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A stub Do53 client with timeout and retry.
+pub struct Do53Client {
+    server: SocketAddr,
+    /// Per-attempt timeout.
+    pub timeout: Duration,
+    /// Retransmission attempts after the first.
+    pub retries: u32,
+}
+
+impl Do53Client {
+    /// A client for one server with stub-resolver defaults.
+    pub fn new(server: SocketAddr) -> Do53Client {
+        Do53Client {
+            server,
+            timeout: Duration::from_millis(500),
+            retries: 2,
+        }
+    }
+
+    /// Resolve a query, retrying on timeout. Responses whose transaction
+    /// id does not match are discarded (off-path spoof protection).
+    pub fn resolve(&self, query: &Message) -> io::Result<Message> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(self.timeout))?;
+        let wire = query
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut buf = [0u8; 1500];
+        for _attempt in 0..=self.retries {
+            socket.send_to(&wire, self.server)?;
+            match socket.recv_from(&mut buf) {
+                Ok((len, peer)) => {
+                    if peer != self.server {
+                        continue;
+                    }
+                    match Message::decode(&buf[..len]) {
+                        Ok(resp) if resp.header.id == query.header.id => return Ok(resp),
+                        _ => continue,
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "no response after retries",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohperf_dns::name::DnsName;
+    use dohperf_dns::types::{RCode, RecordType};
+    use std::net::Ipv4Addr;
+
+    fn serving_zone() -> Zone {
+        let zone = Zone::new();
+        zone.insert_wildcard("a.com", Ipv4Addr::new(198, 51, 100, 7));
+        zone
+    }
+
+    #[test]
+    fn resolve_over_real_udp() {
+        let server = Do53Server::start(serving_zone()).unwrap();
+        let client = Do53Client::new(server.addr());
+        let q = Message::query(
+            0x1111,
+            &DnsName::parse("uuid42.a.com").unwrap(),
+            RecordType::A,
+        );
+        let resp = client.resolve(&q).unwrap();
+        assert_eq!(resp.header.rcode, RCode::NoError);
+        assert_eq!(resp.first_a(), Some(Ipv4Addr::new(198, 51, 100, 7)));
+        assert_eq!(resp.header.id, 0x1111);
+        server.shutdown();
+    }
+
+    #[test]
+    fn nxdomain_round_trips() {
+        let server = Do53Server::start(serving_zone()).unwrap();
+        let client = Do53Client::new(server.addr());
+        let q = Message::query(2, &DnsName::parse("other.example").unwrap(), RecordType::A);
+        let resp = client.resolve(&q).unwrap();
+        assert_eq!(resp.header.rcode, RCode::NxDomain);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Do53Server::start(serving_zone()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8u16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = Do53Client::new(addr);
+                    let q = Message::query(
+                        i,
+                        &DnsName::parse(&format!("c{i}.a.com")).unwrap(),
+                        RecordType::A,
+                    );
+                    client.resolve(&q).unwrap().header.id
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), i as u16);
+        }
+    }
+
+    #[test]
+    fn timeout_against_dead_server() {
+        // Bind-then-drop leaves a port nobody answers on.
+        let dead = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut client = Do53Client::new(addr);
+        client.timeout = Duration::from_millis(30);
+        client.retries = 1;
+        let q = Message::query(3, &DnsName::parse("x.a.com").unwrap(), RecordType::A);
+        let err = client.resolve(&q);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn malformed_datagrams_do_not_kill_server() {
+        let server = Do53Server::start(serving_zone()).unwrap();
+        let sock = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        sock.send_to(b"\xff\x00garbage", server.addr()).unwrap();
+        // The server must still answer a proper query afterwards.
+        let client = Do53Client::new(server.addr());
+        let q = Message::query(4, &DnsName::parse("ok.a.com").unwrap(), RecordType::A);
+        assert!(client.resolve(&q).is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! The discrete-event queue.
+//!
+//! Events are boxed closures ordered by firing time, with a monotonically
+//! increasing sequence number breaking ties so that two events scheduled for
+//! the same instant fire in scheduling order (FIFO). This tie-break is what
+//! makes the engine deterministic: `BinaryHeap` alone gives no stable order
+//! for equal keys.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled callback body: receives the context and the firing time.
+pub type EventAction<C> = Box<dyn FnOnce(&mut C, SimTime)>;
+
+/// Opaque handle identifying a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A scheduled callback. The engine hands the closure a mutable context of
+/// type `C` (the simulator state downstream code wants to mutate).
+pub struct ScheduledEvent<C> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    cancelled: bool,
+    action: Option<EventAction<C>>,
+}
+
+impl<C> PartialEq for ScheduledEvent<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<C> Eq for ScheduledEvent<C> {}
+
+impl<C> PartialOrd for ScheduledEvent<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<C> Ord for ScheduledEvent<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top,
+        // with the lowest sequence number first among equals.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+pub struct EventQueue<C> {
+    heap: BinaryHeap<ScheduledEvent<C>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl<C> Default for EventQueue<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> EventQueue<C> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `action` to fire at `at`. Returns a handle for cancellation.
+    pub fn schedule<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut C, SimTime) + 'static,
+    {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(ScheduledEvent {
+            at,
+            seq,
+            id,
+            cancelled: false,
+            action: Some(Box::new(action)),
+        });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// unknown event is a no-op (idempotent), matching timer semantics in
+    /// real network stacks.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Number of pending (possibly cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The firing time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Remove and return the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventAction<C>)> {
+        self.drop_cancelled_head();
+        self.heap.pop().map(|mut e| {
+            let action = e.action.take().expect("event action taken twice");
+            (e.at, action)
+        })
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if head.cancelled || self.cancelled.contains(&head.id) {
+                let popped = self.heap.pop().expect("peeked event vanished");
+                self.cancelled.remove(&popped.id);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), |log, _| log.push(3));
+        q.schedule(SimTime::from_millis(10), |log, _| log.push(1));
+        q.schedule(SimTime::from_millis(20), |log, _| log.push(2));
+        let mut log = Vec::new();
+        while let Some((at, action)) = q.pop() {
+            action(&mut log, at);
+        }
+        assert_eq!(log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        while let Some((at, action)) = q.pop() {
+            action(&mut log, at);
+        }
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let keep = q.schedule(SimTime::from_millis(1), |log, _| log.push(1));
+        let drop_ = q.schedule(SimTime::from_millis(2), |log, _| log.push(2));
+        let _ = keep;
+        q.cancel(drop_);
+        let mut log = Vec::new();
+        while let Some((at, action)) = q.pop() {
+            action(&mut log, at);
+        }
+        assert_eq!(log, vec![1]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_tolerates_fired_events() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), |log, _| log.push(1));
+        let mut log = Vec::new();
+        let (at, action) = q.pop().unwrap();
+        action(&mut log, at);
+        q.cancel(id);
+        q.cancel(id);
+        assert!(q.pop().is_none());
+        assert_eq!(log, vec![1]);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let first = q.schedule(SimTime::from_millis(1), |_, _| {});
+        q.schedule(SimTime::from_millis(2), |_, _| {});
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn event_receives_fire_time() {
+        let mut q: EventQueue<Vec<SimTime>> = EventQueue::new();
+        q.schedule(SimTime::from_millis(17), |log, at| log.push(at));
+        let mut log = Vec::new();
+        let (at, action) = q.pop().unwrap();
+        action(&mut log, at);
+        assert_eq!(log, vec![SimTime::from_millis(17)]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fault injection.
+//!
+//! Mirrors smoltcp's `--drop-chance`-style knobs: a [`FaultInjector`] sits
+//! conceptually on a path and decides, per datagram, whether it is lost and
+//! how much extra queueing delay it suffers. Protocol layers consult it when
+//! costing UDP exchanges (a lost DNS query manifests as a retransmission
+//! timeout, exactly as in the real world).
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Per-path fault model.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability a datagram is dropped.
+    pub drop_chance: f64,
+    /// Mean of exponential extra queueing delay added per packet.
+    pub extra_delay_mean: SimDuration,
+    /// Maximum number of datagrams that can be dropped consecutively before
+    /// one is forced through — prevents unbounded retry storms in long runs.
+    pub max_consecutive_drops: u32,
+    consecutive: u32,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new(0.0, SimDuration::ZERO)
+    }
+}
+
+impl FaultInjector {
+    /// Create an injector dropping with probability `drop_chance` and adding
+    /// exponential queueing delay with the given mean.
+    pub fn new(drop_chance: f64, extra_delay_mean: SimDuration) -> Self {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            extra_delay_mean,
+            max_consecutive_drops: 4,
+            consecutive: 0,
+        }
+    }
+
+    /// A lossless, delay-free injector.
+    pub fn transparent() -> Self {
+        Self::default()
+    }
+
+    /// Decide whether the next packet is dropped.
+    pub fn should_drop(&mut self, rng: &mut SimRng) -> bool {
+        if self.drop_chance <= 0.0 {
+            self.consecutive = 0;
+            return false;
+        }
+        if self.consecutive >= self.max_consecutive_drops {
+            self.consecutive = 0;
+            return false;
+        }
+        if rng.chance(self.drop_chance) {
+            self.consecutive += 1;
+            true
+        } else {
+            self.consecutive = 0;
+            false
+        }
+    }
+
+    /// Sample the extra queueing delay for a delivered packet.
+    pub fn extra_delay(&self, rng: &mut SimRng) -> SimDuration {
+        if self.extra_delay_mean.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis_f64(rng.exponential(self.extra_delay_mean.as_millis_f64()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_never_drops() {
+        let mut f = FaultInjector::transparent();
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(!f.should_drop(&mut rng));
+            assert_eq!(f.extra_delay(&mut rng), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn full_drop_is_bounded_by_consecutive_cap() {
+        let mut f = FaultInjector::new(1.0, SimDuration::ZERO);
+        let mut rng = SimRng::new(2);
+        let mut dropped = 0u32;
+        let mut delivered = 0u32;
+        for _ in 0..100 {
+            if f.should_drop(&mut rng) {
+                dropped += 1;
+            } else {
+                delivered += 1;
+            }
+        }
+        // Every 5th packet is forced through.
+        assert!(delivered >= 100 / 5, "delivered {delivered}");
+        assert!(dropped > delivered);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut f = FaultInjector::new(0.2, SimDuration::ZERO);
+        let mut rng = SimRng::new(3);
+        let drops = (0..10_000).filter(|_| f.should_drop(&mut rng)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn extra_delay_mean_is_respected() {
+        let f = FaultInjector::new(0.0, SimDuration::from_millis(10));
+        let mut rng = SimRng::new(4);
+        let mean: f64 = (0..20_000)
+            .map(|_| f.extra_delay(&mut rng).as_millis_f64())
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn drop_chance_clamped() {
+        let f = FaultInjector::new(7.0, SimDuration::ZERO);
+        assert_eq!(f.drop_chance, 1.0);
+        let g = FaultInjector::new(-1.0, SimDuration::ZERO);
+        assert_eq!(g.drop_chance, 0.0);
+    }
+}

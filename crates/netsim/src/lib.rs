@@ -1,0 +1,84 @@
+//! # dohperf-netsim
+//!
+//! A deterministic, discrete-event network simulator that serves as the
+//! substrate for the `dohperf` reproduction of *"Measuring DNS-over-HTTPS
+//! Performance Around the World"* (IMC 2021).
+//!
+//! The paper measured real-world DNS latency through the BrightData proxy
+//! network. That substrate — residential last miles, transit backbones,
+//! anycast points of presence, ISP resolvers — is unavailable here, so this
+//! crate recreates it as a simulation with three design goals borrowed from
+//! `smoltcp`:
+//!
+//! 1. **Simplicity and robustness** over cleverness: the engine is a binary
+//!    heap of timestamped events plus a seeded RNG; there are no macro or
+//!    type-level tricks.
+//! 2. **Determinism**: every run with the same seed yields bit-identical
+//!    event orderings and latencies, so experiments are exactly repeatable.
+//! 3. **Fault injection as a first-class feature**: packet loss and jitter
+//!    can be dialed in per link, mirroring `--drop-chance`-style options.
+//!
+//! ## Layers
+//!
+//! * [`time`] — virtual time ([`SimTime`], [`SimDuration`]) with nanosecond
+//!   resolution.
+//! * [`rng`] — deterministic random streams with stable per-component
+//!   sub-seeding.
+//! * [`event`] / [`engine`] — the discrete-event core: schedule closures at
+//!   future instants and run them in timestamp order.
+//! * [`topology`] — nodes with geographic positions and roles.
+//! * [`latency`] — the generative latency model: geodesic propagation,
+//!   infrastructure-dependent path inflation, last-mile distributions.
+//! * [`transport`] — cost models for UDP datagrams, TCP handshakes and TLS
+//!   session establishment, plus a sequential "session" facade used by the
+//!   protocol layers.
+//! * [`fault`] — packet loss / jitter injection.
+//! * [`trace`] — a pcap-like event log used by the §4.3 experiment.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dohperf_netsim::prelude::*;
+//!
+//! let mut sim = Simulator::new(42);
+//! let a = sim.add_node(NodeSpec::new("client", GeoPoint::new(40.0, -88.0), NodeRole::Client));
+//! let b = sim.add_node(NodeSpec::new("server", GeoPoint::new(37.4, -122.1), NodeRole::Server));
+//! let rtt = sim.rtt(a, b);
+//! assert!(rtt.as_millis_f64() > 0.0);
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod fault;
+pub mod latency;
+pub mod pcap;
+pub mod rng;
+pub mod shaper;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod transport;
+
+pub use engine::Simulator;
+pub use event::{EventId, EventQueue};
+pub use fault::FaultInjector;
+pub use latency::{InfraProfile, LatencyModel, PathModel};
+pub use pcap::to_pcap;
+pub use rng::SimRng;
+pub use shaper::{OverflowPolicy, ShapeDecision, TokenBucket};
+pub use time::{SimDuration, SimTime};
+pub use topology::{GeoPoint, NodeId, NodeRole, NodeSpec, Topology};
+pub use trace::{PacketDirection, PacketRecord, TraceLog};
+pub use transport::{Session, TlsVersion, TransportCost};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::engine::Simulator;
+    pub use crate::fault::FaultInjector;
+    pub use crate::latency::{InfraProfile, LatencyModel, PathModel};
+    pub use crate::rng::SimRng;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{GeoPoint, NodeId, NodeRole, NodeSpec, Topology};
+    pub use crate::trace::{PacketDirection, PacketRecord, TraceLog};
+    pub use crate::transport::{Session, TlsVersion, TransportCost};
+}

@@ -1,0 +1,288 @@
+//! Deterministic random streams.
+//!
+//! Every stochastic choice in the simulator flows through [`SimRng`], a
+//! seeded generator with two properties the experiments rely on:
+//!
+//! * **Reproducibility** — the same master seed always produces the same
+//!   simulation, so every paper table regenerates bit-identically.
+//! * **Stream independence** — components derive their own sub-streams via
+//!   [`SimRng::fork`], keyed by a label hash, so adding randomness to one
+//!   subsystem does not perturb the draws seen by another. This mirrors the
+//!   "named streams" discipline of ns-3-style simulators.
+//!
+//! Distribution sampling (normal, lognormal) is implemented here directly —
+//! the offline crate set includes `rand` but not `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream keyed by a label.
+    ///
+    /// The child seed mixes the parent seed and the FNV-1a hash of the label
+    /// through a splitmix64 finalizer, so `fork("a")` and `fork("b")` are
+    /// decorrelated even for adjacent labels.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let child = splitmix64(self.seed ^ fnv1a(label.as_bytes()));
+        SimRng::new(child)
+    }
+
+    /// Derive an independent child stream keyed by an index (e.g. a client
+    /// ordinal), useful when labels would be synthesized strings anyway.
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        let child = splitmix64(self.seed ^ fnv1a(label.as_bytes()) ^ splitmix64(index));
+        SimRng::new(child)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Standard normal draw via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 in (0,1] to keep ln() finite.
+        let u1 = 1.0 - self.unit();
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd.max(0.0) * self.standard_normal()
+    }
+
+    /// Lognormal draw parameterised by the *median* and a shape factor
+    /// `sigma` (the sd of the underlying normal). `median` must be positive.
+    ///
+    /// Latency distributions in the generative model are lognormal because
+    /// real RTT distributions are right-skewed with heavy tails; the median
+    /// parameterisation keeps calibration intuitive.
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        debug_assert!(median > 0.0, "lognormal median must be positive");
+        median.max(f64::MIN_POSITIVE) * (sigma.max(0.0) * self.standard_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.unit();
+        -mean.max(0.0) * u.ln()
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Pick an index according to non-negative weights. Falls back to a
+    /// uniform pick when all weights are zero. Panics on an empty slice.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "choose_weighted requires weights");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return self.index(weights.len());
+        }
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w.max(0.0);
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Raw u64 draw (used to mint identifiers such as UUID subdomains).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// FNV-1a hash of a byte string; stable across platforms and versions.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// splitmix64 finalizer; decorrelates structured seed inputs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_distinct() {
+        let root = SimRng::new(1234);
+        let mut a1 = root.fork("lastmile");
+        let mut a2 = root.fork("lastmile");
+        let mut b = root.fork("backbone");
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_ne!(a1.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn indexed_forks_distinct_per_index() {
+        let root = SimRng::new(9);
+        let mut c0 = root.fork_indexed("client", 0);
+        let mut c1 = root.fork_indexed("client", 1);
+        assert_ne!(c0.next_u64(), c1.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_close_to_parameter() {
+        let mut rng = SimRng::new(6);
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| rng.lognormal_median(8.0, 0.5))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 8.0).abs() < 0.5, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(8);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = SimRng::new(10);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..100 {
+            assert_eq!(rng.choose_weighted(&weights), 2);
+        }
+    }
+
+    #[test]
+    fn choose_weighted_zero_weights_uniform() {
+        let mut rng = SimRng::new(11);
+        let weights = [0.0, 0.0];
+        let mut seen = [false, false];
+        for _ in 0..200 {
+            seen[rng.choose_weighted(&weights)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(12);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_empty_range_returns_lo() {
+        let mut rng = SimRng::new(13);
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+}

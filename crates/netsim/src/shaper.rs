@@ -1,0 +1,172 @@
+//! Token-bucket traffic shaping.
+//!
+//! The smoltcp-style `--tx-rate-limit`/`--shaping-interval` knobs: a
+//! token bucket that either *drops* or *delays* packets exceeding the
+//! configured rate. The campaign itself measures at low rates, but the
+//! shaper makes congestion experiments expressible (e.g. "what happens to
+//! DoH when the access link saturates?") and is exercised by the fault-
+//! injection tests.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What to do with a packet that finds the bucket empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Drop it (policing).
+    Drop,
+    /// Queue it until tokens accrue (shaping), reporting the extra delay.
+    Delay,
+}
+
+/// Outcome of offering one packet to the shaper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShapeDecision {
+    /// Forward immediately.
+    Pass,
+    /// Forward after the given queueing delay (Delay policy).
+    Delayed(SimDuration),
+    /// Drop (Drop policy).
+    Dropped,
+}
+
+/// A token bucket: `rate` tokens per second accrue up to `burst`; each
+/// packet consumes one token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_update: SimTime,
+    policy: OverflowPolicy,
+    /// Virtual queue horizon for the Delay policy: time at which the
+    /// next queued packet would be released.
+    next_release: SimTime,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full.
+    pub fn new(rate_per_sec: f64, burst: u32, policy: OverflowPolicy) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(burst >= 1, "burst must be at least 1");
+        TokenBucket {
+            rate_per_sec,
+            burst: f64::from(burst),
+            tokens: f64::from(burst),
+            last_update: SimTime::ZERO,
+            policy,
+            next_release: SimTime::ZERO,
+        }
+    }
+
+    /// Tokens currently available (after accrual up to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_update {
+            let elapsed = now.saturating_since(self.last_update).as_secs_f64();
+            self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.burst);
+            self.last_update = now;
+        }
+    }
+
+    /// Offer one packet at `now`.
+    pub fn offer(&mut self, now: SimTime) -> ShapeDecision {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return ShapeDecision::Pass;
+        }
+        match self.policy {
+            OverflowPolicy::Drop => ShapeDecision::Dropped,
+            OverflowPolicy::Delay => {
+                // FIFO shaping: each queued packet departs one token
+                // interval after its predecessor (or after now, whichever
+                // is later).
+                let interval = SimDuration::from_millis_f64(1000.0 / self.rate_per_sec);
+                let base = if self.next_release > now {
+                    self.next_release
+                } else {
+                    now
+                };
+                let release = base + interval;
+                self.next_release = release;
+                ShapeDecision::Delayed(release.saturating_since(now))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn burst_passes_then_drops() {
+        let mut tb = TokenBucket::new(10.0, 4, OverflowPolicy::Drop);
+        let now = at_ms(0);
+        for _ in 0..4 {
+            assert_eq!(tb.offer(now), ShapeDecision::Pass);
+        }
+        assert_eq!(tb.offer(now), ShapeDecision::Dropped);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut tb = TokenBucket::new(10.0, 1, OverflowPolicy::Drop);
+        assert_eq!(tb.offer(at_ms(0)), ShapeDecision::Pass);
+        assert_eq!(tb.offer(at_ms(1)), ShapeDecision::Dropped);
+        // 10 tokens/s -> one token after 100ms.
+        assert_eq!(tb.offer(at_ms(100)), ShapeDecision::Pass);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut tb = TokenBucket::new(1000.0, 3, OverflowPolicy::Drop);
+        // Long idle: still only `burst` tokens.
+        assert!((tb.available(at_ms(60_000)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_policy_queues_fifo() {
+        let mut tb = TokenBucket::new(10.0, 1, OverflowPolicy::Delay);
+        let now = at_ms(0);
+        assert_eq!(tb.offer(now), ShapeDecision::Pass);
+        // Next two packets queue behind each other: 100ms and 200ms.
+        match tb.offer(now) {
+            ShapeDecision::Delayed(d) => assert!((d.as_millis_f64() - 100.0).abs() < 1.0, "{d}"),
+            other => panic!("{other:?}"),
+        }
+        match tb.offer(now) {
+            ShapeDecision::Delayed(d) => assert!((d.as_millis_f64() - 200.0).abs() < 1.0, "{d}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sustained_rate_approaches_configured() {
+        let mut tb = TokenBucket::new(100.0, 5, OverflowPolicy::Drop);
+        let mut passed = 0;
+        // Offer 1000 packets over 1 second (1 per ms).
+        for ms in 0..1000 {
+            if tb.offer(at_ms(ms)) == ShapeDecision::Pass {
+                passed += 1;
+            }
+        }
+        // ~100 tokens accrue + 5 burst.
+        assert!((100..=110).contains(&passed), "passed {passed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 1, OverflowPolicy::Drop);
+    }
+}

@@ -1,0 +1,164 @@
+//! Packet trace log.
+//!
+//! A lightweight, pcap-inspired record of every simulated exchange. The
+//! §4.3 reproduction ("which resolver do exit nodes actually use?") works by
+//! inspecting this log for the destination of the exit node's DNS query —
+//! the simulated analogue of running Wireshark on a controlled exit node.
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a record relative to the node that logged it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketDirection {
+    /// Transmitted by `src`.
+    Tx,
+    /// Received by `dst`.
+    Rx,
+}
+
+/// One logged exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Simulated timestamp of the exchange.
+    pub at: SimTime,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Protocol label, e.g. `"dns/udp"`, `"tcp/handshake"`, `"tls"`, `"http"`.
+    pub proto: &'static str,
+    /// Free-form annotation (query name, header summary, …).
+    pub note: String,
+    /// Direction relative to the logging perspective.
+    pub direction: PacketDirection,
+}
+
+/// An append-only trace. Disabled by default; enabling costs one `Vec` push
+/// per exchange.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    records: Vec<PacketRecord>,
+}
+
+impl TraceLog {
+    /// A disabled log (records are discarded).
+    pub fn disabled() -> Self {
+        TraceLog {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        TraceLog {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append a record (no-op when disabled).
+    pub fn record(&mut self, record: PacketRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// All records in arrival order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Records matching a protocol label.
+    pub fn by_proto<'a>(&'a self, proto: &'a str) -> impl Iterator<Item = &'a PacketRecord> {
+        self.records.iter().filter(move |r| r.proto == proto)
+    }
+
+    /// Records sent by a node.
+    pub fn sent_by(&self, node: NodeId) -> impl Iterator<Item = &PacketRecord> {
+        self.records.iter().filter(move |r| r.src == node)
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are kept.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    fn rec(src: u32, dst: u32, proto: &'static str) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::ZERO,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            proto,
+            note: String::new(),
+            direction: PacketDirection::Tx,
+        }
+    }
+
+    #[test]
+    fn disabled_log_discards() {
+        let mut log = TraceLog::disabled();
+        log.record(rec(0, 1, "dns/udp"));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_keeps_order() {
+        let mut log = TraceLog::enabled();
+        log.record(rec(0, 1, "dns/udp"));
+        log.record(rec(1, 2, "http"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].proto, "dns/udp");
+        assert_eq!(log.records()[1].proto, "http");
+    }
+
+    #[test]
+    fn filters_by_proto_and_sender() {
+        let mut log = TraceLog::enabled();
+        log.record(rec(0, 1, "dns/udp"));
+        log.record(rec(0, 2, "http"));
+        log.record(rec(3, 1, "dns/udp"));
+        assert_eq!(log.by_proto("dns/udp").count(), 2);
+        assert_eq!(log.sent_by(NodeId(0)).count(), 2);
+    }
+
+    #[test]
+    fn toggling_enables_capture() {
+        let mut log = TraceLog::disabled();
+        log.set_enabled(true);
+        assert!(log.is_enabled());
+        log.record(rec(0, 1, "tls"));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # dohperf-providers
+//!
+//! Models of the four public DoH resolution services the paper studies —
+//! Cloudflare, Google, NextDNS and Quad9 — plus the ISP default-resolver
+//! model that Do53 measurements exercise.
+//!
+//! Each provider is characterised by:
+//!
+//! * a **PoP deployment** ([`pops`]): the set of cities hosting its
+//!   points of presence, sized to the paper's observations (Cloudflare
+//!   146, NextDNS 107, Google 26, Quad9 ~150 with strong Sub-Saharan
+//!   presence);
+//! * an **anycast assignment policy** ([`anycast`]): how clients map to
+//!   PoPs, calibrated to Figure 6 (NextDNS near-optimal, Google frugal but
+//!   well-routed, Cloudflare dense but sometimes misrouted, Quad9 heavily
+//!   suboptimal — only ~21% of clients on their closest PoP);
+//! * a **resolver backend** ([`provider`]): hostname, processing time, and
+//!   the recursive fetch to the experiment's authoritative name server.
+//!
+//! [`ispresolver`] models the Do53 side: the client's *default* resolver
+//! as configured by its ISP/OS, usually in-country but occasionally
+//! tromboning abroad in poorly peered markets.
+
+pub mod anycast;
+pub mod ispresolver;
+pub mod pops;
+pub mod provider;
+
+pub use anycast::AnycastPolicy;
+pub use ispresolver::IspResolverModel;
+pub use pops::{PopDeployment, PopSite};
+pub use provider::{DohProvider, ProviderKind, ALL_PROVIDERS};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::anycast::AnycastPolicy;
+    pub use crate::ispresolver::IspResolverModel;
+    pub use crate::pops::{PopDeployment, PopSite};
+    pub use crate::provider::{DohProvider, ProviderKind, ALL_PROVIDERS};
+}

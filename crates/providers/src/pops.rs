@@ -1,0 +1,301 @@
+//! Point-of-presence deployments.
+//!
+//! PoP sets are derived deterministically from the embedded city table so
+//! they reproduce the paper's observations:
+//!
+//! * **Cloudflare** (146): nearly every city in the table — including
+//!   Dakar, the only PoP in Senegal among the four providers (§5.2).
+//! * **Google** (26): major interconnection hubs only, none in Africa.
+//! * **NextDNS** (107): broad city coverage via third-party hosting ASes.
+//! * **Quad9** (~120): broad coverage with deliberately strong
+//!   Sub-Saharan African presence (Figure 5d).
+
+use crate::provider::ProviderKind;
+use dohperf_netsim::engine::Simulator;
+use dohperf_netsim::topology::{GeoPoint, NodeId, NodeRole, NodeSpec};
+use dohperf_world::cities::{cities, City};
+use dohperf_world::countries::{country, Region};
+use serde::{Deserialize, Serialize};
+
+/// One deployed PoP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopSite {
+    /// Simulator node.
+    pub node: NodeId,
+    /// City location.
+    pub position: GeoPoint,
+    /// City index into the world city table (for reporting).
+    pub city_index: usize,
+}
+
+/// A provider's deployed PoP fleet.
+#[derive(Debug)]
+pub struct PopDeployment {
+    /// Which provider.
+    pub kind: ProviderKind,
+    /// Deployed sites.
+    pub sites: Vec<PopSite>,
+}
+
+/// Google's hub cities: the 26 interconnection points observed in the
+/// paper (no African presence).
+const GOOGLE_HUBS: [&str; 26] = [
+    "Ashburn",
+    "Chicago",
+    "Dallas",
+    "Los Angeles",
+    "New York",
+    "Seattle",
+    "Atlanta",
+    "Toronto",
+    "Sao Paulo",
+    "Santiago",
+    "London",
+    "Frankfurt",
+    "Amsterdam",
+    "Paris",
+    "Madrid",
+    "Milan",
+    "Stockholm",
+    "Warsaw",
+    "Tokyo",
+    "Osaka",
+    "Seoul",
+    "Taipei",
+    "Hong Kong",
+    "Singapore",
+    "Mumbai",
+    "Sydney",
+];
+
+impl PopDeployment {
+    /// Select the city list for a provider (deterministic, no RNG).
+    pub fn select_cities(kind: ProviderKind) -> Vec<(usize, &'static City)> {
+        let all = cities();
+        match kind {
+            ProviderKind::Google => all
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| GOOGLE_HUBS.contains(&c.name))
+                .collect(),
+            ProviderKind::Cloudflare => {
+                // Nearly everywhere: keep ~70% of the table, skipping
+                // uniformly so the deployment stays global (Figure 5a),
+                // and always keep Dakar — Cloudflare is the only provider
+                // with a Senegal PoP in the paper.
+                let mut chosen: Vec<(usize, &'static City)> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| !matches!(i % 10, 3 | 6 | 9) || c.name == "Dakar")
+                    .collect();
+                chosen.truncate(kind.pop_count());
+                ensure_city(&mut chosen, all, "Dakar");
+                chosen
+            }
+            ProviderKind::NextDns => {
+                // Broad, but hosted in third-party ASes: every other city
+                // plus all major hubs, truncated to 107. Skips much of
+                // Africa beyond the biggest markets.
+                let mut chosen: Vec<(usize, &'static City)> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, c)| {
+                        i % 2 == 0
+                            || GOOGLE_HUBS.contains(&c.name)
+                            || matches!(c.country, "US" | "DE" | "FR" | "GB" | "NL")
+                    })
+                    .collect();
+                chosen.truncate(kind.pop_count());
+                chosen
+            }
+            ProviderKind::Quad9 => {
+                // Broad coverage with *all* African cities included first
+                // (Figure 5d), then the rest of the world.
+                let mut chosen: Vec<(usize, &'static City)> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| country(c.country).map(|k| k.region) == Some(Region::Africa))
+                    .collect();
+                for (i, c) in all.iter().enumerate() {
+                    if chosen.len() >= kind.pop_count() {
+                        break;
+                    }
+                    if country(c.country).map(|k| k.region) != Some(Region::Africa) {
+                        chosen.push((i, c));
+                    }
+                }
+                chosen
+            }
+        }
+    }
+
+    /// Deploy PoP nodes into a simulator.
+    pub fn deploy(kind: ProviderKind, sim: &mut Simulator) -> PopDeployment {
+        let selected = Self::select_cities(kind);
+        let mut sites = Vec::with_capacity(selected.len());
+        for (city_index, city) in selected {
+            // PoPs ride the provider's private backbone, not local transit.
+            let infra = dohperf_netsim::latency::InfraProfile::backbone();
+            let node = sim.add_node(
+                NodeSpec::new(
+                    format!("{}-pop-{}", kind.name(), city.name),
+                    city.position(),
+                    NodeRole::DohPop,
+                )
+                .with_infra(infra),
+            );
+            sites.push(PopSite {
+                node,
+                position: city.position(),
+                city_index,
+            });
+        }
+        PopDeployment { kind, sites }
+    }
+
+    /// Number of deployed PoPs.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when no PoPs are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Index of the geographically nearest PoP to `pos`.
+    pub fn nearest_index(&self, pos: &GeoPoint) -> usize {
+        self.sites
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                pos.distance_km(&a.position)
+                    .partial_cmp(&pos.distance_km(&b.position))
+                    .expect("distances are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("deployment is non-empty")
+    }
+
+    /// Indices of the `k` nearest PoPs, closest first.
+    pub fn nearest_k_indices(&self, pos: &GeoPoint, k: usize) -> Vec<usize> {
+        let mut order: Vec<(usize, f64)> = self
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, pos.distance_km(&s.position)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        order.into_iter().take(k.max(1)).map(|(i, _)| i).collect()
+    }
+
+    /// Distance in miles from `pos` to PoP `index`.
+    pub fn distance_miles(&self, pos: &GeoPoint, index: usize) -> f64 {
+        pos.distance_miles(&self.sites[index].position)
+    }
+}
+
+fn ensure_city(chosen: &mut Vec<(usize, &'static City)>, all: &'static [City], name: &str) {
+    if chosen.iter().any(|(_, c)| c.name == name) {
+        return;
+    }
+    if let Some((i, c)) = all.iter().enumerate().find(|(_, c)| c.name == name) {
+        // Replace the last entry to keep the count.
+        let slot = chosen.len() - 1;
+        chosen[slot] = (i, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohperf_world::countries::country as country_of;
+
+    #[test]
+    fn deployment_counts_match_paper() {
+        for kind in crate::ALL_PROVIDERS {
+            let selected = PopDeployment::select_cities(kind);
+            assert_eq!(selected.len(), kind.pop_count(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn google_has_no_african_pops() {
+        let selected = PopDeployment::select_cities(ProviderKind::Google);
+        for (_, city) in selected {
+            let region = country_of(city.country).unwrap().region;
+            assert_ne!(region, Region::Africa, "{}", city.name);
+        }
+    }
+
+    #[test]
+    fn cloudflare_covers_senegal() {
+        let selected = PopDeployment::select_cities(ProviderKind::Cloudflare);
+        assert!(
+            selected.iter().any(|(_, c)| c.country == "SN"),
+            "Cloudflare must keep its Dakar PoP"
+        );
+    }
+
+    #[test]
+    fn quad9_has_most_african_pops() {
+        let count_africa = |kind: ProviderKind| {
+            PopDeployment::select_cities(kind)
+                .iter()
+                .filter(|(_, c)| country_of(c.country).unwrap().region == Region::Africa)
+                .count()
+        };
+        let q9 = count_africa(ProviderKind::Quad9);
+        assert!(q9 > count_africa(ProviderKind::Cloudflare));
+        assert!(q9 > count_africa(ProviderKind::NextDns));
+        assert!(q9 > count_africa(ProviderKind::Google));
+        assert!(q9 >= 20, "Quad9 Africa count {q9}");
+    }
+
+    #[test]
+    fn deploy_creates_pop_nodes() {
+        let mut sim = Simulator::new(1);
+        let dep = PopDeployment::deploy(ProviderKind::Google, &mut sim);
+        assert_eq!(dep.len(), 26);
+        assert_eq!(sim.topology().by_role(NodeRole::DohPop).count(), 26);
+    }
+
+    #[test]
+    fn nearest_index_is_truly_nearest() {
+        let mut sim = Simulator::new(2);
+        let dep = PopDeployment::deploy(ProviderKind::Cloudflare, &mut sim);
+        let client = GeoPoint::new(48.8, 2.3); // Paris
+        let nearest = dep.nearest_index(&client);
+        let d_nearest = client.distance_km(&dep.sites[nearest].position);
+        for site in &dep.sites {
+            assert!(client.distance_km(&site.position) >= d_nearest - 1e-9);
+        }
+        assert!(d_nearest < 500.0, "Paris should be near a Cloudflare PoP");
+    }
+
+    #[test]
+    fn nearest_k_is_sorted_by_distance() {
+        let mut sim = Simulator::new(3);
+        let dep = PopDeployment::deploy(ProviderKind::Quad9, &mut sim);
+        let pos = GeoPoint::new(-1.29, 36.82); // Nairobi
+        let idx = dep.nearest_k_indices(&pos, 5);
+        assert_eq!(idx.len(), 5);
+        let dists: Vec<f64> = idx
+            .iter()
+            .map(|&i| pos.distance_km(&dep.sites[i].position))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn deployments_are_deterministic() {
+        let a = PopDeployment::select_cities(ProviderKind::Quad9);
+        let b = PopDeployment::select_cities(ProviderKind::Quad9);
+        assert_eq!(
+            a.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            b.iter().map(|(i, _)| *i).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for PoP deployments and anycast policies.
+
+use dohperf_netsim::engine::Simulator;
+use dohperf_netsim::rng::SimRng;
+use dohperf_netsim::topology::GeoPoint;
+use dohperf_providers::anycast::AnycastPolicy;
+use dohperf_providers::pops::PopDeployment;
+use dohperf_providers::provider::ALL_PROVIDERS;
+use proptest::prelude::*;
+
+fn arb_geo() -> impl Strategy<Value = GeoPoint> {
+    (-60.0f64..70.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Anycast assignments are always valid indices, and the nearest PoP
+    /// is never *farther* than the assigned one.
+    #[test]
+    fn assignment_valid_and_nearest_is_nearest(
+        pos in arb_geo(),
+        seed in any::<u64>(),
+        pi in 0usize..4,
+    ) {
+        let mut sim = Simulator::new(1);
+        let provider = ALL_PROVIDERS[pi];
+        let dep = PopDeployment::deploy(provider, &mut sim);
+        let mut rng = SimRng::new(seed).fork("anycast");
+        let assigned = provider.anycast_policy().assign(&dep, &pos, &mut rng);
+        prop_assert!(assigned < dep.len());
+        let nearest = dep.nearest_index(&pos);
+        prop_assert!(
+            dep.distance_miles(&pos, nearest) <= dep.distance_miles(&pos, assigned) + 1e-6
+        );
+    }
+
+    /// nearest_k distances ascend, and k=1 equals nearest_index.
+    #[test]
+    fn nearest_k_sorted_and_consistent(pos in arb_geo(), k in 1usize..20, pi in 0usize..4) {
+        let mut sim = Simulator::new(2);
+        let dep = PopDeployment::deploy(ALL_PROVIDERS[pi], &mut sim);
+        let idx = dep.nearest_k_indices(&pos, k);
+        prop_assert_eq!(idx.len(), k.min(dep.len()));
+        prop_assert_eq!(idx[0], dep.nearest_index(&pos));
+        let dists: Vec<f64> = idx.iter().map(|&i| dep.distance_miles(&pos, i)).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    /// A perfect policy is deterministic and optimal regardless of the
+    /// client stream.
+    #[test]
+    fn perfect_policy_is_optimal(pos in arb_geo(), seed in any::<u64>()) {
+        let mut sim = Simulator::new(3);
+        let dep = PopDeployment::deploy(ALL_PROVIDERS[0], &mut sim);
+        let mut rng = SimRng::new(seed);
+        prop_assert_eq!(
+            AnycastPolicy::perfect().assign(&dep, &pos, &mut rng),
+            dep.nearest_index(&pos)
+        );
+    }
+
+    /// Sticky assignment: the same client stream gives the same PoP.
+    #[test]
+    fn assignment_sticky(pos in arb_geo(), seed in any::<u64>(), pi in 0usize..4) {
+        let mut sim = Simulator::new(4);
+        let provider = ALL_PROVIDERS[pi];
+        let dep = PopDeployment::deploy(provider, &mut sim);
+        let a = provider
+            .anycast_policy()
+            .assign(&dep, &pos, &mut SimRng::new(seed).fork("c"));
+        let b = provider
+            .anycast_policy()
+            .assign(&dep, &pos, &mut SimRng::new(seed).fork("c"));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,541 @@
+//! The BrightData network choreography.
+//!
+//! Implements the 22-step Figure 2 timeline on the simulator and returns
+//! the observables a real measurement client would see. Every leg of the
+//! path is sampled from the latency model independently (with jitter), so
+//! the paper's stability assumptions hold only approximately — exactly as
+//! in the real network — and the §4 ground-truth validation becomes a
+//! meaningful test of the Equation 7/8 derivation rather than a tautology.
+
+use crate::exitnode::ExitNode;
+use crate::observation::{Do53Observation, DohObservation};
+use crate::superproxy::{nearest_super_proxy, SuperProxy};
+use dohperf_http::luminati::TunTimeline;
+use dohperf_netsim::engine::Simulator;
+use dohperf_netsim::rng::SimRng;
+use dohperf_netsim::time::SimDuration;
+use dohperf_netsim::topology::NodeId;
+use dohperf_netsim::transport::TlsVersion;
+use dohperf_providers::pops::PopDeployment;
+use dohperf_providers::provider::ProviderKind;
+use serde::{Deserialize, Serialize};
+
+/// Probability the exit node's resolver has a DoH provider's bootstrap
+/// A record cached (popular hostnames are nearly always warm).
+const BOOTSTRAP_CACHE_HIT_P: f64 = 0.8;
+
+/// Which encrypted transport carries the DNS query.
+///
+/// The paper measures DoH; DoT (RFC 7858) shares the TCP+TLS handshake
+/// structure but frames queries with a 2-octet length prefix on port 853
+/// instead of HTTP on 443. Two behavioural differences matter here:
+/// lighter per-query framing (no HTTP request/response headers), and
+/// exposure to port-based middlebox interference that port 443 does not
+/// suffer (§2's reason DoH won deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncryptedProtocol {
+    /// DNS over HTTPS (RFC 8484) — the paper's subject.
+    DoH,
+    /// DNS over TLS (RFC 7858) — the Doan et al. comparison point.
+    DoT,
+}
+
+/// Fraction of DoT's per-query framing overhead relative to DoH's (no
+/// HTTP headers to serialise or parse).
+const DOT_OVERHEAD_FACTOR: f64 = 0.65;
+
+/// Probability a middlebox interferes with port 853 in restrictive
+/// networks (per-query extra RTT-scale delay; DoH's 443 is untouched).
+const DOT_MIDDLEBOX_P: f64 = 0.03;
+
+/// Knobs for ablation studies (§7 of the paper and DESIGN.md).
+///
+/// The defaults reproduce the paper's methodology exactly: TLS 1.3 and
+/// guaranteed cache misses (fresh UUID subdomains).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementOptions {
+    /// TLS version for the DoH session. The paper measures 1.3 only and
+    /// notes 1.2 clients "will have slower DoH performance overall";
+    /// selecting 1.2 adds the second handshake round trip — and, exactly
+    /// as in the real methodology, Equation 7 then *overestimates* t_DoH
+    /// by one tunnel RTT because the derivation hard-codes a one-RTT
+    /// handshake.
+    pub tls: TlsVersion,
+    /// Probability the DoH provider answers from cache (no recursion to
+    /// the authoritative). 0.0 = the paper's forced cache misses.
+    pub doh_cache_hit_p: f64,
+    /// Probability the ISP resolver answers from cache.
+    pub do53_cache_hit_p: f64,
+    /// Encrypted transport for the measurement.
+    pub protocol: EncryptedProtocol,
+    /// Extra per-query packet-loss probability injected on the access
+    /// link (ablation). Loss hurts the two transports asymmetrically:
+    /// a lost Do53 datagram costs a full stub retransmission timeout
+    /// (~1s), while a lost TCP segment inside a DoH exchange is repaired
+    /// by fast retransmit in roughly one extra round trip.
+    pub extra_loss_p: f64,
+}
+
+impl Default for MeasurementOptions {
+    fn default() -> Self {
+        MeasurementOptions {
+            tls: TlsVersion::V1_3,
+            doh_cache_hit_p: 0.0,
+            do53_cache_hit_p: 0.0,
+            extra_loss_p: 0.0,
+            protocol: EncryptedProtocol::DoH,
+        }
+    }
+}
+
+/// Small per-pass forwarding overhead on BrightData boxes after tunnel
+/// establishment. The paper's Assumption 2 says this is negligible; we
+/// make it small-but-nonzero so the validation measures a real error.
+fn forwarding_overhead(rng: &mut SimRng) -> SimDuration {
+    SimDuration::from_millis_f64(rng.lognormal_median(0.4, 0.4))
+}
+
+/// The deployed BrightData network.
+#[derive(Debug)]
+pub struct BrightDataNetwork {
+    /// Super Proxy fleet (11 countries).
+    pub super_proxies: Vec<SuperProxy>,
+}
+
+impl BrightDataNetwork {
+    /// Deploy the Super Proxy fleet.
+    pub fn deploy(sim: &mut Simulator) -> Self {
+        BrightDataNetwork {
+            super_proxies: SuperProxy::deploy_fleet(sim),
+        }
+    }
+
+    /// The Super Proxy that will serve a given measurement client.
+    pub fn super_proxy_for(&self, sim: &Simulator, client: NodeId) -> SuperProxy {
+        let pos = sim.topology().node(client).spec.position;
+        *nearest_super_proxy(&self.super_proxies, &pos)
+    }
+
+    /// Round trip of the CONNECT tunnel path: client ↔ Super Proxy ↔ exit.
+    fn tunnel_rtt(sim: &mut Simulator, client: NodeId, sp: NodeId, exit: NodeId) -> SimDuration {
+        sim.rtt(client, sp) + sim.rtt(sp, exit)
+    }
+
+    /// Run one DoH measurement through the tunnel (Figure 2, steps 1–22).
+    ///
+    /// * `client` — the measurement client (authors' machine in the US).
+    /// * `exit` — the selected exit node.
+    /// * `deployment`/`pop_index` — the provider PoP serving this client.
+    /// * `auth` — the experiment's authoritative name server.
+    #[allow(clippy::too_many_arguments)]
+    pub fn doh_measurement(
+        &self,
+        sim: &mut Simulator,
+        client: NodeId,
+        exit: &ExitNode,
+        provider: ProviderKind,
+        deployment: &PopDeployment,
+        pop_index: usize,
+        auth: NodeId,
+        rng: &mut SimRng,
+    ) -> DohObservation {
+        self.doh_measurement_with(
+            sim,
+            client,
+            exit,
+            provider,
+            deployment,
+            pop_index,
+            auth,
+            rng,
+            &MeasurementOptions::default(),
+        )
+    }
+
+    /// [`Self::doh_measurement`] with explicit [`MeasurementOptions`]
+    /// (TLS version and cache behaviour) for ablation studies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn doh_measurement_with(
+        &self,
+        sim: &mut Simulator,
+        client: NodeId,
+        exit: &ExitNode,
+        provider: ProviderKind,
+        deployment: &PopDeployment,
+        pop_index: usize,
+        auth: NodeId,
+        rng: &mut SimRng,
+        opts: &MeasurementOptions,
+    ) -> DohObservation {
+        let sp = self.super_proxy_for(sim, client);
+        let pop = deployment.sites[pop_index].node;
+
+        // --- Steps 1–8: establish the TCP tunnel. ---
+        let t_a = sim.now();
+        let proxy_timeline = SuperProxy::processing_timeline(rng);
+        // t3+t4: bootstrap-resolve the provider hostname at the exit node.
+        let dns_bootstrap =
+            exit.do53_bootstrap(sim, pop, provider.hostname(), BOOTSTRAP_CACHE_HIT_P, rng);
+        // t5+t6: exit connects to the DoH PoP.
+        let tcp_connect = exit.tcp_connect(sim, pop);
+        let tunnel_rtt_1 = Self::tunnel_rtt(sim, client, sp.node, exit.node);
+        let phase1 = tunnel_rtt_1 + proxy_timeline.total() + dns_bootstrap + tcp_connect;
+        sim.advance(phase1);
+        let t_b = sim.now();
+
+        // --- Steps 9–14: the TLS handshake (one round trip for 1.3; a
+        // TLS 1.2 ablation pays a second round trip). ---
+        let t_c = t_b; // ClientHello is sent immediately.
+        let tunnel_rtt_2 = Self::tunnel_rtt(sim, client, sp.node, exit.node);
+        let framing = |d: SimDuration| match opts.protocol {
+            EncryptedProtocol::DoH => d,
+            EncryptedProtocol::DoT => d.mul_f64(DOT_OVERHEAD_FACTOR),
+        };
+        let mut tls_leg = sim.rtt(exit.node, pop)
+            + framing(exit.https_overhead(rng))
+            + exit.handshake_crypto_overhead(rng); // t11+t12
+        sim.trace_packet(exit.node, pop, "tls", "ClientHello");
+        let overhead_2 = forwarding_overhead(rng);
+        sim.advance(tunnel_rtt_2 + tls_leg + overhead_2);
+        if opts.tls == TlsVersion::V1_2 {
+            // Second handshake flight: another tunnel RTT and exit<->PoP leg.
+            let tunnel_rtt_extra = Self::tunnel_rtt(sim, client, sp.node, exit.node);
+            let tls_leg_2 = sim.rtt(exit.node, pop);
+            sim.trace_packet(exit.node, pop, "tls", "ClientKeyExchange");
+            sim.advance(tunnel_rtt_extra + tls_leg_2);
+            tls_leg += tls_leg_2;
+        }
+
+        // --- Steps 15–22: the DoH query itself. ---
+        let tunnel_rtt_3 = Self::tunnel_rtt(sim, client, sp.node, exit.node);
+        let mut query_leg = sim.rtt(exit.node, pop) + framing(exit.https_overhead(rng)); // t17 + t20
+        if rng.chance(opts.extra_loss_p) {
+            // TCP fast retransmit: one extra round trip, not a timer.
+            query_leg += sim.rtt(exit.node, pop);
+        }
+        if opts.protocol == EncryptedProtocol::DoT && rng.chance(DOT_MIDDLEBOX_P) {
+            // Port-853 middlebox interference: an extra round trip of
+            // stalling that port 443 does not see (§2).
+            query_leg += sim.rtt(exit.node, pop);
+        }
+        let doh_cache_hit = rng.chance(opts.doh_cache_hit_p);
+        let recursion = if doh_cache_hit {
+            SimDuration::ZERO
+        } else {
+            sim.rtt(pop, auth) // t18 + t19
+        };
+        let processing = if doh_cache_hit {
+            SimDuration::from_millis_f64(rng.lognormal_median(1.5, 0.3))
+        } else {
+            provider.processing_time(rng) + provider.forwarding_penalty(exit.id, rng)
+        };
+        sim.trace_packet(exit.node, pop, "http", "GET /dns-query");
+        if !doh_cache_hit {
+            sim.trace_packet(pop, auth, "dns/udp", "recursion");
+        }
+        let overhead_3 = forwarding_overhead(rng);
+        sim.advance(tunnel_rtt_3 + query_leg + recursion + processing + overhead_3);
+        let t_d = sim.now();
+
+        // Ground truth per Equation 1 (never visible to the methodology).
+        let truth_t_doh =
+            dns_bootstrap + tcp_connect + tls_leg + query_leg + recursion + processing;
+        // Ground truth for a reused-connection query: a fresh exchange on
+        // the established TLS session.
+        let truth_query_leg = sim.rtt(exit.node, pop) + framing(exit.https_overhead(rng));
+        let truth_cache_hit = rng.chance(opts.doh_cache_hit_p);
+        let truth_recursion = if truth_cache_hit {
+            SimDuration::ZERO
+        } else {
+            sim.rtt(pop, auth)
+        };
+        let truth_processing = if truth_cache_hit {
+            SimDuration::from_millis_f64(rng.lognormal_median(1.5, 0.3))
+        } else {
+            provider.processing_time(rng) + provider.forwarding_penalty(exit.id, rng)
+        };
+        let truth_t_dohr = truth_query_leg + truth_recursion + truth_processing;
+
+        DohObservation {
+            t_a,
+            t_b,
+            t_c,
+            t_d,
+            tun: TunTimeline {
+                dns: dns_bootstrap,
+                connect: tcp_connect,
+            },
+            proxy: proxy_timeline,
+            truth_t_doh,
+            truth_t_dohr,
+        }
+    }
+
+    /// Run one Do53 measurement: the exit node fetches
+    /// `http://<uuid>.a.com/` through the tunnel, forcing a cache-miss
+    /// Do53 resolution with its default resolver (§3.1). In Super Proxy
+    /// countries the resolution happens *at the Super Proxy* (§3.5) and
+    /// the header value does not reflect the exit node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn do53_measurement(
+        &self,
+        sim: &mut Simulator,
+        client: NodeId,
+        exit: &ExitNode,
+        web_server: NodeId,
+        auth: NodeId,
+        qname: &str,
+        rng: &mut SimRng,
+    ) -> Do53Observation {
+        self.do53_measurement_with(
+            sim,
+            client,
+            exit,
+            web_server,
+            auth,
+            qname,
+            rng,
+            &MeasurementOptions::default(),
+        )
+    }
+
+    /// [`Self::do53_measurement`] with explicit [`MeasurementOptions`]
+    /// (cache behaviour) for ablation studies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn do53_measurement_with(
+        &self,
+        sim: &mut Simulator,
+        client: NodeId,
+        exit: &ExitNode,
+        web_server: NodeId,
+        auth: NodeId,
+        qname: &str,
+        rng: &mut SimRng,
+        opts: &MeasurementOptions,
+    ) -> Do53Observation {
+        let sp = self.super_proxy_for(sim, client);
+        let proxy_timeline = SuperProxy::processing_timeline(rng);
+        let hijacked = SuperProxy::resolves_dns_for(exit.country_iso);
+
+        // The exit node's *true* Do53 time exists either way (we need it
+        // as ground truth); the header reports it only when resolution
+        // actually happens at the exit node.
+        let mut truth_t_do53 = if rng.chance(opts.do53_cache_hit_p) {
+            // Cache hit at the ISP resolver: stub round trip plus a
+            // cache-lookup-scale processing time.
+            sim.rtt(exit.node, exit.resolver)
+                + SimDuration::from_millis_f64(rng.lognormal_median(1.5, 0.3))
+        } else {
+            exit.do53_cache_miss(sim, auth, qname, rng)
+        };
+        if rng.chance(opts.extra_loss_p) {
+            // A lost UDP datagram burns the whole retransmission timer.
+            truth_t_do53 += dohperf_netsim::transport::UDP_RETRY_TIMEOUT;
+        }
+
+        let header_dns = if hijacked {
+            // Super Proxy resolves with its data-centre resolver: a stub
+            // hop inside the PoP plus recursion from the SP to the
+            // authoritative server.
+            let stub = SimDuration::from_millis_f64(rng.lognormal_median(1.0, 0.3));
+            let recursion = sim.rtt(sp.node, auth);
+            let processing = SimDuration::from_millis_f64(rng.lognormal_median(2.0, 0.3));
+            stub + recursion + processing
+        } else {
+            truth_t_do53
+        };
+        let tcp_connect = exit.tcp_connect(sim, web_server);
+        let tunnel_rtt = Self::tunnel_rtt(sim, client, sp.node, exit.node);
+        // The fetch itself (headers only care about dns/connect).
+        let fetch_leg = sim.rtt(exit.node, web_server);
+        sim.advance(tunnel_rtt + proxy_timeline.total() + header_dns + tcp_connect + fetch_leg);
+
+        Do53Observation {
+            tun: TunTimeline {
+                dns: header_dns,
+                connect: tcp_connect,
+            },
+            proxy: proxy_timeline,
+            resolved_at_super_proxy: hijacked,
+            truth_t_do53,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dohperf_netsim::topology::{GeoPoint, NodeRole, NodeSpec};
+    use dohperf_world::countries::country;
+    use dohperf_world::geoloc::GeolocationService;
+
+    struct Fixture {
+        sim: Simulator,
+        network: BrightDataNetwork,
+        client: NodeId,
+        auth: NodeId,
+        web: NodeId,
+        deployment: PopDeployment,
+    }
+
+    fn fixture() -> Fixture {
+        let mut sim = Simulator::new(77);
+        let network = BrightDataNetwork::deploy(&mut sim);
+        let us = country("US").unwrap();
+        let client = sim.add_node(
+            NodeSpec::new(
+                "measure-client",
+                GeoPoint::new(40.1, -88.2),
+                NodeRole::Server,
+            )
+            .with_infra(us.datacenter_profile()),
+        );
+        let auth = sim.add_node(
+            NodeSpec::new(
+                "auth-ns",
+                GeoPoint::new(39.0, -77.5),
+                NodeRole::AuthoritativeNs,
+            )
+            .with_infra(us.datacenter_profile()),
+        );
+        let web = sim.add_node(
+            NodeSpec::new("web", GeoPoint::new(39.0, -77.5), NodeRole::Server)
+                .with_infra(us.datacenter_profile()),
+        );
+        let deployment = PopDeployment::deploy(ProviderKind::Cloudflare, &mut sim);
+        Fixture {
+            sim,
+            network,
+            client,
+            auth,
+            web,
+            deployment,
+        }
+    }
+
+    fn exit_in(fx: &mut Fixture, iso: &str, id: u64) -> ExitNode {
+        let c = country(iso).unwrap();
+        let mut geoloc = GeolocationService::new(SimRng::new(id), 0.0, vec!["BR", "US"]);
+        let mut rng = SimRng::new(id);
+        ExitNode::create(&mut fx.sim, &mut geoloc, c, 0, c.centroid(), id, &mut rng)
+    }
+
+    #[test]
+    fn doh_observation_is_ordered_and_plausible() {
+        let mut fx = fixture();
+        let exit = exit_in(&mut fx, "BR", 1);
+        let pos = exit.position;
+        let pop_index = fx.deployment.nearest_index(&pos);
+        let mut rng = SimRng::new(5);
+        let obs = fx.network.doh_measurement(
+            &mut fx.sim,
+            fx.client,
+            &exit,
+            ProviderKind::Cloudflare,
+            &fx.deployment,
+            pop_index,
+            fx.auth,
+            &mut rng,
+        );
+        assert!(obs.t_a < obs.t_b);
+        assert!(obs.t_b <= obs.t_c);
+        assert!(obs.t_c < obs.t_d);
+        // Brazil exit through a nearby PoP: t_DoH should be a few hundred
+        // ms at most; the truth components must be positive.
+        let truth = obs.truth_t_doh.as_millis_f64();
+        assert!(truth > 30.0 && truth < 2_000.0, "truth {truth}");
+        assert!(obs.truth_t_dohr < obs.truth_t_doh);
+        assert!(obs.tun.dns > SimDuration::ZERO);
+        assert!(obs.tun.connect > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn do53_header_matches_truth_outside_sp_countries() {
+        let mut fx = fixture();
+        let exit = exit_in(&mut fx, "BR", 2);
+        let mut rng = SimRng::new(6);
+        let obs = fx.network.do53_measurement(
+            &mut fx.sim,
+            fx.client,
+            &exit,
+            fx.web,
+            fx.auth,
+            "uuid9.a.com",
+            &mut rng,
+        );
+        assert!(!obs.resolved_at_super_proxy);
+        assert_eq!(obs.tun.dns, obs.truth_t_do53);
+    }
+
+    #[test]
+    fn do53_header_is_wrong_in_sp_countries() {
+        let mut fx = fixture();
+        let exit = exit_in(&mut fx, "IN", 3);
+        let mut rng = SimRng::new(7);
+        let obs = fx.network.do53_measurement(
+            &mut fx.sim,
+            fx.client,
+            &exit,
+            fx.web,
+            fx.auth,
+            "uuid10.a.com",
+            &mut rng,
+        );
+        assert!(obs.resolved_at_super_proxy);
+        // The header reports the Super Proxy's (US-side) resolution — far
+        // faster than a genuine India -> US recursion.
+        assert!(
+            obs.tun.dns.as_millis_f64() < obs.truth_t_do53.as_millis_f64(),
+            "header {} truth {}",
+            obs.tun.dns,
+            obs.truth_t_do53
+        );
+    }
+
+    #[test]
+    fn reused_queries_are_faster_than_first() {
+        let mut fx = fixture();
+        let exit = exit_in(&mut fx, "ID", 4);
+        let pop_index = fx.deployment.nearest_index(&exit.position);
+        let mut rng = SimRng::new(8);
+        let mut faster = 0;
+        for _ in 0..20 {
+            let obs = fx.network.doh_measurement(
+                &mut fx.sim,
+                fx.client,
+                &exit,
+                ProviderKind::Cloudflare,
+                &fx.deployment,
+                pop_index,
+                fx.auth,
+                &mut rng,
+            );
+            if obs.truth_t_dohr < obs.truth_t_doh {
+                faster += 1;
+            }
+        }
+        // Handshake-free queries win overwhelmingly; allow rare unlucky
+        // per-query draws to cross.
+        assert!(faster >= 17, "DoHR faster only {faster}/20 times");
+    }
+
+    #[test]
+    fn simulated_clock_advances_through_measurements() {
+        let mut fx = fixture();
+        let exit = exit_in(&mut fx, "BR", 5);
+        let t0 = fx.sim.now();
+        let pop_index = fx.deployment.nearest_index(&exit.position);
+        let mut rng = SimRng::new(9);
+        fx.network.doh_measurement(
+            &mut fx.sim,
+            fx.client,
+            &exit,
+            ProviderKind::Cloudflare,
+            &fx.deployment,
+            pop_index,
+            fx.auth,
+            &mut rng,
+        );
+        assert!(fx.sim.now() > t0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Special functions: error function and normal CDF.
+
+/// Error function, Abramowitz & Stegun 7.1.26 rational approximation.
+/// Maximum absolute error ~1.5e-7, ample for Wald p-values.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a z statistic.
+pub fn two_sided_p(z: f64) -> f64 {
+    (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for i in 0..100 {
+            let x = i as f64 * 0.1;
+            assert!((erf(x) + erf(-x)).abs() < 1e-7);
+            assert!(erf(x) <= 1.0 && erf(x) >= -1.0);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn two_sided_p_values() {
+        assert!((two_sided_p(0.0) - 1.0).abs() < 1e-7);
+        assert!((two_sided_p(1.96) - 0.05).abs() < 2e-3);
+        assert!(two_sided_p(5.0) < 1e-5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the world model.
+
+use dohperf_netsim::rng::SimRng;
+use dohperf_world::countries::{all_countries, country};
+use dohperf_world::geoloc::GeolocationService;
+use dohperf_world::population::{
+    PopulationModel, MAX_CLIENTS_PER_COUNTRY, MIN_CLIENTS_PER_COUNTRY,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sampled population respects the paper's per-country bounds
+    /// and covers at least 224 countries, at any seed.
+    #[test]
+    fn population_bounds_hold_for_all_seeds(seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let m = PopulationModel::sample(&mut rng);
+        prop_assert!(m.countries().len() >= 224);
+        for &n in m.counts() {
+            prop_assert!((MIN_CLIENTS_PER_COUNTRY..=MAX_CLIENTS_PER_COUNTRY).contains(&n));
+        }
+        let total = m.total_clients();
+        prop_assert!((15_000..40_000).contains(&total), "total {total}");
+    }
+
+    /// Client sites land within a plausible distance of their country.
+    #[test]
+    fn client_sites_near_their_country(seed in any::<u64>(), idx in 0usize..224) {
+        let mut rng = SimRng::new(seed);
+        let m = PopulationModel::sample(&mut rng);
+        let idx = idx % m.countries().len();
+        let c = m.countries()[idx];
+        let sites = m.client_sites(idx, &mut rng);
+        prop_assert_eq!(sites.len(), m.count(idx));
+        for s in sites {
+            // Within ~2500km of the centroid (cities can sit far from the
+            // centroid in large countries like the US or Russia).
+            let d = c.centroid().distance_km(&s.position);
+            prop_assert!(d < 6_000.0, "{}: {d}km", c.iso);
+        }
+    }
+
+    /// Geolocation mismatch frequency tracks the configured error rate.
+    #[test]
+    fn geoloc_error_rate_tracks_config(rate in 0.0f64..0.3, seed in any::<u64>()) {
+        let isos: Vec<&'static str> = all_countries().iter().map(|c| c.iso).take(50).collect();
+        let mut g = GeolocationService::new(SimRng::new(seed), rate, isos.clone());
+        for i in 0..2_000 {
+            g.allocate(isos[i % isos.len()]);
+        }
+        let observed = g.observed_error_rate();
+        prop_assert!((observed - rate).abs() < 0.05, "observed {observed} configured {rate}");
+    }
+
+    /// Income groups partition GDP correctly for every table entry.
+    #[test]
+    fn income_thresholds_consistent(idx in 0usize..249) {
+        let cs = all_countries();
+        let c = &cs[idx % cs.len()];
+        use dohperf_world::countries::IncomeGroup::*;
+        let g = c.income_group();
+        match g {
+            Low => prop_assert!(c.gdp_per_capita < 1_046.0),
+            LowerMiddle => prop_assert!((1_046.0..4_096.0).contains(&c.gdp_per_capita)),
+            UpperMiddle => prop_assert!((4_096.0..12_696.0).contains(&c.gdp_per_capita)),
+            High => prop_assert!(c.gdp_per_capita >= 12_696.0),
+        }
+    }
+}
+
+#[test]
+fn every_super_proxy_country_exists() {
+    for iso in dohperf_world::countries::SUPER_PROXY_COUNTRIES {
+        assert!(country(iso).is_some());
+    }
+}

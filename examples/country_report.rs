@@ -1,0 +1,70 @@
+//! Country report: how would a DoH-by-default rollout affect a specific
+//! country? Prints per-provider medians, the Do53 baseline, and the
+//! infrastructure covariates the paper's §6 models use.
+//!
+//! ```sh
+//! cargo run --release --example country_report -- BR ID TD
+//! ```
+
+use dohperf::analysis::deltas::country_deltas;
+use dohperf::analysis::geography::{country_median_for, country_medians};
+use dohperf::core::campaign::{Campaign, CampaignConfig};
+use dohperf::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<String> = if args.is_empty() {
+        // The paper's narrative countries: a DoH winner (Brazil), the
+        // Indonesia speedup, and the slowest market measured (Chad).
+        vec!["BR".into(), "ID".into(), "TD".into()]
+    } else {
+        args
+    };
+
+    let dataset = Campaign::new(CampaignConfig {
+        seed: 2021,
+        scale: 0.2,
+        ..CampaignConfig::default()
+    })
+    .run();
+    let medians = country_medians(&dataset);
+    let deltas = country_deltas(&dataset, 10);
+
+    for iso in &targets {
+        let Some(c) = country(iso) else {
+            eprintln!("unknown country code {iso:?}");
+            continue;
+        };
+        println!("=== {} ({}) ===", c.name, c.iso);
+        println!(
+            "covariates: GDP pc ${:.0}, broadband {:.0} Mbps ({}), {} ASes, income {:?}",
+            c.gdp_per_capita,
+            c.bandwidth_mbps,
+            if c.has_fast_internet() {
+                "fast"
+            } else {
+                "slow"
+            },
+            c.as_count,
+            c.income_group(),
+        );
+        for provider in ALL_PROVIDERS {
+            let med = country_median_for(&medians, iso, provider);
+            let delta = deltas
+                .iter()
+                .find(|d| d.country.eq_ignore_ascii_case(iso) && d.provider == provider)
+                .map(|d| d.delta_ms);
+            match (med, delta) {
+                (Some(m), Some(d)) => println!(
+                    "  {:<11} median DoH1 {:>6.0} ms   Do53->DoH10 delta {:>+7.1} ms {}",
+                    provider.name(),
+                    m,
+                    d,
+                    if d < 0.0 { "(DoH wins)" } else { "" }
+                ),
+                _ => println!("  {:<11} (no data at this scale)", provider.name()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,166 @@
+//! Analysis integration: run one campaign and check the cross-cutting
+//! paper findings that span several analysis modules at once.
+
+use dohperf::analysis::covariates;
+use dohperf::analysis::deltas::{country_deltas, resolver_delta_summary};
+use dohperf::analysis::headline::headline_stats;
+use dohperf::analysis::linear_model::fit_linear_models;
+use dohperf::analysis::logistic_model::fit_logistic_models;
+use dohperf::analysis::pop_improvement::pop_improvement;
+use dohperf::core::campaign::{Campaign, CampaignConfig};
+use dohperf::prelude::*;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static dohperf::core::records::Dataset {
+    static DS: OnceLock<dohperf::core::records::Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        Campaign::new(CampaignConfig {
+            seed: 1234,
+            scale: 0.15,
+            runs_per_client: 1,
+            atlas_probes_per_country: 4,
+            atlas_samples_per_country: 30,
+            ..CampaignConfig::default()
+        })
+        .run()
+    })
+}
+
+#[test]
+fn the_central_finding_holds() {
+    // A switch to DoH costs most clients moderately, and infrastructure-
+    // poor countries pay disproportionately.
+    let ds = dataset();
+    let h = headline_stats(ds);
+    assert!(h.median_doh1_ms > h.median_do53_ms);
+
+    let cov = covariates::build(ds);
+    let logit = fit_logistic_models(&cov);
+    // Infrastructure variables all point the paper's way, significantly.
+    for needle in ["Bandwidth", "Num ASes"] {
+        let row = logit
+            .rows
+            .iter()
+            .find(|r| r.variable.contains(needle))
+            .unwrap();
+        assert!(row.odds_ratios[0] > 1.0, "{needle}: {:?}", row.odds_ratios);
+        assert!(row.p_values[0] < 0.001, "{needle}");
+    }
+}
+
+#[test]
+fn connection_reuse_dampens_but_does_not_erase_the_gap() {
+    let ds = dataset();
+    let d1 = resolver_delta_summary(&country_deltas(ds, 1));
+    let d100 = resolver_delta_summary(&country_deltas(ds, 100));
+    for (a, b) in d1.iter().zip(&d100) {
+        assert!(b.median_delta_ms < a.median_delta_ms, "{}", a.provider);
+        // ...but the steady-state delta stays positive in the median
+        // country for every provider (the paper's "still significant").
+        assert!(b.median_delta_ms > 0.0, "{}", b.provider);
+    }
+}
+
+#[test]
+fn cloudflare_wins_both_speed_and_deployment() {
+    let ds = dataset();
+    let panels = dohperf::analysis::cdfs::provider_cdfs(ds);
+    let cf = panels
+        .iter()
+        .find(|p| p.provider == ProviderKind::Cloudflare)
+        .unwrap();
+    for p in &panels {
+        assert!(cf.doh1.median() <= p.doh1.median() + 1e-9, "{}", p.provider);
+    }
+    assert!(ProviderKind::Cloudflare.pop_count() > ProviderKind::Google.pop_count());
+}
+
+#[test]
+fn quad9_assignment_is_the_outlier_but_not_its_speed() {
+    let ds = dataset();
+    let imps = pop_improvement(ds);
+    let q9 = imps
+        .iter()
+        .find(|s| s.provider == ProviderKind::Quad9)
+        .unwrap();
+    for other in &imps {
+        if other.provider != ProviderKind::Quad9 {
+            assert!(q9.median_improvement_miles > other.median_improvement_miles);
+        }
+    }
+    // Despite terrible assignment, Quad9's DoH1 stays mid-pack (its PoPs
+    // are dense enough that misroutes land on another regional PoP).
+    let panels = dohperf::analysis::cdfs::provider_cdfs(ds);
+    let q9_med = panels
+        .iter()
+        .find(|p| p.provider == ProviderKind::Quad9)
+        .unwrap()
+        .doh1
+        .median();
+    let nd_med = panels
+        .iter()
+        .find(|p| p.provider == ProviderKind::NextDns)
+        .unwrap()
+        .doh1
+        .median();
+    assert!(q9_med < nd_med * 1.1, "q9 {q9_med} nd {nd_med}");
+}
+
+#[test]
+fn speedup_clients_skew_to_good_infrastructure() {
+    // §6.2: of clients experiencing a DoH speedup, 84% have fast
+    // national broadband and 93% many ASes. Shape check: the share of
+    // fast-broadband clients among speedup clients exceeds their share
+    // among slowdown clients.
+    let ds = dataset();
+    let cov = covariates::build(ds);
+    let (mut fast_speedup, mut speedups) = (0usize, 0usize);
+    let (mut fast_slowdown, mut slowdowns) = (0usize, 0usize);
+    for row in &cov.rows {
+        if row.multiplier(10) < 1.0 {
+            speedups += 1;
+            if row.fast_internet {
+                fast_speedup += 1;
+            }
+        } else {
+            slowdowns += 1;
+            if row.fast_internet {
+                fast_slowdown += 1;
+            }
+        }
+    }
+    assert!(speedups > 20, "need speedup population, got {speedups}");
+    let speedup_share = fast_speedup as f64 / speedups as f64;
+    let slowdown_share = fast_slowdown as f64 / slowdowns as f64;
+    assert!(
+        speedup_share > slowdown_share,
+        "speedup fast-share {speedup_share:.2} vs slowdown {slowdown_share:.2}"
+    );
+}
+
+#[test]
+fn tables_4_and_5_are_mutually_consistent() {
+    // The logistic (categorical) and linear (continuous) models must
+    // agree on direction: variables with OR > 1 for slowdowns must have
+    // delta-increasing continuous counterparts.
+    let ds = dataset();
+    let cov = covariates::build(ds);
+    let logit = fit_logistic_models(&cov);
+    let linear = fit_linear_models(&cov);
+    let bandwidth_or = logit
+        .rows
+        .iter()
+        .find(|r| r.variable.contains("Bandwidth"))
+        .unwrap()
+        .odds_ratios[0];
+    let bandwidth_coef = linear.table5[0]
+        .rows
+        .iter()
+        .find(|r| r.metric == "Bandwidth")
+        .unwrap()
+        .coef;
+    // Slow (dummy) raises slowdown odds <=> more Mbps (continuous) lowers
+    // the delta.
+    assert!(bandwidth_or > 1.0);
+    assert!(bandwidth_coef < 0.0);
+}

@@ -1,0 +1,96 @@
+//! End-to-end integration: a reduced-scale campaign through the full
+//! stack — netsim, world, providers, proxy, core — and the dataset
+//! invariants the paper's dataset exhibits.
+
+use dohperf::core::campaign::{Campaign, CampaignConfig};
+use dohperf::core::records::Do53Source;
+use dohperf::prelude::*;
+use dohperf::world::countries::SUPER_PROXY_COUNTRIES;
+
+fn dataset() -> dohperf::core::records::Dataset {
+    Campaign::new(CampaignConfig::quick(99)).run()
+}
+
+#[test]
+fn campaign_spans_at_least_224_countries() {
+    let ds = dataset();
+    assert!(ds.countries.len() >= 224, "{}", ds.countries.len());
+    assert!(ds.country_count() >= 220);
+}
+
+#[test]
+fn china_and_north_korea_are_excluded() {
+    let ds = dataset();
+    assert!(!ds.countries.contains(&"CN"));
+    assert!(!ds.countries.contains(&"KP"));
+}
+
+#[test]
+fn every_client_measured_against_all_four_providers() {
+    let ds = dataset();
+    for r in &ds.records {
+        for provider in ALL_PROVIDERS {
+            let s = r.sample(provider).expect("provider measured");
+            assert!(s.pop_distance_miles >= 0.0);
+            assert!(s.nearest_pop_distance_miles <= s.pop_distance_miles + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn super_proxy_countries_have_atlas_do53_everyone_else_header() {
+    let ds = dataset();
+    for r in &ds.records {
+        let is_sp = SUPER_PROXY_COUNTRIES.contains(&r.country_iso);
+        match r.do53_source {
+            Do53Source::RipeAtlasRemedy => assert!(is_sp, "{}", r.country_iso),
+            Do53Source::BrightDataHeader => {
+                assert!(!is_sp, "{}", r.country_iso);
+                assert!(r.do53_ms.unwrap() > 0.0);
+            }
+        }
+    }
+    assert_eq!(ds.atlas_do53_ms.len(), SUPER_PROXY_COUNTRIES.len());
+}
+
+#[test]
+fn mismatch_discard_near_paper_rate() {
+    // Paper: 0.88% of data points discarded.
+    let ds = dataset();
+    let frac = ds.discard_fraction();
+    assert!(frac < 0.03, "{frac}");
+}
+
+#[test]
+fn campaign_fully_deterministic_end_to_end() {
+    let a = dataset();
+    let b = dataset();
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.client_id, rb.client_id);
+        assert_eq!(ra.do53_ms, rb.do53_ms);
+        for (sa, sb) in ra.doh.iter().zip(&rb.doh) {
+            assert_eq!(sa.t_doh_ms, sb.t_doh_ms);
+            assert_eq!(sa.pop_index, sb.pop_index);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_measurements() {
+    let a = Campaign::new(CampaignConfig::quick(1)).run();
+    let b = Campaign::new(CampaignConfig::quick(2)).run();
+    let xa: Vec<f64> = a
+        .records
+        .iter()
+        .take(20)
+        .map(|r| r.doh[0].t_doh_ms)
+        .collect();
+    let xb: Vec<f64> = b
+        .records
+        .iter()
+        .take(20)
+        .map(|r| r.doh[0].t_doh_ms)
+        .collect();
+    assert_ne!(xa, xb);
+}
