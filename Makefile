@@ -1,6 +1,6 @@
 # Convenience targets for the dohperf reproduction.
 
-.PHONY: build test bench doc repro repro-full examples clean
+.PHONY: build test bench doc repro repro-full examples verify clean
 
 build:
 	cargo build --workspace --release
@@ -21,6 +21,13 @@ repro:
 # The paper's full 22k-client scale (~5 min).
 repro-full:
 	cargo run --release -p dohperf-bench --bin repro -- --scale 1.0 all
+
+# Full gate: release build, the whole test suite, and the determinism
+# check that 1-worker and multi-worker campaigns serialize identically.
+verify:
+	cargo build --workspace --release
+	cargo test --workspace -q
+	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
 
 examples:
 	cargo run --release --example quickstart

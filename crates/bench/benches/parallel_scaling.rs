@@ -1,0 +1,34 @@
+//! Parallel campaign scaling: the same seed and scale across worker
+//! counts. The determinism contract makes thread count a pure throughput
+//! knob, so the interesting number here is the wall-clock ratio between
+//! one worker and many — country shards are coarse and independent, so
+//! speedup should stay near-linear in the physical core count until the
+//! shard count per worker gets small. (On a single-core host all thread
+//! counts time-share one CPU and the ratios collapse to ~1×.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = CampaignConfig {
+                        threads,
+                        ..CampaignConfig::quick(5)
+                    };
+                    Campaign::new(cfg).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -2,9 +2,12 @@
 //! DNS-over-HTTPS Performance Around the World* (IMC 2021).
 //!
 //! ```text
-//! repro [--seed N] [--scale F] <experiment>...
+//! repro [--seed N] [--scale F] [--threads N] <experiment>...
 //! repro all                    # everything, in paper order
 //! ```
+//!
+//! `--threads 0` (the default) uses all available cores. Any thread count
+//! produces a byte-identical dataset — see DESIGN.md §2.
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6
 //!              fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -60,6 +63,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--scale needs a float in (0,1]"));
             }
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs an integer (0 = all cores)"));
+            }
             "--help" | "-h" => usage(""),
             "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             other if EXPERIMENTS.contains(&other) => requested.push(other.to_string()),
@@ -70,9 +79,14 @@ fn main() {
         usage("no experiment given");
     }
     eprintln!(
-        "# dohperf repro: seed {} scale {:.2} — running {} experiment(s)",
+        "# dohperf repro: seed {} scale {:.2} threads {} — running {} experiment(s)",
         config.seed,
         config.scale,
+        if config.threads == 0 {
+            "auto".to_string()
+        } else {
+            config.threads.to_string()
+        },
         requested.len()
     );
     let mut ctx = ReproContext::new(config);
@@ -123,7 +137,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--scale F] <experiment>...\n       repro all\nexperiments: {}",
+        "usage: repro [--seed N] [--scale F] [--threads N] <experiment>...\n       repro all\nexperiments: {}",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

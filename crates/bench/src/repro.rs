@@ -26,6 +26,9 @@ pub struct ReproConfig {
     pub seed: u64,
     /// Campaign scale in (0, 1]; 1.0 is the paper's 22k clients.
     pub scale: f64,
+    /// Campaign worker threads (0 = available parallelism). Output is
+    /// byte-identical regardless of the value.
+    pub threads: usize,
 }
 
 impl Default for ReproConfig {
@@ -33,6 +36,7 @@ impl Default for ReproConfig {
         ReproConfig {
             seed: 2021,
             scale: 0.25,
+            threads: 0,
         }
     }
 }
@@ -58,6 +62,7 @@ impl ReproContext {
             let cfg = CampaignConfig {
                 seed: self.config.seed,
                 scale: self.config.scale,
+                threads: self.config.threads,
                 ..CampaignConfig::default()
             };
             self.dataset = Some(Campaign::new(cfg).run());
@@ -831,6 +836,7 @@ DoT trades lighter framing for port-853 middlebox exposure)
             runs_per_client: 1,
             atlas_probes_per_country: 4,
             atlas_samples_per_country: 25,
+            threads: self.config.threads,
             ..CampaignConfig::default()
         };
         tweak(&mut cfg);
@@ -890,6 +896,7 @@ mod tests {
         ReproContext::new(ReproConfig {
             seed: 7,
             scale: 0.05,
+            threads: 0,
         })
     }
 

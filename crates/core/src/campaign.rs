@@ -7,6 +7,18 @@
 //! resolver, with two runs per client (§5.1). Fresh UUID subdomains
 //! defeat caching throughout. Post-processing applies the Maxmind
 //! mismatch discard and the RIPE Atlas remedy.
+//!
+//! # Determinism contract
+//!
+//! `seed -> Dataset` is a pure function. The campaign is sharded at
+//! country granularity: every country is a self-contained work unit that
+//! forks its own [`SimRng`] lineage from the master seed (testbed, geoloc,
+//! clients, Atlas) and owns a deterministic client-ID range computed by
+//! prefix-summing the per-country client counts. Workers pull shards from
+//! a shared queue, but shard results are merged back in canonical country
+//! order, so the resulting [`Dataset`] is byte-identical for any
+//! [`CampaignConfig::threads`] value — thread count is a throughput knob,
+//! never an output knob.
 
 use crate::equations::{derive_t_doh_ms, derive_t_dohr_ms};
 use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
@@ -21,7 +33,10 @@ use dohperf_proxy::superproxy::SuperProxy;
 use dohperf_world::countries::Country;
 use dohperf_world::geoloc::GeolocationService;
 use dohperf_world::population::PopulationModel;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +62,10 @@ pub struct CampaignConfig {
     /// routing inefficiency (§7's "providers should ensure clients take
     /// full advantage of nearby PoPs").
     pub perfect_anycast: bool,
+    /// Worker threads for the campaign (0 = available parallelism).
+    /// Any value yields a byte-identical [`Dataset`]; see the module-level
+    /// determinism contract.
+    pub threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -60,6 +79,7 @@ impl Default for CampaignConfig {
             atlas_samples_per_country: 250,
             measurement: MeasurementOptions::default(),
             perfect_anycast: false,
+            threads: 0,
         }
     }
 }
@@ -100,69 +120,100 @@ impl Campaign {
     }
 
     /// Run the full campaign, returning the dataset.
+    ///
+    /// The dataset is a pure function of the seed: work is sharded per
+    /// country across [`CampaignConfig::threads`] workers, every shard
+    /// derives its own RNG lineage and client-ID range from the master
+    /// seed, and results merge in canonical country order, so any thread
+    /// count produces byte-identical output.
     pub fn run(&self) -> Dataset {
-        let mut tb = Testbed::new(self.config.seed);
-        let mut root_rng = SimRng::new(self.config.seed).fork("campaign");
-        let population = PopulationModel::sample(&mut root_rng);
+        let root_rng = SimRng::new(self.config.seed).fork("campaign");
+        let population = PopulationModel::sample(&mut root_rng.clone());
         let country_list: Vec<&'static Country> = population.countries().to_vec();
         let countries: Vec<&'static str> = country_list.iter().map(|c| c.iso).collect();
-        let mut geoloc = GeolocationService::new(
-            root_rng.fork("geoloc"),
-            self.config.geoloc_error_rate,
-            countries.clone(),
-        );
 
-        let mut records = Vec::new();
-        let mut discarded = 0usize;
-        let mut client_id = 0u64;
-
-        for (country_index, country) in country_list.iter().enumerate() {
-            let full_count = population.count(country_index);
-            let count =
-                ((full_count as f64 * self.config.scale).round() as usize).clamp(1, full_count);
-            let sites = population.client_sites(country_index, &mut root_rng);
-            for site in sites.into_iter().take(count) {
-                client_id += 1;
-                let mut client_rng = root_rng.fork_indexed("client", client_id);
-                let exit = ExitNode::create(
-                    &mut tb.sim,
-                    &mut geoloc,
-                    country,
-                    country_index,
-                    site.position,
-                    client_id,
-                    &mut client_rng,
-                );
-                let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng);
-                if record.countries_agree() {
-                    records.push(record);
-                } else {
-                    discarded += 1;
-                }
-            }
+        // Per-country client counts, prefix-summed into exclusive client-ID
+        // bases: shard i numbers its clients bases[i]+1 .. bases[i]+counts[i],
+        // exactly the IDs a sequential walk over the countries would assign.
+        let counts: Vec<usize> = (0..country_list.len())
+            .map(|i| {
+                let full_count = population.count(i);
+                ((full_count as f64 * self.config.scale).round() as usize).clamp(1, full_count)
+            })
+            .collect();
+        let mut bases = Vec::with_capacity(counts.len());
+        let mut acc = 0u64;
+        for &c in &counts {
+            bases.push(acc);
+            acc += c as u64;
         }
 
-        // RIPE Atlas remedy for the Super Proxy countries (§3.5).
-        let mut atlas = AtlasNetwork::new();
+        let threads = match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+        .min(country_list.len().max(1));
+
+        let n = country_list.len();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CountryShard>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..threads {
+                let (next, slots) = (&next, &slots);
+                let (root_rng, population) = (&root_rng, &population);
+                let (country_list, countries) = (&country_list, &countries);
+                let (counts, bases) = (&counts, &bases);
+                scope.spawn(move |_| {
+                    let started = Instant::now();
+                    let mut shard_count = 0usize;
+                    let mut client_count = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let shard = self.run_country_shard(
+                            root_rng,
+                            population,
+                            country_list[i],
+                            i,
+                            countries,
+                            counts[i],
+                            bases[i],
+                        );
+                        shard_count += 1;
+                        client_count += shard.records.len() + shard.discarded;
+                        *slots[i].lock() = Some(shard);
+                    }
+                    if threads > 1 && shard_count > 0 {
+                        let secs = started.elapsed().as_secs_f64().max(1e-9);
+                        eprintln!(
+                            "[campaign] worker {worker}: {shard_count} countries, \
+                             {client_count} clients in {secs:.2}s ({:.0} clients/s)",
+                            client_count as f64 / secs
+                        );
+                    }
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+
+        // Merge in canonical country order; workers finished in arbitrary
+        // order but each slot holds exactly its country's shard.
+        let mut records = Vec::new();
+        let mut discarded = 0usize;
         let mut atlas_do53_ms = Vec::new();
-        let mut atlas_rng = root_rng.fork("atlas");
-        for (country_index, country) in country_list.iter().enumerate() {
-            if !SuperProxy::resolves_dns_for(country.iso) {
-                continue;
+        for (country_index, slot) in slots.into_iter().enumerate() {
+            let shard = slot
+                .into_inner()
+                .expect("every country shard was processed");
+            records.extend(shard.records);
+            discarded += shard.discarded;
+            if let Some(samples) = shard.atlas_do53_ms {
+                atlas_do53_ms.push((country_index, samples));
             }
-            let probe_indices = atlas.deploy_probes(
-                &mut tb.sim,
-                country,
-                self.config.atlas_probes_per_country,
-                &mut atlas_rng,
-            );
-            let mut samples = Vec::with_capacity(self.config.atlas_samples_per_country);
-            for s in 0..self.config.atlas_samples_per_country {
-                let probe = probe_indices[s % probe_indices.len()];
-                let d = atlas.measure_do53(&mut tb.sim, probe, tb.auth_ns, &mut atlas_rng);
-                samples.push(d.as_millis_f64());
-            }
-            atlas_do53_ms.push((country_index, samples));
         }
 
         // Observed-infrastructure bookkeeping: the paper reports 2,190
@@ -179,6 +230,88 @@ impl Campaign {
             discarded_mismatches: discarded,
             observed_ases,
             observed_resolvers,
+        }
+    }
+
+    /// Execute one country's self-contained work unit.
+    ///
+    /// Everything stochastic inside the shard descends from forks of the
+    /// shared (never-advanced) campaign root stream, keyed by the country's
+    /// ISO code or by globally stable client IDs — never from worker-local
+    /// state — so the shard's output does not depend on which worker runs
+    /// it or in what order shards complete.
+    #[allow(clippy::too_many_arguments)]
+    fn run_country_shard(
+        &self,
+        root_rng: &SimRng,
+        population: &PopulationModel,
+        country: &'static Country,
+        country_index: usize,
+        countries: &[&'static str],
+        count: usize,
+        client_id_base: u64,
+    ) -> CountryShard {
+        let iso = country.iso;
+        let mut tb = Testbed::new(root_rng.fork(&format!("testbed-{iso}")).seed());
+        // The prefix base equals the shard's client-ID base, so the /24s
+        // handed out match the layout of a single sequential allocator.
+        let mut geoloc = GeolocationService::with_prefix_base(
+            root_rng.fork(&format!("geoloc-{iso}")),
+            self.config.geoloc_error_rate,
+            countries.to_vec(),
+            client_id_base as u32,
+        );
+
+        // client_sites only forks from the rng it is handed, so a clone of
+        // the root stream yields the same sites the sequential walk saw.
+        let sites = population.client_sites(country_index, &mut root_rng.clone());
+        let mut records = Vec::with_capacity(count);
+        let mut discarded = 0usize;
+        for (offset, site) in sites.into_iter().take(count).enumerate() {
+            let client_id = client_id_base + offset as u64 + 1;
+            let mut client_rng = root_rng.fork_indexed("client", client_id);
+            let exit = ExitNode::create(
+                &mut tb.sim,
+                &mut geoloc,
+                country,
+                country_index,
+                site.position,
+                client_id,
+                &mut client_rng,
+            );
+            let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng);
+            if record.countries_agree() {
+                records.push(record);
+            } else {
+                discarded += 1;
+            }
+        }
+
+        // RIPE Atlas remedy for the Super Proxy countries (§3.5).
+        let atlas_do53_ms = if SuperProxy::resolves_dns_for(iso) {
+            let mut atlas = AtlasNetwork::new();
+            let mut atlas_rng = root_rng.fork(&format!("atlas-{iso}"));
+            let probe_indices = atlas.deploy_probes(
+                &mut tb.sim,
+                country,
+                self.config.atlas_probes_per_country,
+                &mut atlas_rng,
+            );
+            let mut samples = Vec::with_capacity(self.config.atlas_samples_per_country);
+            for s in 0..self.config.atlas_samples_per_country {
+                let probe = probe_indices[s % probe_indices.len()];
+                let d = atlas.measure_do53(&mut tb.sim, probe, tb.auth_ns, &mut atlas_rng);
+                samples.push(d.as_millis_f64());
+            }
+            Some(samples)
+        } else {
+            None
+        };
+
+        CountryShard {
+            records,
+            discarded,
+            atlas_do53_ms,
         }
     }
 
@@ -273,6 +406,14 @@ impl Campaign {
             do53_source,
         }
     }
+}
+
+/// One country's completed work unit, merged back in canonical order.
+struct CountryShard {
+    records: Vec<ClientRecord>,
+    discarded: usize,
+    /// Atlas Do53 samples, present only for Super-Proxy remedy countries.
+    atlas_do53_ms: Option<Vec<f64>>,
 }
 
 fn median(xs: &mut [f64]) -> f64 {

@@ -144,6 +144,93 @@ mod tests {
         doh_n_ms(1.0, 1.0, 0);
     }
 
+    /// Golden values: a fully hand-worked Figure-2 timeline, pinned
+    /// number-for-number so any drift in the equation implementations
+    /// (sign flips, dropped terms, unit slips) fails against arithmetic
+    /// done on paper rather than against the same code path.
+    ///
+    /// Timeline (ms): RTT=80, t3+t4=20, t5+t6=30, t_BrightData=4+3+2+1=10
+    /// (all four proxy sub-timings populated), TLS leg t11+t12=35,
+    /// query legs=90. Client timestamps: T_A=5,
+    /// T_B = T_C = 5 + (80+10+20+30) = 145, T_D = 145 + (2·80+35+90) = 430.
+    #[test]
+    fn golden_hand_computed_timeline() {
+        let t_a = SimTime::from_nanos(5_000_000);
+        let t_b = SimTime::from_nanos(145_000_000);
+        let t_d = SimTime::from_nanos(430_000_000);
+        let obs = DohObservation {
+            t_a,
+            t_b,
+            t_c: t_b,
+            t_d,
+            tun: TunTimeline {
+                dns: SimDuration::from_millis_f64(20.0),
+                connect: SimDuration::from_millis_f64(30.0),
+            },
+            proxy: ProxyTimeline {
+                auth: SimDuration::from_millis_f64(4.0),
+                init: SimDuration::from_millis_f64(3.0),
+                select_node: SimDuration::from_millis_f64(2.0),
+                domain_check: SimDuration::from_millis_f64(1.0),
+            },
+            truth_t_doh: SimDuration::from_millis_f64(175.0),
+            truth_t_dohr: SimDuration::from_millis_f64(90.0),
+        };
+        // Eq 6: (145−5) − (20+30) − 10 = 80.
+        assert!((derive_rtt_ms(&obs) - 80.0).abs() < 1e-6);
+        // Eq 7: (430−145) − 2·(145−5) + 3·(20+30) + 2·10
+        //     = 285 − 280 + 150 + 20 = 175.
+        assert!((derive_t_doh_ms(&obs) - 175.0).abs() < 1e-6);
+        // Eq 8: 175 − (20+30) − 30 = 95. The 5ms excess over the 90ms
+        // truth is exactly the assumption gap (t11+t12=35) − (t5+t6=30).
+        assert!((derive_t_dohr_ms(&obs) - 95.0).abs() < 1e-6);
+    }
+
+    /// Golden values for the Super-Proxy-DNS quirk (§3.5): in the eleven
+    /// Super Proxy countries the proxy resolves DNS itself, so the tunnel
+    /// header reports only a token bootstrap time (2ms cache answer here)
+    /// while phase 1 silently absorbs the proxy's real 48ms recursion.
+    ///
+    /// Timeline (ms): RTT=100, reported t3+t4=2, hidden recursion=48,
+    /// t5+t6=30, t_BrightData=10, TLS leg=30, query legs=90. T_A=0,
+    /// T_B = T_C = 100+10+2+48+30 = 190, T_D = 190 + (2·100+30+90) = 510.
+    #[test]
+    fn golden_super_proxy_dns_quirk_timeline() {
+        let obs = DohObservation {
+            t_a: SimTime::from_nanos(0),
+            t_b: SimTime::from_nanos(190_000_000),
+            t_c: SimTime::from_nanos(190_000_000),
+            t_d: SimTime::from_nanos(510_000_000),
+            tun: TunTimeline {
+                dns: SimDuration::from_millis_f64(2.0),
+                connect: SimDuration::from_millis_f64(30.0),
+            },
+            proxy: ProxyTimeline {
+                auth: SimDuration::from_millis_f64(10.0),
+                init: SimDuration::ZERO,
+                select_node: SimDuration::ZERO,
+                domain_check: SimDuration::ZERO,
+            },
+            truth_t_doh: SimDuration::from_millis_f64(152.0),
+            truth_t_dohr: SimDuration::from_millis_f64(90.0),
+        };
+        // Eq 6: 190 − (2+30) − 10 = 148 — the unreported 48ms recursion
+        // is fully misattributed to the client↔exit RTT, minus the 2ms
+        // that was reported: 100 + 46.
+        assert!((derive_rtt_ms(&obs) - 148.0).abs() < 1e-6);
+        // Eq 7: 320 − 2·190 + 3·32 + 2·10 = 320 − 380 + 96 + 20 = 56.
+        // Every unreported phase-1 ms is subtracted twice through the
+        // −2·(T_B−T_A) term, so t_DoH lands 2·48 = 96ms under the 152ms
+        // truth. This is why §3.5 discards header timings in Super Proxy
+        // countries and remedies Do53 with RIPE Atlas instead.
+        assert!((derive_t_doh_ms(&obs) - 56.0).abs() < 1e-6);
+        let bias = derive_t_doh_ms(&obs) - obs.truth_t_doh.as_millis_f64();
+        assert!((bias + 96.0).abs() < 1e-6, "bias {bias}");
+        // Eq 8: 56 − 32 − 30 = −6 — legitimately negative, surfaced
+        // rather than clamped (module-level contract).
+        assert!((derive_t_dohr_ms(&obs) + 6.0).abs() < 1e-6);
+    }
+
     #[test]
     fn derivation_degrades_gracefully_with_proxy_noise() {
         // Add 5ms of unaccounted forwarding overhead in phase 2: t_DoH is

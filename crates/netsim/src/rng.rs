@@ -285,4 +285,108 @@ mod tests {
         assert_eq!(rng.uniform(5.0, 5.0), 5.0);
         assert_eq!(rng.uniform(5.0, 1.0), 5.0);
     }
+
+    mod fork_independence {
+        //! Property tests for the guarantee the sharded campaign rests on:
+        //! a fork's stream is a function of (parent seed, label, index)
+        //! alone. Neither the parent's stream position nor draws taken on
+        //! sibling forks may perturb it, otherwise per-country work units
+        //! would produce different data depending on worker interleaving.
+
+        use super::super::SimRng;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn fork_ignores_parent_stream_position(
+                seed in any::<u64>(),
+                label in "[a-z]{1,12}",
+                skips in 0usize..64,
+            ) {
+                let fresh = SimRng::new(seed);
+                let mut advanced = SimRng::new(seed);
+                for _ in 0..skips {
+                    advanced.next_u64();
+                }
+                let mut a = fresh.fork(&label);
+                let mut b = advanced.fork(&label);
+                for _ in 0..16 {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }
+
+            #[test]
+            fn sibling_draws_do_not_perturb_a_fork(
+                seed in any::<u64>(),
+                label_a in "a[a-z]{0,8}",
+                label_b in "b[a-z]{0,8}",
+                interleave in proptest::collection::vec(0u8..4, 0..32),
+            ) {
+                // Reference stream: fork(a) drawn with no sibling activity.
+                let root = SimRng::new(seed);
+                let mut reference = root.fork(&label_a);
+                let expected: Vec<u64> = (0..24).map(|_| reference.next_u64()).collect();
+
+                // Same fork, but with draws on fork(b) (and fresh re-forks
+                // of b) interleaved arbitrarily between draws on a.
+                let mut a = root.fork(&label_a);
+                let mut b = root.fork(&label_b);
+                let mut got = Vec::with_capacity(24);
+                let mut plan = interleave.iter().cycle();
+                for _ in 0..24 {
+                    match plan.next().copied().unwrap_or(0) {
+                        1 => {
+                            b.next_u64();
+                        }
+                        2 => {
+                            b = root.fork(&label_b);
+                            b.next_u64();
+                        }
+                        3 => {
+                            b.next_u64();
+                            b.next_u64();
+                        }
+                        _ => {}
+                    }
+                    got.push(a.next_u64());
+                }
+                prop_assert_eq!(got, expected);
+            }
+
+            #[test]
+            fn indexed_forks_are_position_independent(
+                seed in any::<u64>(),
+                index in any::<u64>(),
+                skips in 0usize..64,
+            ) {
+                let fresh = SimRng::new(seed);
+                let mut advanced = SimRng::new(seed);
+                for _ in 0..skips {
+                    advanced.unit();
+                }
+                let mut a = fresh.fork_indexed("client", index);
+                let mut b = advanced.fork_indexed("client", index);
+                for _ in 0..16 {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }
+
+            #[test]
+            fn clone_then_fork_equals_fork(
+                seed in any::<u64>(),
+                label in "[a-z]{1,12}",
+            ) {
+                // The campaign hands worker threads clones of the root
+                // stream; forks off a clone must match forks off the
+                // original.
+                let root = SimRng::new(seed);
+                let clone = root.clone();
+                let mut a = root.fork(&label);
+                let mut b = clone.fork(&label);
+                for _ in 0..16 {
+                    prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }
+        }
+    }
 }

@@ -48,10 +48,24 @@ impl GeolocationService {
     /// discard removed 0.88% of data points, so `0.0088` is the calibrated
     /// default used by the campaign.
     pub fn new(rng: SimRng, error_rate: f64, countries: Vec<&'static str>) -> Self {
+        Self::with_prefix_base(rng, error_rate, countries, 0)
+    }
+
+    /// Like [`GeolocationService::new`], but the first allocated prefix is
+    /// `base` slots past the start of the pool. Sharded campaigns give each
+    /// shard its own service with `base` set to the shard's first global
+    /// client index, so the prefixes every shard hands out are disjoint and
+    /// match the layout a single sequential allocator would have produced.
+    pub fn with_prefix_base(
+        rng: SimRng,
+        error_rate: f64,
+        countries: Vec<&'static str>,
+        base: u32,
+    ) -> Self {
         GeolocationService {
             assignments: HashMap::new(),
             reported: HashMap::new(),
-            next_prefix: 0x0A_00_00, // start inside 10.0.0.0/8 territory
+            next_prefix: 0x0A_00_00 + base, // start inside 10.0.0.0/8 territory
             error_rate: error_rate.clamp(0.0, 1.0),
             rng,
             countries,
@@ -175,6 +189,34 @@ mod tests {
         assert_eq!(p.to_cidr(), "10.0.0.0/24");
         let q = Prefix24(0x0A_00_01);
         assert_eq!(q.to_cidr(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn prefix_base_offsets_allocations() {
+        let mut g = GeolocationService::with_prefix_base(
+            SimRng::new(7),
+            0.0,
+            vec!["US", "BR"],
+            42,
+        );
+        let p = g.allocate("US");
+        assert_eq!(p, Prefix24(0x0A_00_00 + 42));
+        assert_eq!(p.to_cidr(), "10.0.42.0/24");
+    }
+
+    #[test]
+    fn sharded_bases_reproduce_sequential_layout() {
+        // Two shards with bases 0 and 3 must hand out the same prefixes as
+        // one sequential allocator serving 3 + 2 clients.
+        let mut seq = service(0.0);
+        let sequential: Vec<Prefix24> = (0..5).map(|_| seq.allocate("US")).collect();
+        let mut a = GeolocationService::with_prefix_base(SimRng::new(7), 0.0, vec!["US"], 0);
+        let mut b = GeolocationService::with_prefix_base(SimRng::new(7), 0.0, vec!["US"], 3);
+        let sharded: Vec<Prefix24> = (0..3)
+            .map(|_| a.allocate("US"))
+            .chain((0..2).map(|_| b.allocate("US")))
+            .collect();
+        assert_eq!(sequential, sharded);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API the campaign
+//! worker pool uses, implemented over `std::thread::scope` (stable since
+//! Rust 1.63). Panics in workers propagate when the scope joins, exactly
+//! like crossbeam's behaviour of returning them through `scope()`.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A handle for spawning scoped worker threads.
+    ///
+    /// Mirrors `crossbeam_utils::thread::Scope`: `spawn` hands the closure
+    /// a `&Scope` so workers can themselves spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker bound to this scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reentrant = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&reentrant))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed data may be shared with
+    /// worker threads; all workers are joined before `scope` returns.
+    ///
+    /// Returns `Ok(result)` on success. A panicking worker propagates its
+    /// panic out of `scope` (std semantics); the `Result` wrapper exists
+    /// so call sites keep crossbeam's `scope(...).unwrap()` idiom.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serialises through serde's generic machinery
+//! — dataset export is hand-rolled JSON/CSV in `dohperf-core::export` —
+//! but the schema types derive `Serialize`/`Deserialize` to document
+//! interchange intent and keep the door open for a real serde swap-in.
+//! This shim keeps those derives compiling offline: the traits are
+//! markers and the derives emit empty impls.
+
+/// Marker for types whose schema is export-stable.
+pub trait Serialize {}
+
+/// Marker for types intended to round-trip back in.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,86 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits (nothing in this
+//! workspace performs generic serde serialisation — exports are
+//! hand-rolled JSON/CSV), so the derives only need to emit empty trait
+//! impls. Parsing is done by hand on the raw token stream: the offline
+//! environment has no `syn`/`quote`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the `struct`/`enum`/`union` keyword and
+/// any generic parameter names declared right after it.
+fn type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(id) = &tt else { continue };
+        let kw = id.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("derive shim: expected a type name after `{kw}`");
+        };
+        // Collect simple generic parameter names (`<A, B: Bound, 'a>`),
+        // enough for the handful of generic containers a derive might hit.
+        let mut params = Vec::new();
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '<' {
+                iter.next();
+                let mut depth = 1usize;
+                let mut expecting_param = true;
+                for tt in iter.by_ref() {
+                    match &tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                            expecting_param = true;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                            expecting_param = false;
+                        }
+                        TokenTree::Ident(id) if expecting_param && depth == 1 => {
+                            params.push(id.to_string());
+                            expecting_param = false;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '\'' && expecting_param => {
+                            // Lifetime marker; the following ident is the
+                            // lifetime name.
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        return (name.to_string(), params);
+    }
+    panic!("derive shim: no struct/enum/union found in derive input");
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let (name, params) = type_header(input);
+    let code = if params.is_empty() {
+        format!("impl {trait_path} for {name} {{}}")
+    } else {
+        let list = params.join(", ");
+        format!("impl<{list}> {trait_path} for {name}<{list}> {{}}")
+    };
+    code.parse().expect("derive shim: generated impl parses")
+}
+
+/// Emit an empty `impl serde::Serialize for T`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// Emit an empty `impl serde::Deserialize for T`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}

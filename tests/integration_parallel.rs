@@ -1,0 +1,77 @@
+//! Reproducibility across thread counts.
+//!
+//! The campaign's determinism contract (DESIGN.md §2) promises that
+//! `seed -> Dataset` is a pure function and that `CampaignConfig::threads`
+//! is a throughput knob only. These tests run the same quick-scale
+//! campaign at 1, 2, and 8 workers and require the *serialized records* —
+//! not summary statistics — to be byte-identical, so any divergence in
+//! ordering, client-ID assignment, prefix allocation, or RNG lineage
+//! fails loudly.
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::export::{to_csv, to_jsonl};
+use dohperf_core::records::Dataset;
+
+fn run_with_threads(seed: u64, threads: usize) -> Dataset {
+    let config = CampaignConfig {
+        threads,
+        ..CampaignConfig::quick(seed)
+    };
+    Campaign::new(config).run()
+}
+
+#[test]
+fn thread_count_is_invisible_in_serialized_records() {
+    let sequential = run_with_threads(2021, 1);
+    let csv = to_csv(&sequential);
+    let jsonl = to_jsonl(&sequential);
+    for threads in [2, 8] {
+        let parallel = run_with_threads(2021, threads);
+        assert_eq!(
+            csv,
+            to_csv(&parallel),
+            "CSV export diverged at {threads} threads"
+        );
+        assert_eq!(
+            jsonl,
+            to_jsonl(&parallel),
+            "JSONL export diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_in_full_dataset() {
+    let sequential = run_with_threads(7, 1);
+    for threads in [2, 8] {
+        let parallel = run_with_threads(7, threads);
+        assert_eq!(sequential.records, parallel.records);
+        assert_eq!(sequential.countries, parallel.countries);
+        assert_eq!(sequential.atlas_do53_ms, parallel.atlas_do53_ms);
+        assert_eq!(
+            sequential.discarded_mismatches,
+            parallel.discarded_mismatches
+        );
+        assert_eq!(sequential.observed_ases, parallel.observed_ases);
+        assert_eq!(sequential.observed_resolvers, parallel.observed_resolvers);
+    }
+}
+
+#[test]
+fn auto_thread_detection_matches_sequential() {
+    // threads = 0 resolves to available parallelism; output must still
+    // match the single-threaded run.
+    let auto = run_with_threads(99, 0);
+    let sequential = run_with_threads(99, 1);
+    assert_eq!(to_jsonl(&auto), to_jsonl(&sequential));
+}
+
+#[test]
+fn atlas_samples_stay_in_canonical_country_order() {
+    let ds = run_with_threads(5, 4);
+    let indices: Vec<usize> = ds.atlas_do53_ms.iter().map(|(i, _)| *i).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    assert_eq!(indices, sorted, "atlas results out of country order");
+    assert_eq!(indices.len(), 11, "one entry per Super-Proxy country");
+}
