@@ -1,6 +1,7 @@
 # Convenience targets for the dohperf reproduction.
 
-.PHONY: build test bench doc repro repro-full examples verify clean
+.PHONY: build test bench doc repro repro-full examples verify clean \
+        ci fmt-check clippy perf-smoke baseline
 
 build:
 	cargo build --workspace --release
@@ -22,12 +23,35 @@ repro:
 repro-full:
 	cargo run --release -p dohperf-bench --bin repro -- --scale 1.0 all
 
-# Full gate: release build, the whole test suite, and the determinism
-# check that 1-worker and multi-worker campaigns serialize identically.
-verify:
-	cargo build --workspace --release
-	cargo test --workspace -q
+# Full gate: release build, the whole test suite, the determinism check
+# that 1-worker and multi-worker campaigns serialize identically, and the
+# same lint + perf-smoke jobs CI runs.
+verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
+
+# Mirror of .github/workflows/ci.yml, runnable locally and offline.
+ci: fmt-check clippy
+	cargo build --workspace --release --offline
+	cargo test --workspace -q
+	$(MAKE) perf-smoke
+
+fmt-check:
+	cargo fmt --all -- --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Scale-0.05 campaign; fails (exit 3) if any deterministic metric drifts
+# from the checked-in baseline.
+perf-smoke:
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 headline \
+	    --metrics target/ci/metrics.json --baseline ci/baseline-metrics.json
+
+# Regenerate the perf-smoke baseline after an intentional behaviour change.
+baseline:
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 headline --metrics ci/baseline-metrics.json
 
 examples:
 	cargo run --release --example quickstart

@@ -2,12 +2,20 @@
 //! DNS-over-HTTPS Performance Around the World* (IMC 2021).
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--threads N] <experiment>...
+//! repro [--seed N] [--scale F] [--threads N] [--metrics PATH]
+//!       [--baseline PATH] [--tolerance F] <experiment>...
 //! repro all                    # everything, in paper order
 //! ```
 //!
 //! `--threads 0` (the default) uses all available cores. Any thread count
 //! produces a byte-identical dataset — see DESIGN.md §2.
+//!
+//! `--metrics PATH` writes the telemetry snapshot as stable JSON after the
+//! experiments finish and prints the human-readable table to stderr.
+//! `--baseline PATH` additionally compares the snapshot's deterministic
+//! section against a previously written one, exiting with code 3 when any
+//! metric drifts beyond `--tolerance` (relative, default 0 = exact). This
+//! is the CI perf-smoke gate.
 //!
 //! Experiments: table1 table2 table3 table4 table5 table6
 //!              fig3 fig4 fig5 fig6 fig7 fig8 fig9
@@ -48,9 +56,32 @@ const EXPERIMENTS: [&str; 27] = [
 fn main() {
     let mut config = ReproConfig::default();
     let mut requested: Vec<String> = Vec::new();
+    let mut metrics_path: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut tolerance = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics" => {
+                metrics_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--metrics needs a path"))
+                        .into(),
+                );
+            }
+            "--baseline" => {
+                baseline_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--baseline needs a path"))
+                        .into(),
+                );
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a float >= 0"));
+            }
             "--seed" => {
                 config.seed = args
                     .next()
@@ -130,6 +161,39 @@ fn main() {
         println!("{}", "=".repeat(100));
         println!("{output}");
     }
+
+    if metrics_path.is_none() && baseline_path.is_none() {
+        return;
+    }
+    let snap = match &metrics_path {
+        Some(path) => match dohperf_telemetry::write_snapshot(path) {
+            Ok(snap) => {
+                eprintln!("# metrics written to {}", path.display());
+                snap
+            }
+            Err(e) => {
+                eprintln!("error: writing metrics to {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => dohperf_telemetry::global().snapshot(),
+    };
+    eprint!("{}", snap.render_table());
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| dohperf_telemetry::Snapshot::from_json(&text))
+            .unwrap_or_else(|e| {
+                eprintln!("error: reading baseline {}: {e}", path.display());
+                std::process::exit(2);
+            });
+        let report = snap.compare_deterministic(&baseline, tolerance);
+        eprint!("{}", report.render());
+        if !report.ok() {
+            std::process::exit(3);
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -137,7 +201,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--scale F] [--threads N] <experiment>...\n       repro all\nexperiments: {}",
+        "usage: repro [--seed N] [--scale F] [--threads N] [--metrics PATH] \
+         [--baseline PATH] [--tolerance F] <experiment>...\n       repro all\nexperiments: {}",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

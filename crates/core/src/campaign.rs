@@ -156,6 +156,17 @@ impl Campaign {
         }
         .min(country_list.len().max(1));
 
+        dohperf_telemetry::gauge!("campaign.workers", per_run).set(threads as i64);
+        dohperf_telemetry::trace::event(
+            "campaign",
+            format!(
+                "start: {} countries, seed {}, scale {}, {threads} workers",
+                country_list.len(),
+                self.config.seed,
+                self.config.scale
+            ),
+        );
+
         let n = country_list.len();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<CountryShard>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -187,13 +198,26 @@ impl Campaign {
                         client_count += shard.records.len() + shard.discarded;
                         *slots[i].lock() = Some(shard);
                     }
-                    if threads > 1 && shard_count > 0 {
+                    if shard_count > 0 {
                         let secs = started.elapsed().as_secs_f64().max(1e-9);
-                        eprintln!(
-                            "[campaign] worker {worker}: {shard_count} countries, \
-                             {client_count} clients in {secs:.2}s ({:.0} clients/s)",
-                            client_count as f64 / secs
+                        dohperf_telemetry::histogram!("campaign.worker_wall_ms", per_run)
+                            .record_ms(secs * 1_000.0);
+                        dohperf_telemetry::trace::event_ms(
+                            "campaign",
+                            format!(
+                                "worker {worker}: {shard_count} countries, \
+                                 {client_count} clients ({:.0} clients/s)",
+                                client_count as f64 / secs
+                            ),
+                            secs * 1_000.0,
                         );
+                        if threads > 1 {
+                            eprintln!(
+                                "[campaign] worker {worker}: {shard_count} countries, \
+                                 {client_count} clients in {secs:.2}s ({:.0} clients/s)",
+                                client_count as f64 / secs
+                            );
+                        }
                     }
                 });
             }
@@ -308,6 +332,17 @@ impl Campaign {
             None
         };
 
+        let shard_sim_ms = tb.sim.now().as_millis_f64();
+        dohperf_telemetry::histogram!("campaign.shard_sim_ms").record_ms(shard_sim_ms);
+        dohperf_telemetry::counter!("campaign.countries_measured").inc();
+        dohperf_telemetry::counter!("campaign.clients_measured").add(records.len() as u64);
+        dohperf_telemetry::counter!("campaign.clients_discarded").add(discarded as u64);
+        dohperf_telemetry::trace::event_ms(
+            "campaign",
+            format!("shard {iso}: {} clients", records.len()),
+            shard_sim_ms,
+        );
+
         CountryShard {
             records,
             discarded,
@@ -351,6 +386,7 @@ impl Campaign {
                     &mut run_rng,
                     &self.config.measurement,
                 );
+                dohperf_telemetry::counter!("campaign.doh_queries").inc();
                 t_doh_runs.push(derive_t_doh_ms(&obs));
                 t_dohr_runs.push(derive_t_dohr_ms(&obs));
             }
@@ -381,6 +417,7 @@ impl Campaign {
                 &mut run_rng,
                 &self.config.measurement,
             );
+            dohperf_telemetry::counter!("campaign.do53_queries").inc();
             hijacked = obs.resolved_at_super_proxy;
             if !hijacked {
                 do53_runs.push(obs.tun.dns.as_millis_f64());

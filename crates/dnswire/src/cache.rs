@@ -63,6 +63,7 @@ impl DnsCache {
         match self.entries.get(key) {
             Some(entry) if entry.expires_at > now => {
                 self.hits += 1;
+                dohperf_telemetry::counter!("dnswire.cache_hits").inc();
                 // Reborrow immutably for the return.
                 Some(
                     self.entries
@@ -75,10 +76,12 @@ impl DnsCache {
             Some(_) => {
                 self.entries.remove(key);
                 self.misses += 1;
+                dohperf_telemetry::counter!("dnswire.cache_misses").inc();
                 None
             }
             None => {
                 self.misses += 1;
+                dohperf_telemetry::counter!("dnswire.cache_misses").inc();
                 None
             }
         }

@@ -111,6 +111,14 @@ impl Message {
 
     /// Decode a complete message.
     pub fn decode(buf: &[u8]) -> Result<Self, DnsError> {
+        let decoded = Self::decode_inner(buf);
+        if decoded.is_err() {
+            dohperf_telemetry::counter!("dnswire.parse_failures").inc();
+        }
+        decoded
+    }
+
+    fn decode_inner(buf: &[u8]) -> Result<Self, DnsError> {
         let mut r = WireReader::new(buf);
         let header = Header::decode(&mut r)?;
         let mut questions = Vec::with_capacity(header.qdcount as usize);

@@ -163,6 +163,7 @@ impl Simulator {
             executed += 1;
             self.executed_events += 1;
         }
+        dohperf_telemetry::counter!("netsim.events_dispatched").add(executed);
         executed
     }
 

@@ -57,6 +57,7 @@ impl FaultInjector {
         }
         if rng.chance(self.drop_chance) {
             self.consecutive += 1;
+            dohperf_telemetry::counter!("netsim.fault_drops").inc();
             true
         } else {
             self.consecutive = 0;

@@ -165,6 +165,7 @@ impl<'s> Session<'s> {
             let reply_lost = !query_lost && fault.should_drop(rng);
             if query_lost || reply_lost {
                 // Wait out the retransmission timer.
+                dohperf_telemetry::counter!("netsim.udp_retry_timeouts").inc();
                 elapsed += UDP_RETRY_TIMEOUT;
                 self.sim.advance(UDP_RETRY_TIMEOUT);
                 continue;
@@ -179,6 +180,7 @@ impl<'s> Session<'s> {
                 succeeded: true,
             };
         }
+        dohperf_telemetry::counter!("netsim.udp_exchanges_failed").inc();
         UdpOutcome {
             elapsed,
             retries: UDP_MAX_RETRIES,

@@ -48,6 +48,7 @@ impl AtlasNetwork {
         count: usize,
         rng: &mut SimRng,
     ) -> Vec<usize> {
+        dohperf_telemetry::counter!("proxy.atlas_probes_deployed").add(count as u64);
         let mut indices = Vec::with_capacity(count);
         for i in 0..count {
             let mut pr = rng.fork_indexed(&format!("atlas-{}", country.iso), i as u64);
@@ -100,6 +101,7 @@ impl AtlasNetwork {
         auth: NodeId,
         rng: &mut SimRng,
     ) -> SimDuration {
+        dohperf_telemetry::counter!("proxy.atlas_remedy_queries").inc();
         let probe = &self.probes[probe_index];
         let stub = sim.rtt(probe.node, probe.resolver);
         let recursion = sim.rtt(probe.resolver, auth);

@@ -169,6 +169,7 @@ impl BrightDataNetwork {
     ) -> DohObservation {
         let sp = self.super_proxy_for(sim, client);
         let pop = deployment.sites[pop_index].node;
+        dohperf_telemetry::counter!("proxy.connect_tunnels").inc();
 
         // --- Steps 1–8: establish the TCP tunnel. ---
         let t_a = sim.now();
@@ -211,6 +212,7 @@ impl BrightDataNetwork {
         let mut query_leg = sim.rtt(exit.node, pop) + framing(exit.https_overhead(rng)); // t17 + t20
         if rng.chance(opts.extra_loss_p) {
             // TCP fast retransmit: one extra round trip, not a timer.
+            dohperf_telemetry::counter!("proxy.doh_fast_retransmits").inc();
             query_leg += sim.rtt(exit.node, pop);
         }
         if opts.protocol == EncryptedProtocol::DoT && rng.chance(DOT_MIDDLEBOX_P) {
@@ -314,8 +316,12 @@ impl BrightDataNetwork {
         opts: &MeasurementOptions,
     ) -> Do53Observation {
         let sp = self.super_proxy_for(sim, client);
+        dohperf_telemetry::counter!("proxy.connect_tunnels").inc();
         let proxy_timeline = SuperProxy::processing_timeline(rng);
         let hijacked = SuperProxy::resolves_dns_for(exit.country_iso);
+        if hijacked {
+            dohperf_telemetry::counter!("proxy.superproxy_dns_hijacks").inc();
+        }
 
         // The exit node's *true* Do53 time exists either way (we need it
         // as ground truth); the header reports it only when resolution
@@ -330,6 +336,7 @@ impl BrightDataNetwork {
         };
         if rng.chance(opts.extra_loss_p) {
             // A lost UDP datagram burns the whole retransmission timer.
+            dohperf_telemetry::counter!("proxy.do53_retry_timeouts").inc();
             truth_t_do53 += dohperf_netsim::transport::UDP_RETRY_TIMEOUT;
         }
 

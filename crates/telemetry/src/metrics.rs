@@ -1,0 +1,316 @@
+//! Metric primitives: atomic counters, gauges, and log-scale histograms.
+//!
+//! Everything here is lock-free on the record path. Histograms store
+//! *integer microseconds* — integer atomics merge associatively, so a
+//! histogram filled from racing worker threads holds exactly the totals a
+//! sequential run would, which is what lets deterministic metrics survive
+//! `--threads N` unchanged (floating-point accumulation would not: its
+//! rounding depends on addition order).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Whether a metric's value is a pure function of seed + configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Determinism {
+    /// Pure function of the campaign seed/config: identical across runs
+    /// and across worker-thread counts. Simulated-time only.
+    Deterministic,
+    /// Depends on the host: wall-clock timings, thread counts, bench
+    /// medians. Excluded from byte-exact CI comparison.
+    PerRun,
+}
+
+impl Determinism {
+    /// Stable JSON section name for this class.
+    pub fn section(self) -> &'static str {
+        match self {
+            Determinism::Deterministic => "deterministic",
+            Determinism::PerRun => "per_run",
+        }
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (test/bench support).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can move both ways (worker counts, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge (test/bench support).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one underflow/zero bucket plus one per
+/// power-of-two magnitude of a `u64` microsecond value.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a microsecond value: 0 for zero, else the bit length
+/// of `micros` (values in `[2^(i-1), 2^i)` land in bucket `i`).
+#[inline]
+pub fn bucket_index(micros: u64) -> usize {
+    (u64::BITS - micros.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound (µs) of bucket `i`; 0 for the zero bucket.
+pub fn bucket_lower_bound_micros(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound (µs) of bucket `i`.
+pub fn bucket_upper_bound_micros(i: usize) -> u64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        0
+    } else if i == HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket base-2 log-scale histogram over microsecond durations.
+///
+/// No wall clock is read here: callers record *simulated-time* durations
+/// (or any other value expressed in milliseconds/microseconds), so a
+/// deterministic workload fills the histogram identically on every run.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record a duration given in milliseconds (the workspace's native
+    /// unit). Negative and non-finite values clamp to zero.
+    #[inline]
+    pub fn record_ms(&self, ms: f64) {
+        let micros = if ms.is_finite() && ms > 0.0 {
+            (ms * 1_000.0).round().min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.record_micros(micros);
+    }
+
+    /// Record a duration in integer microseconds.
+    #[inline]
+    pub fn record_micros(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.min_micros.fetch_min(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value in microseconds (0 when empty).
+    pub fn min_micros(&self) -> u64 {
+        let v = self.min_micros.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded value in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros() as f64 / n as f64 / 1_000.0
+        }
+    }
+
+    /// Empty the histogram (test/bench support).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.min_micros.store(u64::MAX, Ordering::Relaxed);
+        self.max_micros.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(8);
+        g.add(-3);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bounds round-trip through bucket_index.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound_micros(i)), i, "lower {i}");
+            assert_eq!(bucket_index(bucket_upper_bound_micros(i)), i, "upper {i}");
+        }
+        // Adjacent buckets tile the axis with no gap or overlap.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper_bound_micros(i) + 1,
+                bucket_lower_bound_micros(i + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarises() {
+        let h = Histogram::new();
+        assert_eq!(h.min_micros(), 0);
+        h.record_ms(1.0); // 1000 µs -> bucket 10
+        h.record_ms(0.0005); // rounds to 1 µs -> bucket 1
+        h.record_ms(-5.0); // clamps to 0 -> bucket 0
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_micros(), 1001);
+        assert_eq!(h.min_micros(), 0);
+        assert_eq!(h.max_micros(), 1000);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(10), 1);
+        assert!((h.mean_ms() - 1001.0 / 3.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_reset_empties() {
+        let h = Histogram::new();
+        h.record_micros(123);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_micros(), 0);
+        assert_eq!(h.bucket(7), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the registry and histogram invariants.
+
+use dohperf_telemetry::{
+    bucket_index, bucket_lower_bound_micros, bucket_upper_bound_micros, Registry, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every u64 lands in exactly one bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_value(micros in any::<u64>()) {
+        let i = bucket_index(micros);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower_bound_micros(i) <= micros);
+        prop_assert!(micros <= bucket_upper_bound_micros(i));
+    }
+
+    /// Concurrent recording from several threads loses nothing: counter
+    /// totals, histogram counts, sums, and per-bucket tallies all match
+    /// what a sequential pass over the same values would produce.
+    #[test]
+    fn concurrent_recording_is_lossless(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..5_000_000, 1..200),
+            2..6,
+        ),
+    ) {
+        let registry = Registry::new();
+        let counter = registry.counter("prop.events");
+        let hist = registry.histogram("prop.values");
+        std::thread::scope(|scope| {
+            for values in &per_thread {
+                scope.spawn(move || {
+                    for &v in values {
+                        counter.inc();
+                        hist.record_micros(v);
+                    }
+                });
+            }
+        });
+
+        let all: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(counter.get(), all.len() as u64);
+        prop_assert_eq!(hist.count(), all.len() as u64);
+        prop_assert_eq!(hist.sum_micros(), all.iter().sum::<u64>());
+        prop_assert_eq!(hist.min_micros(), all.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(hist.max_micros(), all.iter().copied().max().unwrap_or(0));
+        for i in 0..HISTOGRAM_BUCKETS {
+            let expect = all.iter().filter(|&&v| bucket_index(v) == i).count() as u64;
+            prop_assert_eq!(hist.bucket(i), expect);
+        }
+    }
+
+    /// Snapshots taken while writers race never see impossible states:
+    /// the histogram sum is bounded by count * max value.
+    #[test]
+    fn snapshot_under_contention_is_consistent(rounds in 1u32..30) {
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.racy");
+        let scope_result: TestCaseResult = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for r in 0..rounds {
+                    for v in 0..100u64 {
+                        hist.record_micros(u64::from(r) * 100 + v);
+                    }
+                }
+            });
+            for _ in 0..rounds {
+                let snap = registry.snapshot();
+                let h = snap.histogram("prop.racy").unwrap();
+                // Buckets are read before the count, and each record bumps
+                // the count before its bucket, so observed bucket tallies
+                // can only trail the observed count.
+                let bucket_total: u64 = h.buckets.values().sum();
+                prop_assert!(bucket_total <= h.count);
+                prop_assert!(h.count <= u64::from(rounds) * 100);
+                prop_assert!(h.max_micros < u64::from(rounds) * 100);
+            }
+            writer.join().expect("writer thread");
+            Ok(())
+        });
+        scope_result?;
+        let h = registry.snapshot();
+        let final_h = h.histogram("prop.racy").unwrap();
+        prop_assert_eq!(final_h.count, u64::from(rounds) * 100);
+    }
+}

@@ -193,12 +193,7 @@ mod tests {
 
     #[test]
     fn prefix_base_offsets_allocations() {
-        let mut g = GeolocationService::with_prefix_base(
-            SimRng::new(7),
-            0.0,
-            vec!["US", "BR"],
-            42,
-        );
+        let mut g = GeolocationService::with_prefix_base(SimRng::new(7), 0.0, vec!["US", "BR"], 42);
         let p = g.allocate("US");
         assert_eq!(p, Prefix24(0x0A_00_00 + 42));
         assert_eq!(p.to_cidr(), "10.0.42.0/24");

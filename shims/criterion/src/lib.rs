@@ -110,6 +110,25 @@ fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher
         "{label:<50} time: {value:>9.3} {unit}/iter  ({} samples × {iters} iters)",
         per_iter_ns.len()
     );
+    // Wall-clock medians are host-dependent, so they land in the per-run
+    // section of the shared telemetry snapshot (same JSON schema as
+    // `repro --metrics`).
+    dohperf_telemetry::global()
+        .per_run_gauge(&format!("bench.{label}.ns_per_iter"))
+        .set(median.round() as i64);
+}
+
+/// Write the telemetry snapshot (benchmark medians included) to the path
+/// named by `DOHPERF_BENCH_METRICS`, when set. Called by `criterion_main!`
+/// after all groups finish.
+pub fn write_metrics_if_requested() {
+    if let Some(path) = std::env::var_os("DOHPERF_BENCH_METRICS") {
+        let path = std::path::PathBuf::from(path);
+        match dohperf_telemetry::write_snapshot(&path) {
+            Ok(_) => eprintln!("bench metrics written to {}", path.display()),
+            Err(e) => eprintln!("bench metrics write to {} failed: {e}", path.display()),
+        }
+    }
 }
 
 /// The top-level benchmark driver.
@@ -191,6 +210,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_metrics_if_requested();
         }
     };
 }

@@ -110,7 +110,10 @@ pub mod strategy {
             Self: Sized,
             F: Fn(Self::Value) -> O,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
 
         /// Erase the concrete strategy type.
@@ -718,7 +721,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declare property tests: each `fn name(pat in strategy, ...) { body }`
@@ -801,7 +806,10 @@ macro_rules! prop_assert_eq {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 ::std::format!(
                     "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
-                    stringify!($left), stringify!($right), left_val, right_val
+                    stringify!($left),
+                    stringify!($right),
+                    left_val,
+                    right_val
                 ),
             ));
         }
@@ -818,7 +826,9 @@ macro_rules! prop_assert_ne {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 ::std::format!(
                     "assertion failed: {} != {}\n  both: {:?}",
-                    stringify!($left), stringify!($right), left_val
+                    stringify!($left),
+                    stringify!($right),
+                    left_val
                 ),
             ));
         }
@@ -871,7 +881,8 @@ mod tests {
             let s = Strategy::generate(&label, &mut rng);
             assert!(!s.is_empty() && s.len() <= 15, "{s:?}");
             assert!(
-                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
                 "{s:?}"
             );
             assert!(!s.starts_with('-') && !s.ends_with('-'), "{s:?}");
