@@ -1,7 +1,7 @@
 # Convenience targets for the dohperf reproduction.
 
 .PHONY: build test bench doc repro repro-full examples verify clean \
-        ci fmt-check clippy perf-smoke baseline
+        ci fmt-check clippy perf-smoke baseline store-roundtrip
 
 build:
 	cargo build --workspace --release
@@ -24,10 +24,11 @@ repro-full:
 	cargo run --release -p dohperf-bench --bin repro -- --scale 1.0 all
 
 # Full gate: release build, the whole test suite, the determinism check
-# that 1-worker and multi-worker campaigns serialize identically, and the
-# same lint + perf-smoke jobs CI runs.
+# that 1-worker and multi-worker campaigns serialize identically, the
+# store round-trip check, and the same lint + perf-smoke jobs CI runs.
 verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
+	$(MAKE) store-roundtrip
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
 ci: fmt-check clippy
@@ -41,17 +42,37 @@ fmt-check:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
-# Scale-0.05 campaign; fails (exit 3) if any deterministic metric drifts
-# from the checked-in baseline.
+# Scale-0.05 campaign streamed through the columnar store; fails (exit 3)
+# if any deterministic metric (campaign or store counters) drifts from the
+# checked-in baseline.
 perf-smoke:
 	cargo run --release -p dohperf-bench --bin repro -- \
-	    --seed 2021 --scale 0.05 headline \
+	    --seed 2021 --scale 0.05 --out-format store --store-dir target/ci/store \
+	    headline \
 	    --metrics target/ci/metrics.json --baseline ci/baseline-metrics.json
+	rm -rf target/ci/store
 
 # Regenerate the perf-smoke baseline after an intentional behaviour change.
 baseline:
 	cargo run --release -p dohperf-bench --bin repro -- \
-	    --seed 2021 --scale 0.05 headline --metrics ci/baseline-metrics.json
+	    --seed 2021 --scale 0.05 --out-format store --store-dir target/ci/store \
+	    headline --metrics ci/baseline-metrics.json
+	rm -rf target/ci/store
+
+# Write a quick-scale campaign to a store, re-derive the headline from it
+# with --from-store, and require the two outputs to be identical.
+store-roundtrip:
+	rm -rf target/ci/roundtrip
+	mkdir -p target/ci/roundtrip
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --out-format store \
+	    --store-dir target/ci/roundtrip/store headline \
+	    > target/ci/roundtrip/direct.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --from-store target/ci/roundtrip/store headline \
+	    > target/ci/roundtrip/restored.txt
+	cmp target/ci/roundtrip/direct.txt target/ci/roundtrip/restored.txt
+	@echo "store round-trip OK: --from-store reproduced the headline byte-for-byte"
 
 examples:
 	cargo run --release --example quickstart

@@ -17,6 +17,8 @@
 //! * [`logistic_model`] — Table 4: odds of slowdown under DoH-N.
 //! * [`linear_model`] — Tables 5 and 6: linear models of the raw delta.
 //! * [`render`] — plain-text table rendering for the `repro` binary.
+//! * [`streaming`] — memory-bounded headline/CDF analyses over a
+//!   columnar store directory, via mergeable quantile sketches.
 
 pub mod cdfs;
 pub mod covariates;
@@ -32,6 +34,7 @@ pub mod regions;
 pub mod render;
 pub mod report;
 pub mod robustness;
+pub mod streaming;
 pub mod vantage;
 
 pub use cdfs::{provider_cdfs, CdfSeries, ProviderCdfs};
@@ -46,6 +49,7 @@ pub use pop_improvement::{pop_improvement, PopImprovementStats};
 pub use regions::{region_summaries, regional_variation, RegionSummary};
 pub use report::full_report;
 pub use robustness::{covariate_correlations, headline_cis, CovariateCorrelations, HeadlineCis};
+pub use streaming::{cdfs_from_store, headline_from_store, StreamingCdfs, StreamingHeadline};
 pub use vantage::{vantage_comparison, VantageComparison};
 
 /// Convenience re-exports.

@@ -3,12 +3,21 @@
 //!
 //! ```text
 //! repro [--seed N] [--scale F] [--threads N] [--metrics PATH]
-//!       [--baseline PATH] [--tolerance F] <experiment>...
+//!       [--baseline PATH] [--tolerance F]
+//!       [--out-format both|csv|jsonl|store] [--store-dir DIR]
+//!       [--from-store DIR] <experiment>...
 //! repro all                    # everything, in paper order
 //! ```
 //!
 //! `--threads 0` (the default) uses all available cores. Any thread count
 //! produces a byte-identical dataset — see DESIGN.md §2.
+//!
+//! `--out-format store` streams the campaign's records to `--store-dir`
+//! (default `target/store`) with memory bounded by the chunk budget, and
+//! makes the `export` experiment report the store instead of CSV/JSONL.
+//! `--from-store DIR` skips the campaign entirely and re-derives every
+//! experiment from a previously written store — byte-identically, since
+//! the store round-trips records losslessly (see DESIGN.md §10).
 //!
 //! `--metrics PATH` writes the telemetry snapshot as stable JSON after the
 //! experiments finish and prints the human-readable table to stderr.
@@ -21,7 +30,7 @@
 //!              fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!              sec4-3 sec4-4 headline
 
-use dohperf_bench::{ReproConfig, ReproContext};
+use dohperf_bench::{OutFormat, ReproConfig, ReproContext};
 
 const EXPERIMENTS: [&str; 27] = [
     "table1",
@@ -99,6 +108,25 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs an integer (0 = all cores)"));
+            }
+            "--out-format" => {
+                config.out_format = args
+                    .next()
+                    .and_then(|v| OutFormat::parse(&v))
+                    .unwrap_or_else(|| usage("--out-format needs both|csv|jsonl|store"));
+            }
+            "--store-dir" => {
+                config.store_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--store-dir needs a path"))
+                    .into();
+            }
+            "--from-store" => {
+                config.from_store = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--from-store needs a path"))
+                        .into(),
+                );
             }
             "--help" | "-h" => usage(""),
             "all" => requested.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
@@ -202,7 +230,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--seed N] [--scale F] [--threads N] [--metrics PATH] \
-         [--baseline PATH] [--tolerance F] <experiment>...\n       repro all\nexperiments: {}",
+         [--baseline PATH] [--tolerance F] [--out-format both|csv|jsonl|store] \
+         [--store-dir DIR] [--from-store DIR] <experiment>...\n       repro all\nexperiments: {}",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -6,4 +6,4 @@
 
 pub mod repro;
 
-pub use repro::{ReproConfig, ReproContext};
+pub use repro::{OutFormat, ReproConfig, ReproContext};

@@ -19,8 +19,38 @@ use dohperf_providers::provider::{ProviderKind, ALL_PROVIDERS};
 use dohperf_stats::desc::median;
 use std::fmt::Write as _;
 
+/// What the `export` experiment writes, and how the campaign stores its
+/// records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutFormat {
+    /// CSV and JSON Lines (the historical default).
+    #[default]
+    Both,
+    /// CSV only.
+    Csv,
+    /// JSON Lines only.
+    Jsonl,
+    /// Columnar store directory: the campaign *streams* its records to
+    /// disk as shards finish ([`Campaign::run_to_store`]), so peak
+    /// record residency is the chunk budget, not the dataset size.
+    Store,
+}
+
+impl OutFormat {
+    /// Parse a `--out-format` argument.
+    pub fn parse(s: &str) -> Option<OutFormat> {
+        match s {
+            "both" => Some(OutFormat::Both),
+            "csv" => Some(OutFormat::Csv),
+            "jsonl" => Some(OutFormat::Jsonl),
+            "store" => Some(OutFormat::Store),
+            _ => None,
+        }
+    }
+}
+
 /// Harness configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReproConfig {
     /// Master seed.
     pub seed: u64,
@@ -29,6 +59,15 @@ pub struct ReproConfig {
     /// Campaign worker threads (0 = available parallelism). Output is
     /// byte-identical regardless of the value.
     pub threads: usize,
+    /// Export format; `Store` also switches the campaign to the
+    /// streaming store writer.
+    pub out_format: OutFormat,
+    /// Skip the campaign and load the dataset from this store directory
+    /// instead. The materialised dataset is bit-exact with the one the
+    /// writing run produced, so every experiment reproduces identically.
+    pub from_store: Option<std::path::PathBuf>,
+    /// Where `OutFormat::Store` writes the store directory.
+    pub store_dir: std::path::PathBuf,
 }
 
 impl Default for ReproConfig {
@@ -37,6 +76,9 @@ impl Default for ReproConfig {
             seed: 2021,
             scale: 0.25,
             threads: 0,
+            out_format: OutFormat::Both,
+            from_store: None,
+            store_dir: std::path::PathBuf::from("target/store"),
         }
     }
 }
@@ -57,15 +99,37 @@ impl ReproContext {
     }
 
     /// The (cached) campaign dataset.
+    ///
+    /// Three sources, in precedence order: an existing store directory
+    /// (`--from-store`), a streaming store-writing campaign run
+    /// (`--out-format store`, which spills records to `store_dir` with
+    /// bounded memory and reads them back), or the in-memory campaign.
+    /// All three yield bit-identical datasets for the same seed/scale.
     pub fn dataset(&mut self) -> &Dataset {
         if self.dataset.is_none() {
-            let cfg = CampaignConfig {
-                seed: self.config.seed,
-                scale: self.config.scale,
-                threads: self.config.threads,
-                ..CampaignConfig::default()
-            };
-            self.dataset = Some(Campaign::new(cfg).run());
+            self.dataset = Some(if let Some(dir) = self.config.from_store.clone() {
+                dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
+                    panic!("loading store {}: {e}", dir.display());
+                })
+            } else {
+                let cfg = CampaignConfig {
+                    seed: self.config.seed,
+                    scale: self.config.scale,
+                    threads: self.config.threads,
+                    ..CampaignConfig::default()
+                };
+                if self.config.out_format == OutFormat::Store {
+                    let dir = self.config.store_dir.clone();
+                    Campaign::new(cfg)
+                        .run_to_store(&dir, 0)
+                        .unwrap_or_else(|e| panic!("writing store {}: {e}", dir.display()));
+                    dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
+                        panic!("reading back store {}: {e}", dir.display());
+                    })
+                } else {
+                    Campaign::new(cfg).run()
+                }
+            });
         }
         self.dataset.as_ref().expect("just initialised")
     }
@@ -711,25 +775,46 @@ so DoH-by-default remains a first-connection tax even in a warm-cache world.
         out
     }
 
-    /// Export the dataset to `dataset.csv` and `dataset.jsonl` in `dir`.
+    /// Export the dataset into `dir` in the configured `--out-format`:
+    /// CSV, JSON Lines, both (default), or the columnar store.
     pub fn export(&mut self, dir: &std::path::Path) -> std::io::Result<String> {
+        let format = self.config.out_format;
+        let store_dir = self.config.store_dir.clone();
         let ds = self.dataset();
-        let csv = dohperf_core::export::to_csv(ds);
-        let jsonl = dohperf_core::export::to_jsonl(ds);
         std::fs::create_dir_all(dir)?;
-        let csv_path = dir.join("dataset.csv");
-        let jsonl_path = dir.join("dataset.jsonl");
-        std::fs::write(&csv_path, &csv)?;
-        std::fs::write(&jsonl_path, &jsonl)?;
-        Ok(format!(
-            "exported {} clients: {} ({} bytes) and {} ({} bytes)
-",
-            ds.records.len(),
-            csv_path.display(),
-            csv.len(),
-            jsonl_path.display(),
-            jsonl.len(),
-        ))
+        let mut out = format!("exported {} clients:\n", ds.records.len());
+        if matches!(format, OutFormat::Both | OutFormat::Csv) {
+            let csv = dohperf_core::export::to_csv(ds);
+            let path = dir.join("dataset.csv");
+            std::fs::write(&path, &csv)?;
+            let _ = writeln!(out, "  {} ({} bytes)", path.display(), csv.len());
+        }
+        if matches!(format, OutFormat::Both | OutFormat::Jsonl) {
+            let jsonl = dohperf_core::export::to_jsonl(ds);
+            let path = dir.join("dataset.jsonl");
+            std::fs::write(&path, &jsonl)?;
+            let _ = writeln!(out, "  {} ({} bytes)", path.display(), jsonl.len());
+        }
+        if format == OutFormat::Store {
+            // The streaming campaign already wrote the store directory;
+            // when the dataset came from elsewhere (e.g. --from-store),
+            // write one from the materialised records.
+            if !store_dir.join("manifest.bin").is_file() {
+                dohperf_core::store_io::write_dataset(ds, &store_dir, 0)
+                    .map_err(std::io::Error::from)?;
+            }
+            let manifest =
+                dohperf_core::store_io::read_manifest(&store_dir).map_err(std::io::Error::from)?;
+            let _ = writeln!(
+                out,
+                "  {} ({} records, {} chunks, {} bytes)",
+                store_dir.display(),
+                manifest.total_records,
+                manifest.total_chunks,
+                manifest.total_bytes,
+            );
+        }
+        Ok(out)
     }
 
     /// Ablation: vantage-point bias (the §7 single-proxy limitation).
@@ -896,7 +981,7 @@ mod tests {
         ReproContext::new(ReproConfig {
             seed: 7,
             scale: 0.05,
-            threads: 0,
+            ..ReproConfig::default()
         })
     }
 

@@ -22,6 +22,7 @@
 
 use crate::equations::{derive_t_doh_ms, derive_t_dohr_ms};
 use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+use crate::store_io;
 use crate::testbed::Testbed;
 use dohperf_netsim::rng::SimRng;
 use dohperf_providers::anycast::AnycastPolicy;
@@ -30,11 +31,15 @@ use dohperf_proxy::atlas::AtlasNetwork;
 use dohperf_proxy::exitnode::ExitNode;
 use dohperf_proxy::network::MeasurementOptions;
 use dohperf_proxy::superproxy::SuperProxy;
+use dohperf_store::{ChunkWriter, Manifest, WriterStats, MANIFEST_FILE, RECORDS_FILE};
 use dohperf_world::countries::Country;
 use dohperf_world::geoloc::GeolocationService;
 use dohperf_world::population::PopulationModel;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -127,14 +132,161 @@ impl Campaign {
     /// seed, and results merge in canonical country order, so any thread
     /// count produces byte-identical output.
     pub fn run(&self) -> Dataset {
+        let plan = self.plan();
+        let shards = self.run_sharded(&plan, |i| {
+            let mut records = Vec::with_capacity(plan.counts[i]);
+            let outcome = self
+                .run_country_shard(&plan, i, &mut |record| {
+                    records.push(record);
+                    Ok(())
+                })
+                .expect("the in-memory sink never fails");
+            let clients = records.len() + outcome.discarded;
+            ((records, outcome), clients)
+        });
+
+        // Merge in canonical country order; workers finished in arbitrary
+        // order but each slot holds exactly its country's shard.
+        let mut records = Vec::new();
+        let mut discarded = 0usize;
+        let mut atlas_do53_ms = Vec::new();
+        for (country_index, (shard_records, outcome)) in shards.into_iter().enumerate() {
+            records.extend(shard_records);
+            discarded += outcome.discarded;
+            if let Some(samples) = outcome.atlas_do53_ms {
+                atlas_do53_ms.push((country_index, samples));
+            }
+        }
+
+        let (observed_ases, observed_resolvers) =
+            observed_infrastructure(records.len(), plan.country_list.len());
+
+        Dataset {
+            records,
+            countries: plan.countries,
+            atlas_do53_ms,
+            discarded_mismatches: discarded,
+            observed_ases,
+            observed_resolvers,
+        }
+    }
+
+    /// Run the full campaign, streaming records to a store directory
+    /// instead of accumulating them in memory.
+    ///
+    /// Each country shard spills its records through a [`ChunkWriter`]
+    /// into `dir/shards/shard-{index:05}.chunks` as clients are
+    /// measured, so a worker's peak resident record count is the chunk
+    /// budget (`chunk_budget` 0 means the crate default), not the shard
+    /// size. When all shards finish, the spill files are concatenated
+    /// into `records.chunks` in canonical country order and the
+    /// manifest is written. Because chunk bytes are a pure function of
+    /// the shard's record sequence and the budget, the merged store is
+    /// byte-identical for any [`CampaignConfig::threads`] value — the
+    /// same contract [`Campaign::run`] gives for the in-memory dataset.
+    pub fn run_to_store(
+        &self,
+        dir: &Path,
+        chunk_budget: usize,
+    ) -> dohperf_store::Result<StoreRunSummary> {
+        let plan = self.plan();
+        let shards_dir = dir.join("shards");
+        std::fs::create_dir_all(&shards_dir)?;
+
+        let spill_path =
+            |i: usize| -> std::path::PathBuf { shards_dir.join(format!("shard-{i:05}.chunks")) };
+        let results = self.run_sharded(&plan, |i| {
+            let result: dohperf_store::Result<StoreShard> = (|| {
+                let file = BufWriter::new(File::create(spill_path(i))?);
+                let mut writer = ChunkWriter::new(file, chunk_budget);
+                let outcome = self.run_country_shard(&plan, i, &mut |record| {
+                    writer
+                        .push(store_io::record_to_store(&record))
+                        .map_err(std::io::Error::from)
+                })?;
+                let stats = writer.finish()?;
+                Ok(StoreShard { outcome, stats })
+            })();
+            let clients = match &result {
+                Ok(shard) => shard.outcome.retained + shard.outcome.discarded,
+                Err(_) => 0,
+            };
+            (result, clients)
+        });
+
+        // Concatenate spill files in canonical country order: chunks are
+        // self-contained, so concatenation is the merge.
+        let mut out = BufWriter::new(File::create(dir.join(RECORDS_FILE))?);
+        let mut totals = WriterStats::default();
+        let mut retained = 0usize;
+        let mut discarded = 0usize;
+        let mut atlas_do53_ms: Vec<(u32, Vec<f64>)> = Vec::new();
+        for (country_index, result) in results.into_iter().enumerate() {
+            let shard = result?;
+            let path = spill_path(country_index);
+            let mut spill = File::open(&path)?;
+            std::io::copy(&mut spill, &mut out)?;
+            std::fs::remove_file(&path)?;
+            totals = totals.merge(shard.stats);
+            retained += shard.outcome.retained;
+            discarded += shard.outcome.discarded;
+            if let Some(samples) = shard.outcome.atlas_do53_ms {
+                atlas_do53_ms.push((country_index as u32, samples));
+            }
+        }
+        out.flush()?;
+        drop(out);
+        let _ = std::fs::remove_dir(&shards_dir);
+
+        let (observed_ases, observed_resolvers) =
+            observed_infrastructure(retained, plan.country_list.len());
+        let manifest = Manifest {
+            countries: plan
+                .countries
+                .iter()
+                .map(|iso| store_io::iso_bytes(iso))
+                .collect(),
+            atlas_do53_ms,
+            discarded_mismatches: discarded as u64,
+            observed_ases: observed_ases as u64,
+            observed_resolvers: observed_resolvers as u64,
+            total_records: totals.records,
+            total_chunks: totals.chunks,
+            total_bytes: totals.bytes,
+        };
+        std::fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
+
+        dohperf_telemetry::counter!("store.chunks_written").add(totals.chunks);
+        dohperf_telemetry::counter!("store.bytes_written").add(totals.bytes);
+        dohperf_telemetry::trace::event(
+            "campaign",
+            format!(
+                "store: {} records in {} chunks ({} bytes) -> {}",
+                totals.records,
+                totals.chunks,
+                totals.bytes,
+                dir.display()
+            ),
+        );
+
+        Ok(StoreRunSummary {
+            stats: totals,
+            discarded,
+        })
+    }
+
+    /// Precompute the campaign layout shared by every execution mode:
+    /// population sample, country list, per-country client counts with
+    /// prefix-summed exclusive client-ID bases (shard `i` numbers its
+    /// clients `bases[i]+1 ..= bases[i]+counts[i]`, exactly the IDs a
+    /// sequential walk over the countries would assign), and the worker
+    /// thread count.
+    fn plan(&self) -> Plan {
         let root_rng = SimRng::new(self.config.seed).fork("campaign");
         let population = PopulationModel::sample(&mut root_rng.clone());
         let country_list: Vec<&'static Country> = population.countries().to_vec();
         let countries: Vec<&'static str> = country_list.iter().map(|c| c.iso).collect();
 
-        // Per-country client counts, prefix-summed into exclusive client-ID
-        // bases: shard i numbers its clients bases[i]+1 .. bases[i]+counts[i],
-        // exactly the IDs a sequential walk over the countries would assign.
         let counts: Vec<usize> = (0..country_list.len())
             .map(|i| {
                 let full_count = population.count(i);
@@ -167,15 +319,33 @@ impl Campaign {
             ),
         );
 
-        let n = country_list.len();
+        Plan {
+            root_rng,
+            population,
+            country_list,
+            countries,
+            counts,
+            bases,
+            threads,
+        }
+    }
+
+    /// Pull country shards off a shared queue across the plan's worker
+    /// threads. `shard_fn` returns the shard result plus its client
+    /// count (for throughput accounting); results come back in canonical
+    /// country order regardless of completion order.
+    fn run_sharded<T, F>(&self, plan: &Plan, shard_fn: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> (T, usize) + Sync,
+    {
+        let n = plan.country_list.len();
+        let threads = plan.threads;
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<CountryShard>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         crossbeam::thread::scope(|scope| {
             for worker in 0..threads {
-                let (next, slots) = (&next, &slots);
-                let (root_rng, population) = (&root_rng, &population);
-                let (country_list, countries) = (&country_list, &countries);
-                let (counts, bases) = (&counts, &bases);
+                let (next, slots, shard_fn) = (&next, &slots, &shard_fn);
                 scope.spawn(move |_| {
                     let started = Instant::now();
                     let mut shard_count = 0usize;
@@ -185,18 +355,10 @@ impl Campaign {
                         if i >= n {
                             break;
                         }
-                        let shard = self.run_country_shard(
-                            root_rng,
-                            population,
-                            country_list[i],
-                            i,
-                            countries,
-                            counts[i],
-                            bases[i],
-                        );
+                        let (result, clients) = shard_fn(i);
                         shard_count += 1;
-                        client_count += shard.records.len() + shard.discarded;
-                        *slots[i].lock() = Some(shard);
+                        client_count += clients;
+                        *slots[i].lock() = Some(result);
                     }
                     if shard_count > 0 {
                         let secs = started.elapsed().as_secs_f64().max(1e-9);
@@ -224,57 +386,35 @@ impl Campaign {
         })
         .expect("campaign worker panicked");
 
-        // Merge in canonical country order; workers finished in arbitrary
-        // order but each slot holds exactly its country's shard.
-        let mut records = Vec::new();
-        let mut discarded = 0usize;
-        let mut atlas_do53_ms = Vec::new();
-        for (country_index, slot) in slots.into_iter().enumerate() {
-            let shard = slot
-                .into_inner()
-                .expect("every country shard was processed");
-            records.extend(shard.records);
-            discarded += shard.discarded;
-            if let Some(samples) = shard.atlas_do53_ms {
-                atlas_do53_ms.push((country_index, samples));
-            }
-        }
-
-        // Observed-infrastructure bookkeeping: the paper reports 2,190
-        // client ASes and 1,896 recursive resolvers. We synthesise the
-        // counts from the record set (one resolver node per client, pooled
-        // by country as a proxy for AS diversity).
-        let observed_resolvers = records.len().min(1_896 * records.len() / 22_052 + 1);
-        let observed_ases = (records.len() / 10).max(country_list.len());
-
-        Dataset {
-            records,
-            countries,
-            atlas_do53_ms,
-            discarded_mismatches: discarded,
-            observed_ases,
-            observed_resolvers,
-        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every country shard was processed")
+            })
+            .collect()
     }
 
-    /// Execute one country's self-contained work unit.
+    /// Execute one country's self-contained work unit, handing each
+    /// retained record to `emit` as it is measured.
     ///
     /// Everything stochastic inside the shard descends from forks of the
     /// shared (never-advanced) campaign root stream, keyed by the country's
     /// ISO code or by globally stable client IDs — never from worker-local
     /// state — so the shard's output does not depend on which worker runs
-    /// it or in what order shards complete.
-    #[allow(clippy::too_many_arguments)]
+    /// it or in what order shards complete. The sink decides what a record
+    /// costs to hold: the in-memory path pushes into a `Vec`, the store
+    /// path pushes into a [`ChunkWriter`] whose budget bounds residency.
     fn run_country_shard(
         &self,
-        root_rng: &SimRng,
-        population: &PopulationModel,
-        country: &'static Country,
+        plan: &Plan,
         country_index: usize,
-        countries: &[&'static str],
-        count: usize,
-        client_id_base: u64,
-    ) -> CountryShard {
+        emit: &mut dyn FnMut(ClientRecord) -> std::io::Result<()>,
+    ) -> std::io::Result<ShardOutcome> {
+        let root_rng = &plan.root_rng;
+        let country = plan.country_list[country_index];
+        let count = plan.counts[country_index];
+        let client_id_base = plan.bases[country_index];
         let iso = country.iso;
         let mut tb = Testbed::new(root_rng.fork(&format!("testbed-{iso}")).seed());
         // The prefix base equals the shard's client-ID base, so the /24s
@@ -282,14 +422,16 @@ impl Campaign {
         let mut geoloc = GeolocationService::with_prefix_base(
             root_rng.fork(&format!("geoloc-{iso}")),
             self.config.geoloc_error_rate,
-            countries.to_vec(),
+            plan.countries.clone(),
             client_id_base as u32,
         );
 
         // client_sites only forks from the rng it is handed, so a clone of
         // the root stream yields the same sites the sequential walk saw.
-        let sites = population.client_sites(country_index, &mut root_rng.clone());
-        let mut records = Vec::with_capacity(count);
+        let sites = plan
+            .population
+            .client_sites(country_index, &mut root_rng.clone());
+        let mut retained = 0usize;
         let mut discarded = 0usize;
         for (offset, site) in sites.into_iter().take(count).enumerate() {
             let client_id = client_id_base + offset as u64 + 1;
@@ -305,7 +447,8 @@ impl Campaign {
             );
             let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng);
             if record.countries_agree() {
-                records.push(record);
+                emit(record)?;
+                retained += 1;
             } else {
                 discarded += 1;
             }
@@ -335,19 +478,19 @@ impl Campaign {
         let shard_sim_ms = tb.sim.now().as_millis_f64();
         dohperf_telemetry::histogram!("campaign.shard_sim_ms").record_ms(shard_sim_ms);
         dohperf_telemetry::counter!("campaign.countries_measured").inc();
-        dohperf_telemetry::counter!("campaign.clients_measured").add(records.len() as u64);
+        dohperf_telemetry::counter!("campaign.clients_measured").add(retained as u64);
         dohperf_telemetry::counter!("campaign.clients_discarded").add(discarded as u64);
         dohperf_telemetry::trace::event_ms(
             "campaign",
-            format!("shard {iso}: {} clients", records.len()),
+            format!("shard {iso}: {retained} clients"),
             shard_sim_ms,
         );
 
-        CountryShard {
-            records,
+        Ok(ShardOutcome {
+            retained,
             discarded,
             atlas_do53_ms,
-        }
+        })
     }
 
     /// Measure one client: four DoH providers plus Do53, `runs_per_client`
@@ -445,12 +588,50 @@ impl Campaign {
     }
 }
 
-/// One country's completed work unit, merged back in canonical order.
-struct CountryShard {
-    records: Vec<ClientRecord>,
+/// Precomputed campaign layout shared by every execution mode.
+struct Plan {
+    root_rng: SimRng,
+    population: PopulationModel,
+    country_list: Vec<&'static Country>,
+    countries: Vec<&'static str>,
+    /// Scaled client count per country.
+    counts: Vec<usize>,
+    /// Exclusive client-ID base per country (prefix sums of `counts`).
+    bases: Vec<u64>,
+    threads: usize,
+}
+
+/// What a country shard reports after its records have gone to the sink.
+struct ShardOutcome {
+    retained: usize,
     discarded: usize,
     /// Atlas Do53 samples, present only for Super-Proxy remedy countries.
     atlas_do53_ms: Option<Vec<f64>>,
+}
+
+/// A store-mode shard: its outcome plus the spill file's chunk totals.
+struct StoreShard {
+    outcome: ShardOutcome,
+    stats: WriterStats,
+}
+
+/// Totals from a [`Campaign::run_to_store`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRunSummary {
+    /// Record/chunk/byte totals of the merged `records.chunks`.
+    pub stats: WriterStats,
+    /// Records discarded by the Maxmind mismatch filter.
+    pub discarded: usize,
+}
+
+/// Observed-infrastructure bookkeeping: the paper reports 2,190 client
+/// ASes and 1,896 recursive resolvers. We synthesise the counts from the
+/// retained record total (one resolver node per client, pooled by
+/// country as a proxy for AS diversity).
+fn observed_infrastructure(records: usize, countries: usize) -> (usize, usize) {
+    let observed_resolvers = records.min(1_896 * records / 22_052 + 1);
+    let observed_ases = (records / 10).max(countries);
+    (observed_ases, observed_resolvers)
 }
 
 fn median(xs: &mut [f64]) -> f64 {
@@ -573,6 +754,29 @@ mod tests {
             assert_eq!(ra.client_id, rb.client_id);
             assert_eq!(ra.doh[0].t_doh_ms, rb.doh[0].t_doh_ms);
         }
+    }
+
+    #[test]
+    fn store_run_reproduces_the_in_memory_dataset() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(11)
+        };
+        let direct = Campaign::new(config).run();
+        let dir =
+            std::env::temp_dir().join(format!("dohperf-campaign-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = Campaign::new(config).run_to_store(&dir, 64).unwrap();
+        assert_eq!(summary.stats.records as usize, direct.records.len());
+        assert_eq!(summary.discarded, direct.discarded_mismatches);
+        assert!(summary.stats.chunks > 0);
+        let back = crate::store_io::read_dataset(&dir).unwrap();
+        assert_eq!(back.records, direct.records);
+        assert_eq!(back.countries, direct.countries);
+        assert_eq!(back.atlas_do53_ms, direct.atlas_do53_ms);
+        assert_eq!(back.observed_ases, direct.observed_ases);
+        assert_eq!(back.observed_resolvers, direct.observed_resolvers);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

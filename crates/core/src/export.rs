@@ -164,10 +164,18 @@ mod tests {
     #[test]
     fn csv_never_exports_full_addresses() {
         let csv = to_csv(dataset());
-        // Prefixes end in .0/24 — no full host addresses.
-        for line in csv.lines().skip(1) {
-            let prefix = line.split(',').nth(3).unwrap();
-            assert!(prefix.ends_with(".0/24"), "{prefix}");
+        // Prefixes end in .0/24 — no full host addresses. Column 3 is
+        // `prefix` (see CSV_HEADER); a row too short to have one is its
+        // own failure, reported with the offending row for context.
+        for (lineno, line) in csv.lines().enumerate().skip(1) {
+            let Some(prefix) = line.split(',').nth(3) else {
+                panic!("row {lineno} has no prefix column (expected ≥4 fields): {line:?}");
+            };
+            assert!(
+                prefix.ends_with(".0/24"),
+                "row {lineno}: prefix column {prefix:?} is not a /24 — \
+                 a full client address may have leaked into the export"
+            );
         }
     }
 

@@ -16,7 +16,12 @@
 //!   per-provider DoH samples and the Do53 baseline.
 //! * [`campaign`] — the full measurement campaign over 224 countries,
 //!   including the Maxmind mismatch discard (§3.5) and the RIPE Atlas
-//!   remedy for the 11 Super Proxy countries.
+//!   remedy for the 11 Super Proxy countries. Runs either in memory
+//!   ([`Campaign::run`]) or streamed to a columnar store directory with
+//!   bounded memory ([`Campaign::run_to_store`]).
+//! * [`store_io`] — lossless conversion between [`ClientRecord`]s and
+//!   `dohperf-store`'s primitive schema, plus store-directory read/write
+//!   entry points.
 //! * [`validation`] — the §4 ground-truth experiments (Tables 1 and 2,
 //!   the §4.3 resolver-confirmation trace, and the §4.4 BrightData vs
 //!   RIPE Atlas consistency check).
@@ -25,13 +30,15 @@ pub mod campaign;
 pub mod equations;
 pub mod export;
 pub mod records;
+pub mod store_io;
 pub mod testbed;
 pub mod validation;
 
-pub use campaign::{Campaign, CampaignConfig};
+pub use campaign::{Campaign, CampaignConfig, StoreRunSummary};
 pub use equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
 pub use export::{to_csv, to_jsonl};
 pub use records::{ClientRecord, Dataset, Do53Source, DohSample};
+pub use store_io::{read_dataset, read_records, write_dataset};
 pub use testbed::Testbed;
 
 /// Convenience re-exports.

@@ -1,0 +1,339 @@
+//! Lossless conversion between [`ClientRecord`]s and the columnar store.
+//!
+//! `dohperf-store` is dependency-free and stores only primitives
+//! ([`StoreRecord`]); this module owns the mapping back to the rich
+//! schema — interning two-byte ISO codes against the `'static` country
+//! table and provider ordinals against [`ALL_PROVIDERS`] — plus the
+//! directory-level read/write entry points:
+//!
+//! * [`write_dataset`] — spill an in-memory [`Dataset`] to a store
+//!   directory (`records.chunks` + `manifest.bin`);
+//! * [`read_dataset`] — materialise a full [`Dataset`] back, bit-exact
+//!   (floats round-trip through raw bits, so a dataset written and read
+//!   compares equal field-for-field);
+//! * [`read_records`] — stream records one chunk at a time for
+//!   memory-bounded analysis; peak residency is one decoded chunk.
+//!
+//! [`crate::campaign::Campaign::run_to_store`] uses the same conversion
+//! while streaming records straight off the measurement loop.
+
+use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+use dohperf_netsim::topology::GeoPoint;
+use dohperf_providers::provider::ALL_PROVIDERS;
+use dohperf_store::{
+    ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StoreRecord,
+    WriterStats, MANIFEST_FILE, RECORDS_FILE,
+};
+use dohperf_world::geoloc::Prefix24;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Project a rich record onto the store's primitive schema.
+pub fn record_to_store(r: &ClientRecord) -> StoreRecord {
+    StoreRecord {
+        client_id: r.client_id,
+        country_iso: iso_bytes(r.country_iso),
+        country_index: r.country_index as u32,
+        prefix: r.prefix.0,
+        maxmind_country: iso_bytes(r.maxmind_country),
+        lat: r.position.lat,
+        lon: r.position.lon,
+        nameserver_distance_miles: r.nameserver_distance_miles,
+        doh: r
+            .doh
+            .iter()
+            .map(|s| StoreDohSample {
+                provider: ALL_PROVIDERS
+                    .iter()
+                    .position(|&p| p == s.provider)
+                    .expect("every provider is in ALL_PROVIDERS") as u8,
+                t_doh_ms: s.t_doh_ms,
+                t_dohr_ms: s.t_dohr_ms,
+                pop_index: s.pop_index as u32,
+                pop_distance_miles: s.pop_distance_miles,
+                nearest_pop_distance_miles: s.nearest_pop_distance_miles,
+            })
+            .collect(),
+        do53_ms: r.do53_ms,
+        do53_source: match r.do53_source {
+            Do53Source::BrightDataHeader => 0,
+            Do53Source::RipeAtlasRemedy => 1,
+        },
+    }
+}
+
+/// Rebuild the rich record, re-interning countries and providers.
+pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
+    let doh = r
+        .doh
+        .iter()
+        .map(|s| {
+            let provider = *ALL_PROVIDERS.get(s.provider as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: provider ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.provider,
+                    ALL_PROVIDERS.len()
+                ))
+            })?;
+            Ok(DohSample {
+                provider,
+                t_doh_ms: s.t_doh_ms,
+                t_dohr_ms: s.t_dohr_ms,
+                pop_index: s.pop_index as usize,
+                pop_distance_miles: s.pop_distance_miles,
+                nearest_pop_distance_miles: s.nearest_pop_distance_miles,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ClientRecord {
+        client_id: r.client_id,
+        country_iso: intern_iso(r.country_iso, r.client_id)?,
+        country_index: r.country_index as usize,
+        prefix: Prefix24(r.prefix),
+        maxmind_country: intern_iso(r.maxmind_country, r.client_id)?,
+        position: GeoPoint::new(r.lat, r.lon),
+        nameserver_distance_miles: r.nameserver_distance_miles,
+        doh,
+        do53_ms: r.do53_ms,
+        do53_source: match r.do53_source {
+            0 => Do53Source::BrightDataHeader,
+            1 => Do53Source::RipeAtlasRemedy,
+            n => {
+                return Err(StoreError::Corrupt(format!(
+                    "client {}: do53 source ordinal {n} is neither header (0) nor atlas (1)",
+                    r.client_id
+                )))
+            }
+        },
+    })
+}
+
+/// Two ASCII bytes from an ISO code (or the `"??"` failed-lookup marker).
+pub(crate) fn iso_bytes(iso: &str) -> [u8; 2] {
+    let b = iso.as_bytes();
+    debug_assert_eq!(b.len(), 2, "ISO code {iso:?} is not two bytes");
+    [b[0], b[1]]
+}
+
+/// Re-intern two ISO bytes against the `'static` country table.
+fn intern_iso(bytes: [u8; 2], client_id: u64) -> Result<&'static str> {
+    if bytes == *b"??" {
+        return Ok("??");
+    }
+    let iso = std::str::from_utf8(&bytes).map_err(|_| {
+        StoreError::Corrupt(format!(
+            "client {client_id}: country bytes {bytes:?} are not ASCII"
+        ))
+    })?;
+    dohperf_world::countries::country(iso)
+        .map(|c| c.iso)
+        .ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "client {client_id}: country {iso:?} is not in the embedded table"
+            ))
+        })
+}
+
+/// Write a materialised dataset to `dir` as a store directory.
+///
+/// Returns the chunk totals. `chunk_budget` 0 means the default. Mostly
+/// for tests and conversions; the campaign's streaming path is
+/// [`crate::campaign::Campaign::run_to_store`].
+pub fn write_dataset(ds: &Dataset, dir: &Path, chunk_budget: usize) -> Result<WriterStats> {
+    std::fs::create_dir_all(dir)?;
+    let file = BufWriter::new(File::create(dir.join(RECORDS_FILE))?);
+    let mut writer = ChunkWriter::new(file, chunk_budget);
+    for r in &ds.records {
+        writer.push(record_to_store(r))?;
+    }
+    let stats = writer.finish()?;
+    let manifest = manifest_for(ds, stats);
+    std::fs::write(dir.join(MANIFEST_FILE), manifest.encode())?;
+    dohperf_telemetry::counter!("store.chunks_written").add(stats.chunks);
+    dohperf_telemetry::counter!("store.bytes_written").add(stats.bytes);
+    Ok(stats)
+}
+
+/// Build the manifest for a dataset whose chunks produced `stats`.
+pub(crate) fn manifest_for(ds: &Dataset, stats: WriterStats) -> Manifest {
+    Manifest {
+        countries: ds.countries.iter().map(|iso| iso_bytes(iso)).collect(),
+        atlas_do53_ms: ds
+            .atlas_do53_ms
+            .iter()
+            .map(|(idx, samples)| (*idx as u32, samples.clone()))
+            .collect(),
+        discarded_mismatches: ds.discarded_mismatches as u64,
+        observed_ases: ds.observed_ases as u64,
+        observed_resolvers: ds.observed_resolvers as u64,
+        total_records: stats.records,
+        total_chunks: stats.chunks,
+        total_bytes: stats.bytes,
+    }
+}
+
+/// Read the manifest of a store directory.
+pub fn read_manifest(dir: &Path) -> Result<Manifest> {
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+    Manifest::decode(&bytes)
+}
+
+/// Materialise the full [`Dataset`] from a store directory.
+///
+/// The result is bit-exact with the dataset that was written: floats
+/// round-trip through raw bits and countries re-intern to the same
+/// `'static` table entries.
+pub fn read_dataset(dir: &Path) -> Result<Dataset> {
+    let manifest = read_manifest(dir)?;
+    let mut records = Vec::with_capacity(manifest.total_records as usize);
+    for r in read_records(dir)? {
+        records.push(r?);
+    }
+    if records.len() as u64 != manifest.total_records {
+        return Err(StoreError::Corrupt(format!(
+            "store {}: manifest promises {} records, chunks hold {}",
+            dir.display(),
+            manifest.total_records,
+            records.len()
+        )));
+    }
+    let countries = manifest
+        .countries
+        .iter()
+        .map(|&iso| intern_iso(iso, 0))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Dataset {
+        records,
+        countries,
+        atlas_do53_ms: manifest
+            .atlas_do53_ms
+            .iter()
+            .map(|(idx, samples)| (*idx as usize, samples.clone()))
+            .collect(),
+        discarded_mismatches: manifest.discarded_mismatches as usize,
+        observed_ases: manifest.observed_ases as usize,
+        observed_resolvers: manifest.observed_resolvers as usize,
+    })
+}
+
+/// Stream rich records from a store directory, one chunk resident at a
+/// time. Counts every yielded record in `store.records_streamed`.
+pub fn read_records(dir: &Path) -> Result<RecordStream> {
+    let file = File::open(dir.join(RECORDS_FILE))?;
+    Ok(RecordStream {
+        inner: ChunkReader::new(BufReader::new(file)),
+    })
+}
+
+/// Iterator adapter over [`ChunkReader`] yielding rich [`ClientRecord`]s.
+pub struct RecordStream {
+    inner: ChunkReader<BufReader<File>>,
+}
+
+impl RecordStream {
+    /// Chunks fully decoded so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.inner.chunks_read()
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = Result<ClientRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let converted = item.and_then(|r| record_from_store(&r));
+        if converted.is_ok() {
+            dohperf_telemetry::counter!("store.records_streamed").inc();
+        }
+        Some(converted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use std::sync::OnceLock;
+
+    fn dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| {
+            Campaign::new(CampaignConfig {
+                scale: 0.02,
+                ..CampaignConfig::quick(9)
+            })
+            .run()
+        })
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dohperf-store-io-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_conversion_round_trips() {
+        for r in &dataset().records {
+            let back = record_from_store(&record_to_store(r)).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn dataset_round_trips_through_a_store_directory() {
+        let ds = dataset();
+        let dir = temp_dir("roundtrip");
+        let stats = write_dataset(ds, &dir, 64).unwrap();
+        assert_eq!(stats.records as usize, ds.records.len());
+        let back = read_dataset(&dir).unwrap();
+        assert_eq!(back.records, ds.records);
+        assert_eq!(back.countries, ds.countries);
+        assert_eq!(back.atlas_do53_ms, ds.atlas_do53_ms);
+        assert_eq!(back.discarded_mismatches, ds.discarded_mismatches);
+        assert_eq!(back.observed_ases, ds.observed_ases);
+        assert_eq!(back.observed_resolvers, ds.observed_resolvers);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_read_matches_manifest_totals() {
+        let ds = dataset();
+        let dir = temp_dir("stream");
+        write_dataset(ds, &dir, 32).unwrap();
+        let manifest = read_manifest(&dir).unwrap();
+        let mut stream = read_records(&dir).unwrap();
+        let n = stream.by_ref().filter(|r| r.is_ok()).count();
+        assert_eq!(n as u64, manifest.total_records);
+        assert_eq!(stream.chunks_read(), manifest.total_chunks);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_country_bytes_are_rejected() {
+        let mut store = record_to_store(&dataset().records[0]);
+        store.country_iso = *b"zq";
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("not in the embedded table"), "{err}");
+    }
+
+    #[test]
+    fn bad_provider_ordinal_is_rejected() {
+        let mut store = record_to_store(&dataset().records[0]);
+        store.doh[0].provider = 200;
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("provider ordinal 200"), "{err}");
+    }
+
+    #[test]
+    fn bad_do53_source_is_rejected() {
+        let mut store = record_to_store(&dataset().records[0]);
+        store.do53_source = 7;
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("do53 source ordinal 7"), "{err}");
+    }
+}

@@ -19,8 +19,11 @@
 //!   anycast policies, and the ISP default-resolver model.
 //! * [`proxy`] — the BrightData Super Proxy network and RIPE Atlas.
 //! * [`core`] — the paper's timing equations, campaign and validation.
-//! * [`stats`] — descriptive statistics, OLS and logistic regression.
+//! * [`stats`] — descriptive statistics, OLS and logistic regression,
+//!   mergeable quantile sketches.
 //! * [`analysis`] — every table and figure of §5–§6.
+//! * [`store`] — the streaming columnar dataset store (chunked,
+//!   checksummed, thread-count-invariant on disk).
 //! * [`livenet`] — real loopback Do53/DoH servers over `std::net`.
 //!
 //! ## Quickstart
@@ -44,6 +47,7 @@ pub use dohperf_netsim as netsim;
 pub use dohperf_providers as providers;
 pub use dohperf_proxy as proxy;
 pub use dohperf_stats as stats;
+pub use dohperf_store as store;
 pub use dohperf_world as world;
 
 /// The most commonly used types, re-exported flat.

@@ -108,6 +108,41 @@ mod tests {
     }
 
     #[test]
+    fn force_through_resets_consecutive_counter() {
+        // Regression: when the cap forces a packet through, the streak
+        // counter must restart from zero — otherwise every subsequent
+        // packet would also be forced through and the injector would stop
+        // dropping entirely after the first full streak.
+        let mut f = FaultInjector::new(1.0, SimDuration::ZERO);
+        let mut rng = SimRng::new(7);
+
+        // With drop_chance = 1.0 the first `max_consecutive_drops`
+        // packets are all dropped, building a full streak.
+        for i in 0..f.max_consecutive_drops {
+            assert!(f.should_drop(&mut rng), "packet {i} should drop");
+        }
+        assert_eq!(f.consecutive, f.max_consecutive_drops);
+
+        // The next packet is forced through AND the streak resets.
+        assert!(
+            !f.should_drop(&mut rng),
+            "packet at cap must be forced through"
+        );
+        assert_eq!(
+            f.consecutive, 0,
+            "consecutive counter must reset after a forced delivery"
+        );
+
+        // The injector is live again: the following packet starts a new
+        // streak rather than being forced through a second time.
+        assert!(
+            f.should_drop(&mut rng),
+            "injector must drop again post-force"
+        );
+        assert_eq!(f.consecutive, 1);
+    }
+
+    #[test]
     fn drop_rate_tracks_probability() {
         let mut f = FaultInjector::new(0.2, SimDuration::ZERO);
         let mut rng = SimRng::new(3);

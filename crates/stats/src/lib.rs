@@ -12,6 +12,9 @@
 //!   least squares, reporting odds ratios and Wald p-values (Table 4).
 //! * [`scale`] — min–max feature scaling used for the paper's "scaled
 //!   coefficients".
+//! * [`sketch`] — mergeable Greenwald–Khanna quantile sketches and exact
+//!   streaming moments for memory-bounded analysis over the columnar
+//!   store.
 //! * [`special`] — `erf` and the standard normal CDF, implemented from
 //!   scratch (the offline crate set has no special-functions crate).
 //!
@@ -23,6 +26,7 @@ pub mod matrix;
 pub mod ols;
 pub mod resample;
 pub mod scale;
+pub mod sketch;
 pub mod special;
 
 pub use desc::{ecdf, mean, median, quantile, stddev, Summary};
@@ -31,6 +35,7 @@ pub use matrix::Matrix;
 pub use ols::{OlsFit, OlsRegression};
 pub use resample::{bootstrap_ci, median_ci, spearman, ConfidenceInterval};
 pub use scale::MinMaxScaler;
+pub use sketch::{GkSketch, StreamingMoments};
 pub use special::{erf, normal_cdf};
 
 /// Convenience re-exports.
@@ -40,5 +45,6 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::ols::{OlsFit, OlsRegression};
     pub use crate::scale::MinMaxScaler;
+    pub use crate::sketch::{GkSketch, StreamingMoments};
     pub use crate::special::{erf, normal_cdf};
 }

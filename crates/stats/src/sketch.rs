@@ -1,0 +1,495 @@
+//! Streaming, mergeable summaries for memory-bounded analysis.
+//!
+//! Two pieces back the store-streaming analysis path:
+//!
+//! * [`GkSketch`] — a Greenwald–Khanna ε-approximate quantile sketch.
+//!   Space is O(1/ε · log(εn)) regardless of stream length; any
+//!   quantile query is answered within ε of the true rank. Sketches
+//!   built over disjoint substreams (e.g. per campaign shard) merge,
+//!   with the merged rank error bounded by the sum of the two input
+//!   errors — so per-shard sketches at ε/2 answer merged queries at ε.
+//! * [`StreamingMoments`] — exact count/mean/min/max/variance in O(1)
+//!   space via Welford's online update, also mergeable (parallel
+//!   variance formula), so the moment columns of the headline table
+//!   are *exact* even on the streaming path.
+//!
+//! Both are deterministic: the same insertion sequence produces the
+//! same internal state, and merging follows the shard order chosen by
+//! the caller.
+
+/// One GK tuple: a stored value with its rank-uncertainty bookkeeping.
+///
+/// `g` is the gap between this entry's minimum rank and the previous
+/// entry's; `delta` is the extra uncertainty in this entry's maximum
+/// rank. Invariant: `g + delta <= floor(2·ε·n)` after compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GkEntry {
+    value: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna ε-approximate streaming quantile sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GkSketch {
+    epsilon: f64,
+    entries: Vec<GkEntry>,
+    count: u64,
+    /// Inserts since the last compression pass.
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Create a sketch answering quantile queries within `epsilon` of
+    /// the true rank. `epsilon` is clamped to [1e-6, 0.5].
+    pub fn new(epsilon: f64) -> Self {
+        GkSketch {
+            epsilon: epsilon.clamp(1e-6, 0.5),
+            entries: Vec::new(),
+            count: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The sketch's rank-error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Observations inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Stored tuples — the sketch's memory footprint in entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert one observation. Non-finite values are ignored (the
+    /// campaign never produces them; a corrupt store could).
+    pub fn insert(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        // Position of the first entry with a strictly greater value.
+        let pos = self.entries.partition_point(|e| e.value <= value);
+        let delta = if pos == 0 || pos == self.entries.len() {
+            0 // new minimum or maximum: rank is certain
+        } else {
+            (2.0 * self.epsilon * self.count as f64).floor() as u64
+        };
+        self.entries.insert(pos, GkEntry { value, g: 1, delta });
+        self.count += 1;
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Fold every entry of `other` into `self`.
+    ///
+    /// The merged sketch answers queries within `self.ε + other.ε` of
+    /// the true rank (each side's entries carry the other side's local
+    /// uncertainty after the merge).
+    pub fn merge(&mut self, other: &GkSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.entries = other.entries.clone();
+            self.count = other.count;
+            self.since_compress = 0;
+            return;
+        }
+        let self_bound = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let other_bound = (2.0 * other.epsilon * other.count as f64).floor() as u64;
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < other.entries.len() {
+            let take_self = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(a), Some(b)) => a.value <= b.value,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            // An entry absorbs the other stream's rank uncertainty at
+            // its position — except at the extremes, where min/max
+            // ranks stay exact.
+            if take_self {
+                let mut e = self.entries[i];
+                if j > 0 && j < other.entries.len() {
+                    e.delta += other_bound;
+                }
+                merged.push(e);
+                i += 1;
+            } else {
+                let mut e = other.entries[j];
+                if i > 0 && i < self.entries.len() {
+                    e.delta += self_bound;
+                }
+                merged.push(e);
+                j += 1;
+            }
+        }
+        self.entries = merged;
+        self.count += other.count;
+        self.compress();
+        self.since_compress = 0;
+    }
+
+    /// The value at quantile `q` (clamped to [0, 1]); NaN when empty.
+    pub fn query(&self, q: f64) -> f64 {
+        if self.count == 0 || self.entries.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let slack = (self.epsilon * self.count as f64).floor() as u64;
+        let mut rmin = 0u64;
+        let mut prev = self.entries[0].value;
+        for e in &self.entries {
+            rmin += e.g;
+            if rmin + e.delta > target + slack {
+                return prev;
+            }
+            prev = e.value;
+        }
+        prev
+    }
+
+    /// Query several quantiles at once.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.query(q)).collect()
+    }
+
+    /// Approximate CDF support points: `n` evenly spaced quantiles as
+    /// `(value, q)` pairs, ready to plot against an exact [`crate::ecdf`].
+    pub fn cdf_points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.count == 0 || n == 0 {
+            return Vec::new();
+        }
+        (0..=n)
+            .map(|i| {
+                let q = i as f64 / n as f64;
+                (self.query(q), q)
+            })
+            .collect()
+    }
+
+    /// Drop entries whose combined uncertainty stays within the bound.
+    /// The first and last entries (exact min/max) are never removed.
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let bound = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut kept: Vec<GkEntry> = Vec::with_capacity(self.entries.len());
+        kept.push(self.entries[0]);
+        // Walk interior entries; fold an entry into its successor when
+        // the successor can absorb its gap without breaking the bound.
+        let mut pending_g = 0u64;
+        for idx in 1..self.entries.len() {
+            let e = self.entries[idx];
+            let is_last = idx == self.entries.len() - 1;
+            if !is_last
+                && pending_g + e.g + self.entries[idx + 1].g + self.entries[idx + 1].delta <= bound
+            {
+                pending_g += e.g;
+            } else {
+                kept.push(GkEntry {
+                    value: e.value,
+                    g: e.g + pending_g,
+                    delta: e.delta,
+                });
+                pending_g = 0;
+            }
+        }
+        self.entries = kept;
+    }
+}
+
+/// Exact streaming count/mean/min/max/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation. Non-finite values are ignored.
+    pub fn insert(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Combine with another accumulator (Chan's parallel formula).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Minimum; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample variance (n−1 denominator); NaN for fewer than two values.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; NaN for fewer than two values.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::quantile;
+
+    /// Deterministic pseudo-random stream (LCG) — no RNG dependency.
+    fn stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Map the top bits to a latency-like range [5, 1005).
+                5.0 + (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+            })
+            .collect()
+    }
+
+    /// Rank error of `approx` within `xs`: |rank(approx) − q·n| / n.
+    fn rank_error(xs: &[f64], approx: f64, q: f64) -> f64 {
+        let below = xs.iter().filter(|&&x| x <= approx).count() as f64;
+        let n = xs.len() as f64;
+        ((below - q * n) / n).abs()
+    }
+
+    #[test]
+    fn sketch_answers_within_epsilon() {
+        let xs = stream(20_000, 42);
+        let mut sk = GkSketch::new(0.01);
+        for &x in &xs {
+            sk.insert(x);
+        }
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let err = rank_error(&xs, sk.query(q), q);
+            assert!(err <= 0.011, "q={q}: rank error {err}");
+        }
+    }
+
+    #[test]
+    fn sketch_space_stays_sublinear() {
+        let xs = stream(50_000, 7);
+        let mut sk = GkSketch::new(0.01);
+        for &x in &xs {
+            sk.insert(x);
+        }
+        assert!(
+            sk.entries() < 2_500,
+            "{} entries for 50k inserts at eps=0.01",
+            sk.entries()
+        );
+    }
+
+    #[test]
+    fn merged_shard_sketches_stay_accurate() {
+        // Three disjoint substreams, as per-country shards produce.
+        let all = stream(30_000, 99);
+        let mut merged = GkSketch::new(0.005);
+        for part in all.chunks(10_000) {
+            let mut shard = GkSketch::new(0.005);
+            for &x in part {
+                shard.insert(x);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged.count(), 30_000);
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let err = rank_error(&all, merged.query(q), q);
+            assert!(err <= 0.02, "q={q}: merged rank error {err}");
+        }
+    }
+
+    #[test]
+    fn small_streams_are_exact_at_extremes() {
+        let mut sk = GkSketch::new(0.01);
+        for x in [3.0, 1.0, 2.0] {
+            sk.insert(x);
+        }
+        assert_eq!(sk.query(0.0), 1.0);
+        assert_eq!(sk.query(1.0), 3.0);
+        assert_eq!(sk.count(), 3);
+    }
+
+    #[test]
+    fn empty_sketch_queries_nan() {
+        let sk = GkSketch::new(0.01);
+        assert!(sk.query(0.5).is_nan());
+        assert!(sk.cdf_points(10).is_empty());
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_other() {
+        let mut a = GkSketch::new(0.01);
+        let mut b = GkSketch::new(0.01);
+        for &x in &stream(500, 3) {
+            b.insert(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 500);
+        assert_eq!(a.query(0.5), b.query(0.5));
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let mut sk = GkSketch::new(0.01);
+        for &x in &stream(5_000, 11) {
+            sk.insert(x);
+        }
+        let pts = sk.cdf_points(50);
+        assert_eq!(pts.len(), 51);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0, "values not monotone: {w:?}");
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn moments_match_batch_statistics() {
+        let xs = stream(4_000, 5);
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.insert(x);
+        }
+        assert_eq!(m.count(), 4_000);
+        assert!((m.mean() - crate::mean(&xs)).abs() < 1e-9);
+        assert!((m.stddev() - crate::stddev(&xs)).abs() < 1e-9);
+        let sorted = {
+            let mut s = xs.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        assert_eq!(m.min(), sorted[0]);
+        assert_eq!(m.max(), sorted[sorted.len() - 1]);
+        // Quantile sanity: sketch median near the exact median.
+        assert!((quantile(&xs, 0.5) - crate::median(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_merge_equals_single_pass() {
+        let xs = stream(3_333, 17);
+        let mut whole = StreamingMoments::new();
+        for &x in &xs {
+            whole.insert(x);
+        }
+        let mut merged = StreamingMoments::new();
+        for part in xs.chunks(1_000) {
+            let mut m = StreamingMoments::new();
+            for &x in part {
+                m.insert(x);
+            }
+            merged.merge(&m);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+    }
+
+    #[test]
+    fn empty_moments_are_nan() {
+        let m = StreamingMoments::new();
+        assert!(m.mean().is_nan());
+        assert!(m.min().is_nan());
+        assert!(m.max().is_nan());
+        assert!(m.variance().is_nan());
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut sk = GkSketch::new(0.01);
+        let mut m = StreamingMoments::new();
+        for x in [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0] {
+            sk.insert(x);
+            m.insert(x);
+        }
+        assert_eq!(sk.count(), 3);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.max(), 3.0);
+    }
+}

@@ -1,0 +1,575 @@
+//! The chunk codec: columnar encode/decode of a record batch.
+//!
+//! ## Byte layout
+//!
+//! ```text
+//! chunk   := magic(u32 LE = "DPSC") version(u16 LE) flags(u16 LE = 0)
+//!            record_count(u32 LE) payload_len(u32 LE)
+//!            crc32(u32 LE, over payload) payload
+//! payload := group+              (4 groups, in fixed order)
+//! group   := varint(byte len) bytes
+//! ```
+//!
+//! The four column groups mirror the record's field families:
+//!
+//! 1. **identity** — `client_id` (first absolute, then zigzag varint
+//!    deltas: ids are near-monotone so deltas are tiny), `country_index`
+//!    (run-length encoded: a shard holds one country), `prefix` (zigzag
+//!    varint deltas).
+//! 2. **geoloc** — `country_iso` / `maxmind_country` (RLE over the
+//!    two-byte codes), then raw-bit f64 columns for lat, lon and the
+//!    nameserver distance.
+//! 3. **doh** — per-record sample counts, then the flattened samples in
+//!    structure-of-arrays form: provider ordinals (RLE — the provider
+//!    cycle repeats every record), `t_doh` / `t_dohr` f64 columns,
+//!    `pop_index` varints, PoP-distance f64 columns.
+//! 4. **do53** — a presence bitmap, the present values as f64, and the
+//!    source ordinals (RLE).
+//!
+//! Floats are raw little-endian IEEE-754 bits: encode∘decode is the
+//! identity on every finite value, which is what lets `--from-store`
+//! reproduce the direct pipeline byte for byte.
+
+use crate::checksum::crc32;
+use crate::record::{StoreDohSample, StoreRecord};
+use crate::varint::{put_f64, put_i64, put_u64, Cursor};
+use crate::{Result, StoreError};
+
+/// Chunk magic: `DPSC` ("DoH-Perf Store Chunk").
+pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"DPSC");
+
+/// Current format version; readers reject anything newer.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fixed header length in bytes (magic, version, flags, count, len, crc).
+pub const CHUNK_HEADER_LEN: usize = 4 + 2 + 2 + 4 + 4 + 4;
+
+/// Hard cap on one chunk's payload (64 MiB) — a corrupt length prefix
+/// fails fast instead of attempting a huge allocation.
+const MAX_PAYLOAD_LEN: usize = 64 << 20;
+
+/// Hard cap on records per chunk, for the same reason.
+const MAX_RECORDS_PER_CHUNK: usize = 1 << 22;
+
+/// Per-record cap on DoH samples (defensive; campaigns use 4).
+const MAX_SAMPLES_PER_RECORD: usize = 256;
+
+/// Encode `records` as one self-contained chunk.
+pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
+    assert!(!records.is_empty(), "a chunk holds at least one record");
+    assert!(records.len() <= MAX_RECORDS_PER_CHUNK);
+
+    let mut payload = Vec::with_capacity(records.len() * 96);
+    put_group(&mut payload, encode_identity(records));
+    put_group(&mut payload, encode_geoloc(records));
+    put_group(&mut payload, encode_doh(records));
+    put_group(&mut payload, encode_do53(records));
+
+    let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
+    out.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one chunk from `header` + `payload` bytes (already split by the
+/// reader). `index` labels errors with the chunk's ordinal in the stream.
+pub fn decode_chunk(record_count: u32, payload: &[u8], index: u64) -> Result<Vec<StoreRecord>> {
+    let context = format!("chunk {index}");
+    let n = record_count as usize;
+    if n == 0 || n > MAX_RECORDS_PER_CHUNK {
+        return Err(StoreError::Corrupt(format!(
+            "{context}: implausible record count {n}"
+        )));
+    }
+    let mut cursor = Cursor::new(payload, &context);
+
+    let identity = take_group(&mut cursor, "identity")?;
+    let geoloc = take_group(&mut cursor, "geoloc")?;
+    let doh = take_group(&mut cursor, "doh")?;
+    let do53 = take_group(&mut cursor, "do53")?;
+    cursor.expect_empty()?;
+
+    let ids = decode_identity(identity, n, &context)?;
+    let geo = decode_geoloc(geoloc, n, &context)?;
+    let samples = decode_doh(doh, n, &context)?;
+    let baselines = decode_do53(do53, n, &context)?;
+
+    let mut records = Vec::with_capacity(n);
+    for (i, doh) in samples.into_iter().enumerate() {
+        records.push(StoreRecord {
+            client_id: ids.client_id[i],
+            country_iso: geo.country_iso[i],
+            country_index: ids.country_index[i],
+            prefix: ids.prefix[i],
+            maxmind_country: geo.maxmind[i],
+            lat: geo.lat[i],
+            lon: geo.lon[i],
+            nameserver_distance_miles: geo.ns_distance[i],
+            doh,
+            do53_ms: baselines.values[i],
+            do53_source: baselines.source[i],
+        });
+    }
+    Ok(records)
+}
+
+/// Validate and split a chunk header, returning (record_count, payload_len,
+/// crc). `index` labels errors.
+pub fn parse_header(header: &[u8; CHUNK_HEADER_LEN], index: u64) -> Result<(u32, usize, u32)> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != CHUNK_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "chunk {index}: bad magic {magic:#010x}, expected {CHUNK_MAGIC:#010x} (\"DPSC\")"
+        )));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version > FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "chunk {index}: format version {version} is newer than supported {FORMAT_VERSION}"
+        )));
+    }
+    let record_count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let payload_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "chunk {index}: payload length {payload_len} exceeds the {MAX_PAYLOAD_LEN}-byte cap"
+        )));
+    }
+    let crc = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+    Ok((record_count, payload_len, crc))
+}
+
+/// Verify a payload against its header checksum.
+pub fn verify_checksum(payload: &[u8], expected: u32, index: u64) -> Result<()> {
+    let found = crc32(payload);
+    if found != expected {
+        return Err(StoreError::Corrupt(format!(
+            "chunk {index}: checksum mismatch — header says {expected:#010x}, \
+             payload hashes to {found:#010x}; the chunk bytes were altered after writing"
+        )));
+    }
+    Ok(())
+}
+
+fn put_group(out: &mut Vec<u8>, group: Vec<u8>) {
+    put_u64(out, group.len() as u64);
+    out.extend_from_slice(&group);
+}
+
+fn take_group<'a>(cursor: &mut Cursor<'a>, what: &str) -> Result<&'a [u8]> {
+    let len = cursor.len(MAX_PAYLOAD_LEN, what)?;
+    cursor.take(len, what)
+}
+
+// ---------------------------------------------------------------- identity
+
+struct IdentityColumns {
+    client_id: Vec<u64>,
+    country_index: Vec<u32>,
+    prefix: Vec<u32>,
+}
+
+fn encode_identity(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // client_id: absolute first value, zigzag deltas after.
+    put_u64(&mut out, records[0].client_id);
+    for w in records.windows(2) {
+        put_i64(&mut out, w[1].client_id.wrapping_sub(w[0].client_id) as i64);
+    }
+    // country_index: RLE (value, run) pairs.
+    encode_rle_u32(&mut out, records.iter().map(|r| r.country_index));
+    // prefix: absolute first, zigzag deltas.
+    put_u64(&mut out, records[0].prefix as u64);
+    for w in records.windows(2) {
+        put_i64(&mut out, i64::from(w[1].prefix) - i64::from(w[0].prefix));
+    }
+    out
+}
+
+fn decode_identity(bytes: &[u8], n: usize, context: &str) -> Result<IdentityColumns> {
+    let mut c = Cursor::new(bytes, context);
+    let mut client_id = Vec::with_capacity(n);
+    client_id.push(c.u64()?);
+    for _ in 1..n {
+        let prev = *client_id.last().expect("non-empty");
+        client_id.push(prev.wrapping_add(c.i64()? as u64));
+    }
+    let country_index = decode_rle_u32(&mut c, n, "country_index")?;
+    let mut prefix = Vec::with_capacity(n);
+    let first = c.u64()?;
+    prefix
+        .push(u32::try_from(first).map_err(|_| {
+            StoreError::Corrupt(format!("{context}: prefix {first} overflows u32"))
+        })?);
+    for _ in 1..n {
+        let prev = i64::from(*prefix.last().expect("non-empty"));
+        let next = prev + c.i64()?;
+        prefix.push(u32::try_from(next).map_err(|_| {
+            StoreError::Corrupt(format!("{context}: prefix delta leaves u32 range ({next})"))
+        })?);
+    }
+    c.expect_empty()?;
+    Ok(IdentityColumns {
+        client_id,
+        country_index,
+        prefix,
+    })
+}
+
+// ----------------------------------------------------------------- geoloc
+
+struct GeolocColumns {
+    country_iso: Vec<[u8; 2]>,
+    maxmind: Vec<[u8; 2]>,
+    lat: Vec<f64>,
+    lon: Vec<f64>,
+    ns_distance: Vec<f64>,
+}
+
+fn encode_geoloc(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_rle_pair(&mut out, records.iter().map(|r| r.country_iso));
+    encode_rle_pair(&mut out, records.iter().map(|r| r.maxmind_country));
+    for r in records {
+        put_f64(&mut out, r.lat);
+    }
+    for r in records {
+        put_f64(&mut out, r.lon);
+    }
+    for r in records {
+        put_f64(&mut out, r.nameserver_distance_miles);
+    }
+    out
+}
+
+fn decode_geoloc(bytes: &[u8], n: usize, context: &str) -> Result<GeolocColumns> {
+    let mut c = Cursor::new(bytes, context);
+    let country_iso = decode_rle_pair(&mut c, n, "country_iso")?;
+    let maxmind = decode_rle_pair(&mut c, n, "maxmind_country")?;
+    let mut lat = Vec::with_capacity(n);
+    for _ in 0..n {
+        lat.push(c.f64()?);
+    }
+    let mut lon = Vec::with_capacity(n);
+    for _ in 0..n {
+        lon.push(c.f64()?);
+    }
+    let mut ns_distance = Vec::with_capacity(n);
+    for _ in 0..n {
+        ns_distance.push(c.f64()?);
+    }
+    c.expect_empty()?;
+    Ok(GeolocColumns {
+        country_iso,
+        maxmind,
+        lat,
+        lon,
+        ns_distance,
+    })
+}
+
+// -------------------------------------------------------------------- doh
+
+fn encode_doh(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        put_u64(&mut out, r.doh.len() as u64);
+    }
+    let flat = || records.iter().flat_map(|r| r.doh.iter());
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+    for s in flat() {
+        put_f64(&mut out, s.t_doh_ms);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.t_dohr_ms);
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.pop_index));
+    }
+    for s in flat() {
+        put_f64(&mut out, s.pop_distance_miles);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.nearest_pop_distance_miles);
+    }
+    out
+}
+
+fn decode_doh(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreDohSample>>> {
+    let mut c = Cursor::new(bytes, context);
+    let mut counts = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for _ in 0..n {
+        let k = c.len(MAX_SAMPLES_PER_RECORD, "doh sample count")?;
+        counts.push(k);
+        total += k;
+    }
+    let providers = decode_rle_u32(&mut c, total, "provider")?;
+    let mut t_doh = Vec::with_capacity(total);
+    for _ in 0..total {
+        t_doh.push(c.f64()?);
+    }
+    let mut t_dohr = Vec::with_capacity(total);
+    for _ in 0..total {
+        t_dohr.push(c.f64()?);
+    }
+    let mut pop_index = Vec::with_capacity(total);
+    for _ in 0..total {
+        let v = c.u64()?;
+        pop_index.push(
+            u32::try_from(v).map_err(|_| {
+                StoreError::Corrupt(format!("{context}: pop_index {v} overflows u32"))
+            })?,
+        );
+    }
+    let mut pop_distance = Vec::with_capacity(total);
+    for _ in 0..total {
+        pop_distance.push(c.f64()?);
+    }
+    let mut nearest = Vec::with_capacity(total);
+    for _ in 0..total {
+        nearest.push(c.f64()?);
+    }
+    c.expect_empty()?;
+
+    let mut samples = Vec::with_capacity(n);
+    let mut offset = 0usize;
+    for &k in &counts {
+        let mut per_record = Vec::with_capacity(k);
+        for j in offset..offset + k {
+            let provider = u8::try_from(providers[j]).map_err(|_| {
+                StoreError::Corrupt(format!(
+                    "{context}: provider ordinal {} overflows u8",
+                    providers[j]
+                ))
+            })?;
+            per_record.push(StoreDohSample {
+                provider,
+                t_doh_ms: t_doh[j],
+                t_dohr_ms: t_dohr[j],
+                pop_index: pop_index[j],
+                pop_distance_miles: pop_distance[j],
+                nearest_pop_distance_miles: nearest[j],
+            });
+        }
+        samples.push(per_record);
+        offset += k;
+    }
+    Ok(samples)
+}
+
+// ------------------------------------------------------------------- do53
+
+struct Do53Columns {
+    values: Vec<Option<f64>>,
+    source: Vec<u8>,
+}
+
+fn encode_do53(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Presence bitmap, LSB-first within each byte.
+    let mut bitmap = vec![0u8; records.len().div_ceil(8)];
+    for (i, r) in records.iter().enumerate() {
+        if r.do53_ms.is_some() {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.extend_from_slice(&bitmap);
+    for r in records {
+        if let Some(v) = r.do53_ms {
+            put_f64(&mut out, v);
+        }
+    }
+    encode_rle_u32(&mut out, records.iter().map(|r| u32::from(r.do53_source)));
+    out
+}
+
+fn decode_do53(bytes: &[u8], n: usize, context: &str) -> Result<Do53Columns> {
+    let mut c = Cursor::new(bytes, context);
+    let bitmap = c.take(n.div_ceil(8), "do53 presence bitmap")?.to_vec();
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let present = bitmap[i / 8] & (1 << (i % 8)) != 0;
+        values.push(if present { Some(c.f64()?) } else { None });
+    }
+    let source_u32 = decode_rle_u32(&mut c, n, "do53_source")?;
+    let mut source = Vec::with_capacity(n);
+    for v in source_u32 {
+        source.push(u8::try_from(v).map_err(|_| {
+            StoreError::Corrupt(format!("{context}: do53 source ordinal {v} overflows u8"))
+        })?);
+    }
+    c.expect_empty()?;
+    Ok(Do53Columns { values, source })
+}
+
+// ------------------------------------------------------------ RLE helpers
+
+/// Run-length encode a u32 column as (varint value, varint run) pairs,
+/// prefixed by the pair count.
+fn encode_rle_u32(out: &mut Vec<u8>, values: impl Iterator<Item = u32>) {
+    let mut runs: Vec<(u32, u64)> = Vec::new();
+    for v in values {
+        match runs.last_mut() {
+            Some((last, run)) if *last == v => *run += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    put_u64(out, runs.len() as u64);
+    for (v, run) in runs {
+        put_u64(out, u64::from(v));
+        put_u64(out, run);
+    }
+}
+
+fn decode_rle_u32(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Vec<u32>> {
+    let pairs = c.len(expected.max(1), what)?;
+    let mut values = Vec::with_capacity(expected);
+    for _ in 0..pairs {
+        let v = c.u64()?;
+        let v = u32::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{what}: RLE value {v} overflows u32")))?;
+        let run = c.len(expected - values.len(), what)?;
+        values.extend(std::iter::repeat_n(v, run));
+    }
+    if values.len() != expected {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: RLE runs sum to {} values, expected {expected}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+/// Run-length encode a `[u8; 2]` column (ISO country codes).
+fn encode_rle_pair(out: &mut Vec<u8>, values: impl Iterator<Item = [u8; 2]>) {
+    let mut runs: Vec<([u8; 2], u64)> = Vec::new();
+    for v in values {
+        match runs.last_mut() {
+            Some((last, run)) if *last == v => *run += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    put_u64(out, runs.len() as u64);
+    for (v, run) in runs {
+        out.extend_from_slice(&v);
+        put_u64(out, run);
+    }
+}
+
+fn decode_rle_pair(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Vec<[u8; 2]>> {
+    let pairs = c.len(expected.max(1), what)?;
+    let mut values = Vec::with_capacity(expected);
+    for _ in 0..pairs {
+        let bytes = c.take(2, what)?;
+        let v = [bytes[0], bytes[1]];
+        let run = c.len(expected - values.len(), what)?;
+        values.extend(std::iter::repeat_n(v, run));
+    }
+    if values.len() != expected {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: RLE runs sum to {} values, expected {expected}",
+            values.len()
+        )));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: u64) -> Vec<StoreRecord> {
+        (1..=n).map(StoreRecord::test_record).collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let records = batch(17);
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, len, crc) = parse_header(&header, 0).unwrap();
+        assert_eq!(count as usize, records.len());
+        let payload = &bytes[CHUNK_HEADER_LEN..];
+        assert_eq!(payload.len(), len);
+        verify_checksum(payload, crc, 0).unwrap();
+        let back = decode_chunk(count, payload, 0).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn none_do53_and_empty_doh_round_trip() {
+        let mut records = batch(3);
+        records[1].do53_ms = None;
+        records[1].do53_source = 1;
+        records[2].doh.clear();
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _) = parse_header(&header, 0).unwrap();
+        let back = decode_chunk(count, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn rle_compresses_constant_columns() {
+        // 200 records from one country (a shard's natural shape) encode
+        // the country/provider/source columns as single runs; the same
+        // records with alternating countries force a run per record.
+        let constant = encode_chunk(&batch(200));
+        let mut varied = batch(200);
+        for (i, r) in varied.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                r.country_iso = *b"US";
+                r.maxmind_country = *b"US";
+                r.country_index = 31;
+            }
+        }
+        let varied = encode_chunk(&varied);
+        assert!(
+            constant.len() + 200 * 2 < varied.len(),
+            "constant-country chunk {} bytes vs alternating {} bytes",
+            constant.len(),
+            varied.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_descriptive() {
+        let records = batch(2);
+        let mut bytes = encode_chunk(&records);
+        bytes[0] ^= 0xFF;
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let err = parse_header(&header, 7).unwrap_err();
+        assert!(err.to_string().contains("chunk 7"), "{err}");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let records = batch(1);
+        let mut bytes = encode_chunk(&records);
+        bytes[4] = 0xFF;
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let err = parse_header(&header, 0).unwrap_err();
+        assert!(err.to_string().contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_descriptive() {
+        let records = batch(4);
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (_, _, crc) = parse_header(&header, 0).unwrap();
+        let mut payload = bytes[CHUNK_HEADER_LEN..].to_vec();
+        payload[5] ^= 0x01;
+        let err = verify_checksum(&payload, crc, 3).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("chunk 3"), "{msg}");
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+    }
+}

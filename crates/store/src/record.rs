@@ -1,0 +1,88 @@
+//! The store's record schema — a plain-old-data mirror of
+//! `dohperf-core`'s `ClientRecord`.
+//!
+//! `ClientRecord` references the `'static` country table and provider
+//! enum; the store keeps its dependency arrow pointing outward by
+//! storing only primitive projections (two-byte ISO codes, provider
+//! ordinals). `dohperf_core::store_io` owns the lossless conversion in
+//! both directions.
+
+/// One provider's measurements for one client, primitive form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreDohSample {
+    /// Provider ordinal (index into the campaign's provider table).
+    pub provider: u8,
+    /// Derived first-request time (Equation 7), ms.
+    pub t_doh_ms: f64,
+    /// Derived connection-reuse time (Equation 8), ms.
+    pub t_dohr_ms: f64,
+    /// Index of the PoP that served this client.
+    pub pop_index: u32,
+    /// Geodesic distance to the serving PoP, miles.
+    pub pop_distance_miles: f64,
+    /// Geodesic distance to the closest PoP in the fleet, miles.
+    pub nearest_pop_distance_miles: f64,
+}
+
+/// One client's full record, primitive form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Super Proxy-assigned unique client id.
+    pub client_id: u64,
+    /// Ground-truth country, two ASCII letters.
+    pub country_iso: [u8; 2],
+    /// Index into the campaign's country list.
+    pub country_index: u32,
+    /// The client's /24 prefix (upper 24 bits of the address).
+    pub prefix: u32,
+    /// Maxmind-reported country (`"??"` when the lookup failed).
+    pub maxmind_country: [u8; 2],
+    /// Client latitude, degrees north.
+    pub lat: f64,
+    /// Client longitude, degrees east.
+    pub lon: f64,
+    /// Geodesic distance from the client to the authoritative NS, miles.
+    pub nameserver_distance_miles: f64,
+    /// Per-provider samples, in measurement order.
+    pub doh: Vec<StoreDohSample>,
+    /// Do53 baseline, ms (None for Atlas-remedy countries).
+    pub do53_ms: Option<f64>,
+    /// Do53 provenance ordinal (0 = header, 1 = Atlas remedy).
+    pub do53_source: u8,
+}
+
+impl StoreRecord {
+    /// A small synthetic record for doctests and unit tests.
+    pub fn test_record(client_id: u64) -> StoreRecord {
+        StoreRecord {
+            client_id,
+            country_iso: *b"BR",
+            country_index: 30,
+            prefix: client_id as u32 + 7,
+            maxmind_country: *b"BR",
+            lat: -23.55,
+            lon: -46.63,
+            nameserver_distance_miles: 4800.0,
+            doh: vec![
+                StoreDohSample {
+                    provider: 0,
+                    t_doh_ms: 400.0 + client_id as f64,
+                    t_dohr_ms: 250.0,
+                    pop_index: 12,
+                    pop_distance_miles: 220.0,
+                    nearest_pop_distance_miles: 180.0,
+                },
+                StoreDohSample {
+                    provider: 1,
+                    t_doh_ms: 450.0,
+                    t_dohr_ms: 300.0,
+                    pop_index: 3,
+                    pop_distance_miles: 900.0,
+                    nearest_pop_distance_miles: 900.0,
+                },
+            ],
+            do53_ms: Some(240.25),
+            do53_source: 0,
+        }
+    }
+}

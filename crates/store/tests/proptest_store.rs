@@ -1,0 +1,138 @@
+//! Property tests for the columnar chunk codec.
+//!
+//! Two invariants back `--from-store`'s byte-identity claim (DESIGN.md
+//! §10): arbitrary record batches survive write → read bit-exactly at
+//! any chunk budget, and a single flipped bit anywhere past the header
+//! prefix is caught by the CRC with a descriptive error rather than
+//! decoding into silently different records.
+
+use dohperf_store::{encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StoreRecord};
+use proptest::prelude::*;
+
+/// Splitmix-style step: decorrelates the fields drawn from one seed.
+fn next(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let z = (*s ^ (*s >> 31)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An f64 drawn from raw bits — exercises subnormals, infinities and
+/// extreme exponents. NaN is remapped (NaN != NaN would break the
+/// equality assertion, and campaigns never produce it).
+fn arb_f64(s: &mut u64) -> f64 {
+    let v = f64::from_bits(next(s));
+    if v.is_nan() {
+        (next(s) % 1_000_000_007) as f64 / 128.0
+    } else {
+        v
+    }
+}
+
+fn arb_iso(s: &mut u64) -> [u8; 2] {
+    // Mostly letters, occasionally the "??" maxmind-failure marker.
+    if next(s).is_multiple_of(16) {
+        *b"??"
+    } else {
+        [b'A' + (next(s) % 26) as u8, b'A' + (next(s) % 26) as u8]
+    }
+}
+
+/// One fully arbitrary record from a 64-bit seed: variable-length doh
+/// vectors (including empty), optional Do53, unordered client ids.
+fn arb_record(s: &mut u64) -> StoreRecord {
+    let doh = (0..(next(s) % 5) as usize)
+        .map(|i| StoreDohSample {
+            provider: (i as u8) % 4,
+            t_doh_ms: arb_f64(s),
+            t_dohr_ms: arb_f64(s),
+            pop_index: next(s) as u32,
+            pop_distance_miles: arb_f64(s),
+            nearest_pop_distance_miles: arb_f64(s),
+        })
+        .collect();
+    StoreRecord {
+        client_id: next(s),
+        country_iso: arb_iso(s),
+        country_index: next(s) as u32,
+        prefix: next(s) as u32,
+        maxmind_country: arb_iso(s),
+        lat: arb_f64(s),
+        lon: arb_f64(s),
+        nameserver_distance_miles: arb_f64(s),
+        doh,
+        do53_ms: if next(s).is_multiple_of(3) {
+            None
+        } else {
+            Some(arb_f64(s))
+        },
+        do53_source: (next(s) % 2) as u8,
+    }
+}
+
+fn batch(seeds: &[u64]) -> Vec<StoreRecord> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = seed | 1;
+            arb_record(&mut s)
+        })
+        .collect()
+}
+
+proptest! {
+    /// write → read is the identity on arbitrary batches, for any chunk
+    /// budget (so records cross chunk boundaries at every alignment).
+    #[test]
+    fn arbitrary_batches_round_trip(
+        seeds in proptest::collection::vec(any::<u64>(), 0..48),
+        budget in 1usize..9,
+    ) {
+        let records = batch(&seeds);
+        let mut bytes = Vec::new();
+        let mut writer = ChunkWriter::new(&mut bytes, budget);
+        for r in &records {
+            writer.push(r.clone()).expect("Vec sink cannot fail");
+        }
+        let stats = writer.finish().expect("finish on Vec sink");
+        prop_assert_eq!(stats.records, records.len() as u64);
+        prop_assert_eq!(stats.bytes, bytes.len() as u64);
+
+        let decoded: Result<Vec<StoreRecord>, _> = ChunkReader::new(&bytes[..]).collect();
+        let decoded = decoded.expect("round trip must decode");
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Any single flipped bit from the CRC field onward is detected by
+    /// the checksum, and the error says so.
+    #[test]
+    fn flipped_byte_is_caught_by_checksum(
+        seeds in proptest::collection::vec(any::<u64>(), 1..16),
+        position in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let records = batch(&seeds);
+        let mut bytes = encode_chunk(&records);
+        // Bytes 0..16 are magic/version/flags/count/len — validated
+        // structurally, not by CRC. From offset 16 (the CRC field
+        // itself, then the payload) every bit is checksum-protected.
+        let pos = 16 + (position as usize) % (bytes.len() - 16);
+        bytes[pos] ^= 1u8 << bit;
+
+        let outcome: Result<Vec<StoreRecord>, _> = ChunkReader::new(&bytes[..]).collect();
+        let err = match outcome {
+            Err(e) => e,
+            Ok(_) => {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "flip at byte {pos} bit {bit} went undetected"
+                )));
+            }
+        };
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("checksum mismatch"),
+            "flip at byte {} bit {} gave a non-checksum error: {}", pos, bit, msg
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end properties of the columnar store (DESIGN.md §10).
+//!
+//! Two contracts are exercised at quick scale:
+//!
+//! * **Thread invariance on disk** — `run_to_store` at 1 and 8 workers
+//!   must produce byte-identical `records.chunks` and `manifest.bin`,
+//!   extending the in-memory determinism contract (DESIGN.md §2) to the
+//!   streamed byte stream itself.
+//! * **`--from-store` equivalence** — a dataset read back from a store
+//!   directory must reproduce the direct pipeline's headline numbers
+//!   exactly, because the codec round-trips every f64 bit-for-bit.
+
+use dohperf_analysis::headline::headline_stats;
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::read_dataset;
+use dohperf_store::{MANIFEST_FILE, RECORDS_FILE};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dohperf-int-store-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_store(seed: u64, threads: usize, chunk_budget: usize, tag: &str) -> PathBuf {
+    let dir = temp_store(tag);
+    let config = CampaignConfig {
+        threads,
+        ..CampaignConfig::quick(seed)
+    };
+    Campaign::new(config)
+        .run_to_store(&dir, chunk_budget)
+        .unwrap_or_else(|e| panic!("streaming campaign to {}: {e}", dir.display()));
+    dir
+}
+
+#[test]
+fn store_bytes_are_identical_across_thread_counts() {
+    let sequential = write_store(2021, 1, 0, "t1");
+    let chunks_1 = fs::read(sequential.join(RECORDS_FILE)).expect("read t1 chunks");
+    let manifest_1 = fs::read(sequential.join(MANIFEST_FILE)).expect("read t1 manifest");
+    assert!(!chunks_1.is_empty(), "store wrote no chunk bytes");
+
+    for threads in [2, 8] {
+        let parallel = write_store(2021, threads, 0, &format!("t{threads}"));
+        let chunks_n = fs::read(parallel.join(RECORDS_FILE)).expect("read parallel chunks");
+        let manifest_n = fs::read(parallel.join(MANIFEST_FILE)).expect("read parallel manifest");
+        assert!(
+            chunks_1 == chunks_n,
+            "records.chunks diverged at {threads} threads ({} vs {} bytes)",
+            chunks_1.len(),
+            chunks_n.len()
+        );
+        assert!(
+            manifest_1 == manifest_n,
+            "manifest.bin diverged at {threads} threads"
+        );
+        let _ = fs::remove_dir_all(&parallel);
+    }
+    let _ = fs::remove_dir_all(&sequential);
+}
+
+#[test]
+fn from_store_reproduces_the_direct_headline() {
+    let seed = 77;
+    let dir = write_store(seed, 0, 0, "headline");
+
+    let direct = Campaign::new(CampaignConfig::quick(seed)).run();
+    let restored = read_dataset(&dir).expect("read dataset back from store");
+    assert_eq!(direct.records, restored.records, "records diverged");
+    assert_eq!(direct.atlas_do53_ms, restored.atlas_do53_ms);
+
+    let expected = headline_stats(&direct);
+    let actual = headline_stats(&restored);
+    // Bit-exact equality: every float crossed the store as raw IEEE bits.
+    assert_eq!(expected.median_doh1_ms, actual.median_doh1_ms);
+    assert_eq!(expected.median_do53_ms, actual.median_do53_ms);
+    assert_eq!(expected.median_dohr_ms, actual.median_dohr_ms);
+    assert_eq!(
+        expected.first_request_speedup_fraction,
+        actual.first_request_speedup_fraction
+    );
+    assert_eq!(
+        expected.ten_request_speedup_fraction,
+        actual.ten_request_speedup_fraction
+    );
+    assert_eq!(
+        expected.median_country_doh1_ms,
+        actual.median_country_doh1_ms
+    );
+    assert_eq!(
+        expected.median_country_do53_ms,
+        actual.median_country_do53_ms
+    );
+    assert_eq!(expected.tripled_fraction, actual.tripled_fraction);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiny_chunk_budget_changes_bytes_but_not_records() {
+    // The chunk budget shapes the byte stream (more, smaller chunks) but
+    // never the decoded record sequence.
+    let roomy = write_store(13, 1, 0, "roomy");
+    let tight = write_store(13, 1, 7, "tight");
+    let roomy_bytes = fs::read(roomy.join(RECORDS_FILE)).expect("roomy chunks");
+    let tight_bytes = fs::read(tight.join(RECORDS_FILE)).expect("tight chunks");
+    assert!(
+        roomy_bytes != tight_bytes,
+        "a 7-record budget should repack the chunks"
+    );
+
+    let a = read_dataset(&roomy).expect("roomy dataset");
+    let b = read_dataset(&tight).expect("tight dataset");
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.countries, b.countries);
+    let _ = fs::remove_dir_all(&roomy);
+    let _ = fs::remove_dir_all(&tight);
+}
