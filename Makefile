@@ -1,7 +1,8 @@
 # Convenience targets for the dohperf reproduction.
 
 .PHONY: build test bench doc repro repro-full examples verify clean \
-        ci fmt-check clippy perf-smoke baseline store-roundtrip
+        ci fmt-check clippy perf-smoke baseline store-roundtrip \
+        trace-smoke golden-trace
 
 build:
 	cargo build --workspace --release
@@ -29,6 +30,7 @@ repro-full:
 verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
 	$(MAKE) store-roundtrip
+	$(MAKE) trace-smoke
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
 ci: fmt-check clippy
@@ -58,6 +60,24 @@ baseline:
 	    --seed 2021 --scale 0.05 --out-format store --store-dir target/ci/store \
 	    headline --metrics ci/baseline-metrics.json
 	rm -rf target/ci/store
+
+# Export a sampled flight-recorder trace (threads 2 exercises the shard
+# merge), validate its Chrome-trace structure, and require byte-identity
+# with the committed golden — any thread count must produce these bytes.
+trace-smoke:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 \
+	    --trace-out target/ci/trace.json --trace-sample 128 headline > /dev/null
+	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace.json
+	cmp target/ci/trace.json ci/golden-trace.json
+	@echo "trace smoke OK: deterministic bytes match ci/golden-trace.json"
+
+# Regenerate the golden trace after an intentional instrumentation change.
+golden-trace:
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 \
+	    --trace-out ci/golden-trace.json --trace-sample 128 headline > /dev/null
 
 # Write a quick-scale campaign to a store, re-derive the headline from it
 # with --from-store, and require the two outputs to be identical.

@@ -5,9 +5,23 @@
 //! repro [--seed N] [--scale F] [--threads N] [--metrics PATH]
 //!       [--baseline PATH] [--tolerance F]
 //!       [--out-format both|csv|jsonl|store] [--store-dir DIR]
-//!       [--from-store DIR] <experiment>...
+//!       [--from-store DIR] [--trace-out PATH] [--trace-sample N]
+//!       <experiment>...
 //! repro all                    # everything, in paper order
+//! repro explain --query ID     # replay one client, annotated timeline
 //! ```
+//!
+//! `--trace-out PATH` exports the flight recorder's sampled query traces
+//! as Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
+//! `--trace-sample N` records 1 in N clients (default 16 when
+//! `--trace-out` is given); sampling is keyed off each client's RNG
+//! stream, so it never perturbs the simulation, and the exported bytes
+//! are identical for any `--threads` value.
+//!
+//! `explain --query ID` replays exactly one client (only its country
+//! shard runs) and prints the annotated timeline: every span, the
+//! `X-luminati-*` header timestamps, and the Eq 1–8 arithmetic line by
+//! line, ending with the stored medians bit-for-bit.
 //!
 //! `--threads 0` (the default) uses all available cores. Any thread count
 //! produces a byte-identical dataset — see DESIGN.md §2.
@@ -68,9 +82,32 @@ fn main() {
     let mut metrics_path: Option<std::path::PathBuf> = None;
     let mut baseline_path: Option<std::path::PathBuf> = None;
     let mut tolerance = 0.0f64;
+    let mut explain_mode = false;
+    let mut explain_query: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "explain" => explain_mode = true,
+            "--query" => {
+                explain_query = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--query needs a client id")),
+                );
+            }
+            "--trace-out" => {
+                config.trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path"))
+                        .into(),
+                );
+            }
+            "--trace-sample" => {
+                config.trace_sample = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--trace-sample needs an integer >= 1"));
+            }
             "--metrics" => {
                 metrics_path = Some(
                     args.next()
@@ -134,6 +171,27 @@ fn main() {
             other => usage(&format!("unknown experiment {other:?}")),
         }
     }
+    if explain_mode {
+        if !requested.is_empty() {
+            usage("explain takes no experiment names");
+        }
+        let id = explain_query.unwrap_or_else(|| usage("explain needs --query <client id>"));
+        let ctx = ReproContext::new(config);
+        match ctx.explain(id) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if explain_query.is_some() {
+        usage("--query only applies to the explain subcommand");
+    }
+    if config.trace_out.is_some() && config.trace_sample == 0 {
+        config.trace_sample = 16;
+    }
     if requested.is_empty() {
         usage("no experiment given");
     }
@@ -169,15 +227,29 @@ fn main() {
             "headline" => ctx.headline(),
             "regions" => ctx.regions(),
             "robustness" => ctx.robustness(),
-            "report" => ctx
-                .report(std::path::Path::new("target/report.md"))
-                .unwrap_or_else(|e| format!("report failed: {e}\n")),
-            "figdata" => ctx
-                .figdata(std::path::Path::new("target/figdata"))
-                .unwrap_or_else(|e| format!("figdata failed: {e}\n")),
-            "export" => ctx
-                .export(std::path::Path::new("target/dataset"))
-                .unwrap_or_else(|e| format!("export failed: {e}\n")),
+            // Write failures are recorded for exit-code propagation —
+            // a run that lost its artifacts must not exit 0.
+            "report" => match ctx.report(std::path::Path::new("target/report.md")) {
+                Ok(text) => text,
+                Err(e) => {
+                    ctx.record_io_error("report failed", &e);
+                    format!("report failed: {e}\n")
+                }
+            },
+            "figdata" => match ctx.figdata(std::path::Path::new("target/figdata")) {
+                Ok(text) => text,
+                Err(e) => {
+                    ctx.record_io_error("figdata failed", &e);
+                    format!("figdata failed: {e}\n")
+                }
+            },
+            "export" => match ctx.export(std::path::Path::new("target/dataset")) {
+                Ok(text) => text,
+                Err(e) => {
+                    ctx.record_io_error("export failed", &e);
+                    format!("export failed: {e}\n")
+                }
+            },
             "ablation-tls12" => ctx.ablation_tls12(),
             "ablation-anycast" => ctx.ablation_anycast(),
             "ablation-cache" => ctx.ablation_cache(),
@@ -190,37 +262,48 @@ fn main() {
         println!("{output}");
     }
 
-    if metrics_path.is_none() && baseline_path.is_none() {
-        return;
-    }
-    let snap = match &metrics_path {
-        Some(path) => match dohperf_telemetry::write_snapshot(path) {
-            Ok(snap) => {
-                eprintln!("# metrics written to {}", path.display());
-                snap
-            }
-            Err(e) => {
-                eprintln!("error: writing metrics to {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        },
-        None => dohperf_telemetry::global().snapshot(),
-    };
-    eprint!("{}", snap.render_table());
+    if metrics_path.is_some() || baseline_path.is_some() {
+        // Fold the wall-clock phase profile into the snapshot (as
+        // per-run gauges, never baseline-gated) for CI archiving.
+        dohperf_telemetry::phases::publish();
+        let snap = match &metrics_path {
+            Some(path) => match dohperf_telemetry::write_snapshot(path) {
+                Ok(snap) => {
+                    eprintln!("# metrics written to {}", path.display());
+                    snap
+                }
+                Err(e) => {
+                    eprintln!("error: writing metrics to {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            None => dohperf_telemetry::global().snapshot(),
+        };
+        eprint!("{}", snap.render_table());
+        eprint!("{}", dohperf_telemetry::phases::report());
 
-    if let Some(path) = baseline_path {
-        let baseline = std::fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|text| dohperf_telemetry::Snapshot::from_json(&text))
-            .unwrap_or_else(|e| {
-                eprintln!("error: reading baseline {}: {e}", path.display());
-                std::process::exit(2);
-            });
-        let report = snap.compare_deterministic(&baseline, tolerance);
-        eprint!("{}", report.render());
-        if !report.ok() {
-            std::process::exit(3);
+        if let Some(path) = baseline_path {
+            let baseline = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| dohperf_telemetry::Snapshot::from_json(&text))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: reading baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+            let report = snap.compare_deterministic(&baseline, tolerance);
+            eprint!("{}", report.render());
+            if !report.ok() {
+                std::process::exit(3);
+            }
         }
+    }
+
+    // Exit-code propagation for background/artifact writers: trace or
+    // artifact write failures must not leave the process exiting 0.
+    let io_failures = ctx.io_errors().len();
+    if io_failures > 0 {
+        eprintln!("error: {io_failures} I/O failure(s) during the run (see above)");
+        std::process::exit(4);
     }
 }
 
@@ -231,7 +314,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale F] [--threads N] [--metrics PATH] \
          [--baseline PATH] [--tolerance F] [--out-format both|csv|jsonl|store] \
-         [--store-dir DIR] [--from-store DIR] <experiment>...\n       repro all\nexperiments: {}",
+         [--store-dir DIR] [--from-store DIR] [--trace-out PATH] [--trace-sample N] \
+         <experiment>...\n       repro all\n       repro explain --query ID\nexperiments: {}",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -1,0 +1,42 @@
+//! `trace-check` — validate a Chrome trace-event JSON file.
+//!
+//! ```text
+//! trace-check <trace.json>
+//! ```
+//!
+//! Checks the structural invariants Perfetto and `chrome://tracing`
+//! rely on: a `traceEvents` array, mandatory `ph`/`name` fields,
+//! non-negative numeric timestamps, `dur >= 0` on complete (`X`)
+//! events, stack-matched `B`/`E` pairs per track, and per-track
+//! monotonic timestamps. Exits 0 and prints a one-line summary when the
+//! file is well-formed; exits 2 with the reason when it is not. Used by
+//! the CI `trace-smoke` step.
+
+use dohperf_telemetry::perfetto;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(path), None) if path != "--help" && path != "-h" => path,
+        _ => {
+            eprintln!("usage: trace-check <trace.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    match perfetto::validate_chrome_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: ok — {} events ({} complete, {} instants) across {} tracks",
+                stats.events, stats.complete, stats.instants, stats.tracks
+            );
+        }
+        Err(reason) => {
+            eprintln!("error: {path}: {reason}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -11,12 +11,14 @@ use dohperf_analysis::geography::country_median_for;
 use dohperf_analysis::pop_improvement::stats_for;
 use dohperf_analysis::prelude::*;
 use dohperf_analysis::render::{f, pct, pval, table};
-use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::campaign::{Campaign, CampaignConfig, ClientExplain};
 use dohperf_core::records::Dataset;
 use dohperf_core::validation;
 use dohperf_netsim::transport::TlsVersion;
 use dohperf_providers::provider::{ProviderKind, ALL_PROVIDERS};
 use dohperf_stats::desc::median;
+use dohperf_telemetry::flight::{QueryTrace, SpanRecord};
+use dohperf_telemetry::{perfetto, phases};
 use std::fmt::Write as _;
 
 /// What the `export` experiment writes, and how the campaign stores its
@@ -68,6 +70,12 @@ pub struct ReproConfig {
     pub from_store: Option<std::path::PathBuf>,
     /// Where `OutFormat::Store` writes the store directory.
     pub store_dir: std::path::PathBuf,
+    /// Write a Chrome-trace-event JSON file of sampled query traces
+    /// here after the campaign runs. Requires `trace_sample > 0`.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Flight-record 1 in N clients (0 = tracing off). Sampling is keyed
+    /// off each client's RNG stream and never perturbs the simulation.
+    pub trace_sample: u64,
 }
 
 impl Default for ReproConfig {
@@ -79,6 +87,8 @@ impl Default for ReproConfig {
             out_format: OutFormat::Both,
             from_store: None,
             store_dir: std::path::PathBuf::from("target/store"),
+            trace_out: None,
+            trace_sample: 0,
         }
     }
 }
@@ -87,6 +97,9 @@ impl Default for ReproConfig {
 pub struct ReproContext {
     config: ReproConfig,
     dataset: Option<Dataset>,
+    /// I/O failures from writers that used to be swallowed into output
+    /// strings; the binary turns a non-empty list into a nonzero exit.
+    io_errors: Vec<String>,
 }
 
 impl ReproContext {
@@ -95,6 +108,29 @@ impl ReproContext {
         ReproContext {
             config,
             dataset: None,
+            io_errors: Vec::new(),
+        }
+    }
+
+    /// I/O failures recorded so far (trace export, store writes). The
+    /// process must not exit 0 while this is non-empty.
+    pub fn io_errors(&self) -> &[String] {
+        &self.io_errors
+    }
+
+    /// Record an I/O failure for exit-code propagation.
+    pub fn record_io_error(&mut self, context: &str, err: &std::io::Error) {
+        eprintln!("error: {context}: {err}");
+        self.io_errors.push(format!("{context}: {err}"));
+    }
+
+    /// The campaign configuration every dataset-producing path uses.
+    fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            seed: self.config.seed,
+            scale: self.config.scale,
+            threads: self.config.threads,
+            ..CampaignConfig::default()
         }
     }
 
@@ -107,31 +143,81 @@ impl ReproContext {
     /// All three yield bit-identical datasets for the same seed/scale.
     pub fn dataset(&mut self) -> &Dataset {
         if self.dataset.is_none() {
-            self.dataset = Some(if let Some(dir) = self.config.from_store.clone() {
+            let ds = if let Some(dir) = self.config.from_store.clone() {
+                let _phase = phases::phase("load-store");
                 dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
                     panic!("loading store {}: {e}", dir.display());
                 })
             } else {
-                let cfg = CampaignConfig {
-                    seed: self.config.seed,
-                    scale: self.config.scale,
-                    threads: self.config.threads,
-                    ..CampaignConfig::default()
-                };
-                if self.config.out_format == OutFormat::Store {
+                let campaign = Campaign::new(self.campaign_config())
+                    .with_trace_sampling(self.config.trace_sample);
+                let ds = if self.config.out_format == OutFormat::Store {
                     let dir = self.config.store_dir.clone();
-                    Campaign::new(cfg)
+                    campaign
                         .run_to_store(&dir, 0)
                         .unwrap_or_else(|e| panic!("writing store {}: {e}", dir.display()));
                     dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
                         panic!("reading back store {}: {e}", dir.display());
                     })
                 } else {
-                    Campaign::new(cfg).run()
-                }
-            });
+                    campaign.run()
+                };
+                self.write_trace(&campaign);
+                ds
+            };
+            self.dataset = Some(ds);
         }
         self.dataset.as_ref().expect("just initialised")
+    }
+
+    /// Export the campaign's sampled flight traces as a Chrome
+    /// trace-event JSON file (open in Perfetto or `chrome://tracing`).
+    /// Write failures are recorded, not swallowed: the process exits
+    /// nonzero even though the dataset itself is fine.
+    fn write_trace(&mut self, campaign: &Campaign) {
+        let Some(path) = self.config.trace_out.clone() else {
+            return;
+        };
+        let _phase = phases::phase("trace-export");
+        let traces = campaign.take_traces();
+        let json = perfetto::to_chrome_trace(&traces);
+        let written = (|| -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(&path, &json)
+        })();
+        match written {
+            Ok(()) => eprintln!(
+                "# trace written to {} ({} traces, {} bytes)",
+                path.display(),
+                traces.len(),
+                json.len()
+            ),
+            Err(e) => self.record_io_error(&format!("writing trace {}", path.display()), &e),
+        }
+    }
+
+    /// `repro explain --query <id>`: replay one client and render its
+    /// annotated timeline — every span, every header timestamp, and the
+    /// Eq 1–8 arithmetic line by line.
+    pub fn explain(&self, client_id: u64) -> Result<String, String> {
+        if self.config.trace_sample > 0 || self.config.trace_out.is_some() {
+            // Explain always records its one client; sampling flags are
+            // for the export path and would be misleading here.
+            eprintln!("# note: explain ignores --trace-out/--trace-sample");
+        }
+        let explain =
+            Campaign::explain_client(self.campaign_config(), client_id).ok_or_else(|| {
+                format!(
+                    "client {client_id} is outside this campaign's id range \
+                 (seed {}, scale {}); ids start at 1",
+                    self.config.seed, self.config.scale
+                )
+            })?;
+        Ok(render_explain(&explain))
     }
 
     /// Table 1: ground-truth DoH/DoHR validation.
@@ -973,6 +1059,173 @@ DoT trades lighter framing for port-853 middlebox exposure)
     }
 }
 
+/// Render one replayed client's annotated timeline: the span tree with
+/// header-timestamp events, the Eq 1–8 arithmetic line by line (from the
+/// `equations` span attributes, which carry shortest-round-trip values),
+/// and the stored medians with a bit-for-bit cross-check against the
+/// trace's own summary spans.
+fn render_explain(explain: &ClientExplain) -> String {
+    let trace = &explain.trace;
+    let record = &explain.record;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query {} [{}] — trace {}",
+        record.client_id,
+        record.country_iso,
+        trace.trace_id.to_hex()
+    );
+    let _ = writeln!(
+        out,
+        "maxmind geolocates the /24 to {} — record {}",
+        record.maxmind_country,
+        if explain.retained {
+            "retained"
+        } else {
+            "DISCARDED (country mismatch)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "simulated client time: {:.3} ms across {} spans\n",
+        trace.duration_ms(),
+        trace.spans.len()
+    );
+
+    out += "span tree (simulated milliseconds):\n";
+    render_span(&mut out, trace, trace.root(), 0);
+
+    out += "\nEq 1-8 derivations (one per DoH run, in measurement order):\n";
+    let mut run = 0usize;
+    for span in &trace.spans {
+        if span.target != "equations" {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  derivation {run} (at {:.3} ms):",
+            span.start_nanos as f64 / 1e6
+        );
+        for (key, value) in &span.attrs {
+            let _ = writeln!(out, "    {key} = {value}");
+        }
+        run += 1;
+    }
+
+    out += "\nstored medians (shortest-round-trip f64 — exact bits):\n";
+    for sample in &record.doh {
+        let _ = writeln!(
+            out,
+            "  {:<11} t_DoH = {} ms   t_DoHR = {} ms",
+            sample.provider.name(),
+            sample.t_doh_ms,
+            sample.t_dohr_ms
+        );
+    }
+    match record.do53_ms {
+        Some(ms) => {
+            let _ = writeln!(
+                out,
+                "  {:<11} t_Do53 = {} ms ({:?})",
+                "do53", ms, record.do53_source
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  {:<11} hijacked by the Super Proxy — Do53 comes from the RIPE Atlas remedy",
+                "do53"
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\ntrace-vs-record agreement: {}",
+        match medians_agree(trace, record) {
+            Ok(n) => format!("OK ({n} medians bit-for-bit identical)"),
+            Err(e) => format!("MISMATCH — {e}"),
+        }
+    );
+    out
+}
+
+fn render_span(out: &mut String, trace: &QueryTrace, span: &SpanRecord, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    let _ = writeln!(
+        out,
+        "{indent}[{:.3}..{:.3}] {}::{}",
+        span.start_nanos as f64 / 1e6,
+        span.end_nanos as f64 / 1e6,
+        span.target,
+        span.name
+    );
+    for (key, value) in &span.attrs {
+        let _ = writeln!(out, "{indent}  · {key} = {value}");
+    }
+    for event in &span.events {
+        let _ = writeln!(
+            out,
+            "{indent}  @ {:.3} {}",
+            event.at_nanos as f64 / 1e6,
+            event.label
+        );
+    }
+    for child in trace.children(span.id) {
+        render_span(out, trace, child, depth + 1);
+    }
+}
+
+/// Cross-check the medians embedded in the trace's `summary` spans
+/// against the replayed record, requiring exact f64 bits.
+fn medians_agree(
+    trace: &QueryTrace,
+    record: &dohperf_core::records::ClientRecord,
+) -> Result<usize, String> {
+    let mut checked = 0usize;
+    for sample in &record.doh {
+        let name = format!("summary {}", sample.provider);
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| format!("trace has no {name:?} span"))?;
+        for (key, want) in [
+            ("median_t_doh_ms", sample.t_doh_ms),
+            ("median_t_dohr_ms", sample.t_dohr_ms),
+        ] {
+            let got: f64 = span
+                .attrs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .and_then(|(_, v)| v.parse().ok())
+                .ok_or_else(|| format!("{name}: missing/unparsable {key}"))?;
+            if got.to_bits() != want.to_bits() {
+                return Err(format!("{name}.{key}: trace {got} != record {want}"));
+            }
+            checked += 1;
+        }
+    }
+    if let Some(want) = record.do53_ms {
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "summary do53")
+            .ok_or_else(|| "trace has no \"summary do53\" span".to_string())?;
+        let got: f64 = span
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "median_t_do53_ms")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| "summary do53: missing/unparsable median".to_string())?;
+        if got.to_bits() != want.to_bits() {
+            return Err(format!("summary do53: trace {got} != record {want}"));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1014,5 +1267,25 @@ mod tests {
         assert!(ctx.table2().contains("Table 2"));
         assert!(ctx.sec4_3().contains("CONFIRMED"));
         assert!(ctx.sec4_4().contains("mean |diff|"));
+    }
+
+    #[test]
+    fn explain_renders_the_full_derivation() {
+        let ctx = quick_context();
+        let text = ctx.explain(3).expect("client 3 exists at any scale");
+        for needle in [
+            "span tree",
+            "proxy::connect-tunnel",
+            "x-luminati-tun-timeline",
+            "eq7.t_doh_ms",
+            "stored medians",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(
+            text.contains("medians bit-for-bit identical"),
+            "cross-check failed:\n{text}"
+        );
+        assert!(ctx.explain(u64::MAX).is_err());
     }
 }

@@ -20,7 +20,7 @@
 //! [`CampaignConfig::threads`] value — thread count is a throughput knob,
 //! never an output knob.
 
-use crate::equations::{derive_t_doh_ms, derive_t_dohr_ms};
+use crate::equations::record_derivation;
 use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
 use crate::store_io;
 use crate::testbed::Testbed;
@@ -32,6 +32,8 @@ use dohperf_proxy::exitnode::ExitNode;
 use dohperf_proxy::network::MeasurementOptions;
 use dohperf_proxy::superproxy::SuperProxy;
 use dohperf_store::{ChunkWriter, Manifest, WriterStats, MANIFEST_FILE, RECORDS_FILE};
+use dohperf_telemetry::flight::{self, QueryTrace};
+use dohperf_telemetry::phases;
 use dohperf_world::countries::Country;
 use dohperf_world::geoloc::GeolocationService;
 use dohperf_world::population::PopulationModel;
@@ -114,6 +116,51 @@ impl CampaignConfig {
 /// ```
 pub struct Campaign {
     config: CampaignConfig,
+    flight: Option<FlightPlan>,
+}
+
+/// Flight-recorder wiring for a campaign run. Lives on [`Campaign`] rather
+/// than [`CampaignConfig`] because it holds collection state, not knobs
+/// that define the dataset (tracing never changes the dataset).
+struct FlightPlan {
+    /// Record 1 in N clients (0 disables probabilistic sampling).
+    sample_every: u64,
+    /// Record exactly this client, regardless of sampling (explain mode).
+    only_client: Option<u64>,
+    /// Completed traces, pushed by worker threads; sorted by client id
+    /// when taken so the output is thread-count invariant.
+    collected: Mutex<Vec<QueryTrace>>,
+    /// Explain mode: the targeted client's record and whether the Maxmind
+    /// filter retained it.
+    explained: Mutex<Option<(ClientRecord, bool)>>,
+}
+
+impl FlightPlan {
+    fn disabled() -> Self {
+        FlightPlan {
+            sample_every: 0,
+            only_client: None,
+            collected: Mutex::new(Vec::new()),
+            explained: Mutex::new(None),
+        }
+    }
+
+    /// Should this client be recorded? `fork_draw` is the client's
+    /// dedicated `trace-sample` fork draw.
+    fn records(&self, client_id: u64, fork_draw: u64) -> bool {
+        self.only_client == Some(client_id) || flight::sampled(fork_draw, self.sample_every)
+    }
+}
+
+/// Everything `repro explain` needs about one replayed client.
+pub struct ClientExplain {
+    /// The client's measured record, exactly as the full campaign
+    /// computes it (same RNG lineage, bit-identical medians).
+    pub record: ClientRecord,
+    /// Whether the Maxmind mismatch filter kept the record.
+    pub retained: bool,
+    /// The client's full span tree.
+    pub trace: QueryTrace,
 }
 
 impl Campaign {
@@ -121,7 +168,67 @@ impl Campaign {
     pub fn new(config: CampaignConfig) -> Self {
         assert!(config.scale > 0.0 && config.scale <= 1.0, "scale in (0,1]");
         assert!(config.runs_per_client >= 1);
-        Campaign { config }
+        Campaign {
+            config,
+            flight: None,
+        }
+    }
+
+    /// Arm the flight recorder for 1-in-`every` clients. The sampling
+    /// decision is a position-independent fork of each client's RNG
+    /// stream, so arming (or changing `every`) never perturbs the
+    /// simulation — only which clients leave a trace behind.
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        if every > 0 {
+            let plan = self.flight.get_or_insert_with(FlightPlan::disabled);
+            plan.sample_every = every;
+        }
+        self
+    }
+
+    /// Arm the flight recorder for exactly one client (explain mode).
+    pub fn with_trace_client(mut self, client_id: u64) -> Self {
+        let plan = self.flight.get_or_insert_with(FlightPlan::disabled);
+        plan.only_client = Some(client_id);
+        self
+    }
+
+    /// Drain the traces collected by the last run, in client-id order
+    /// (client ids are globally ordered by canonical country, so this is
+    /// the sequential-walk order for any thread count).
+    pub fn take_traces(&self) -> Vec<QueryTrace> {
+        let Some(plan) = &self.flight else {
+            return Vec::new();
+        };
+        let mut traces = std::mem::take(&mut *plan.collected.lock());
+        traces.sort_by_key(|t| t.client_id);
+        traces
+    }
+
+    /// Replay exactly one client and return its record plus span tree.
+    ///
+    /// Runs only the shard that owns `client_id` — the per-country RNG
+    /// lineage makes that shard self-contained, so the replayed record is
+    /// bit-identical to the one a full campaign at the same config
+    /// produces. Returns `None` if the id is outside the campaign's
+    /// client range.
+    pub fn explain_client(config: CampaignConfig, client_id: u64) -> Option<ClientExplain> {
+        let campaign = Campaign::new(config).with_trace_client(client_id);
+        let plan = campaign.plan();
+        let shard = (0..plan.counts.len()).find(|&i| {
+            client_id > plan.bases[i] && client_id <= plan.bases[i] + plan.counts[i] as u64
+        })?;
+        campaign
+            .run_country_shard(&plan, shard, &mut |_record| Ok(()))
+            .expect("the discarding sink never fails");
+        let flight = campaign.flight.as_ref().expect("armed above");
+        let (record, retained) = flight.explained.lock().take()?;
+        let trace = std::mem::take(&mut *flight.collected.lock()).pop()?;
+        Some(ClientExplain {
+            record,
+            retained,
+            trace,
+        })
     }
 
     /// Run the full campaign, returning the dataset.
@@ -132,21 +239,28 @@ impl Campaign {
     /// seed, and results merge in canonical country order, so any thread
     /// count produces byte-identical output.
     pub fn run(&self) -> Dataset {
-        let plan = self.plan();
-        let shards = self.run_sharded(&plan, |i| {
-            let mut records = Vec::with_capacity(plan.counts[i]);
-            let outcome = self
-                .run_country_shard(&plan, i, &mut |record| {
-                    records.push(record);
-                    Ok(())
-                })
-                .expect("the in-memory sink never fails");
-            let clients = records.len() + outcome.discarded;
-            ((records, outcome), clients)
-        });
+        let plan = {
+            let _phase = phases::phase("topology-build");
+            self.plan()
+        };
+        let shards = {
+            let _phase = phases::phase("simulate");
+            self.run_sharded(&plan, |i| {
+                let mut records = Vec::with_capacity(plan.counts[i]);
+                let outcome = self
+                    .run_country_shard(&plan, i, &mut |record| {
+                        records.push(record);
+                        Ok(())
+                    })
+                    .expect("the in-memory sink never fails");
+                let clients = records.len() + outcome.discarded;
+                ((records, outcome), clients)
+            })
+        };
 
         // Merge in canonical country order; workers finished in arbitrary
         // order but each slot holds exactly its country's shard.
+        let _phase = phases::phase("merge");
         let mut records = Vec::new();
         let mut discarded = 0usize;
         let mut atlas_do53_ms = Vec::new();
@@ -161,6 +275,7 @@ impl Campaign {
         let (observed_ases, observed_resolvers) =
             observed_infrastructure(records.len(), plan.country_list.len());
 
+        warn_on_dropped_trace_events();
         Dataset {
             records,
             countries: plan.countries,
@@ -189,10 +304,14 @@ impl Campaign {
         dir: &Path,
         chunk_budget: usize,
     ) -> dohperf_store::Result<StoreRunSummary> {
-        let plan = self.plan();
+        let plan = {
+            let _phase = phases::phase("topology-build");
+            self.plan()
+        };
         let shards_dir = dir.join("shards");
         std::fs::create_dir_all(&shards_dir)?;
 
+        let _simulate_phase = phases::phase("simulate");
         let spill_path =
             |i: usize| -> std::path::PathBuf { shards_dir.join(format!("shard-{i:05}.chunks")) };
         let results = self.run_sharded(&plan, |i| {
@@ -213,9 +332,11 @@ impl Campaign {
             };
             (result, clients)
         });
+        drop(_simulate_phase);
 
         // Concatenate spill files in canonical country order: chunks are
         // self-contained, so concatenation is the merge.
+        let _store_phase = phases::phase("store-merge");
         let mut out = BufWriter::new(File::create(dir.join(RECORDS_FILE))?);
         let mut totals = WriterStats::default();
         let mut retained = 0usize;
@@ -269,6 +390,7 @@ impl Campaign {
             ),
         );
 
+        warn_on_dropped_trace_events();
         Ok(StoreRunSummary {
             stats: totals,
             discarded,
@@ -436,6 +558,26 @@ impl Campaign {
         for (offset, site) in sites.into_iter().take(count).enumerate() {
             let client_id = client_id_base + offset as u64 + 1;
             let mut client_rng = root_rng.fork_indexed("client", client_id);
+            // The sampling draw is a fork (forks never advance the parent
+            // stream), so arming the recorder cannot perturb the
+            // simulation — only which clients leave a trace behind.
+            let root_span = match &self.flight {
+                Some(plan)
+                    if plan.records(client_id, client_rng.fork("trace-sample").next_u64()) =>
+                {
+                    flight::begin(
+                        flight::derive_trace_id(self.config.seed, iso, client_id),
+                        client_id,
+                        iso,
+                    );
+                    Some(flight::start_span(
+                        "campaign",
+                        format!("client {client_id} [{iso}]"),
+                        tb.sim.now().as_nanos(),
+                    ))
+                }
+                _ => None,
+            };
             let exit = ExitNode::create(
                 &mut tb.sim,
                 &mut geoloc,
@@ -446,7 +588,21 @@ impl Campaign {
                 &mut client_rng,
             );
             let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng);
-            if record.countries_agree() {
+            let agrees = record.countries_agree();
+            if let Some(span) = root_span {
+                flight::attr(span, "maxmind_country", record.maxmind_country.to_string());
+                flight::attr(span, "retained", agrees.to_string());
+                flight::end_span(span, tb.sim.now().as_nanos());
+                if let (Some(plan), Some(trace)) = (&self.flight, flight::take()) {
+                    plan.collected.lock().push(trace);
+                }
+            }
+            if let Some(plan) = &self.flight {
+                if plan.only_client == Some(client_id) {
+                    *plan.explained.lock() = Some((record.clone(), agrees));
+                }
+            }
+            if agrees {
                 emit(record)?;
                 retained += 1;
             } else {
@@ -530,14 +686,31 @@ impl Campaign {
                     &self.config.measurement,
                 );
                 dohperf_telemetry::counter!("campaign.doh_queries").inc();
-                t_doh_runs.push(derive_t_doh_ms(&obs));
-                t_dohr_runs.push(derive_t_dohr_ms(&obs));
+                if flight::active() {
+                    record_wire_phase(&format!("c{}-r{run}.{}", exit.id, provider.hostname()));
+                }
+                // record_derivation calls the same derive_* functions the
+                // untraced path used, so the pushed values are bit-identical
+                // whether or not a recording is armed.
+                let explain = record_derivation(&obs);
+                t_doh_runs.push(explain.t_doh_ms);
+                t_dohr_runs.push(explain.t_dohr_ms);
             }
             let nearest = deployment.nearest_index(&exit.position);
+            let t_doh_ms = median(&mut t_doh_runs);
+            let t_dohr_ms = median(&mut t_dohr_runs);
+            if flight::active() {
+                let now = tb.sim.now().as_nanos();
+                let span = flight::start_span("campaign", format!("summary {provider}"), now);
+                flight::attr(span, "median_t_doh_ms", format!("{t_doh_ms}"));
+                flight::attr(span, "median_t_dohr_ms", format!("{t_dohr_ms}"));
+                flight::attr(span, "pop_index", pop_index.to_string());
+                flight::end_span(span, now);
+            }
             doh.push(DohSample {
                 provider,
-                t_doh_ms: median(&mut t_doh_runs),
-                t_dohr_ms: median(&mut t_dohr_runs),
+                t_doh_ms,
+                t_dohr_ms,
                 pop_index,
                 pop_distance_miles: deployment.distance_miles(&exit.position, pop_index),
                 nearest_pop_distance_miles: deployment.distance_miles(&exit.position, nearest),
@@ -571,6 +744,15 @@ impl Campaign {
         } else {
             (Some(median(&mut do53_runs)), Do53Source::BrightDataHeader)
         };
+        if flight::active() {
+            let now = tb.sim.now().as_nanos();
+            let span = flight::start_span("campaign", "summary do53".to_string(), now);
+            flight::attr(span, "source", format!("{do53_source:?}"));
+            if let Some(ms) = do53_ms {
+                flight::attr(span, "median_t_do53_ms", format!("{ms}"));
+            }
+            flight::end_span(span, now);
+        }
 
         let ns_pos = tb.sim.topology().node(tb.auth_ns).spec.position;
         ClientRecord {
@@ -632,6 +814,40 @@ fn observed_infrastructure(records: usize, countries: usize) -> (usize, usize) {
     let observed_resolvers = records.min(1_896 * records / 22_052 + 1);
     let observed_ases = (records / 10).max(countries);
     (observed_ases, observed_resolvers)
+}
+
+/// Publish the debug-sink drop count as the `trace.events_dropped`
+/// per-run counter and warn on stderr when a run lost events — losing
+/// events silently would make a truncated debug log look complete.
+fn warn_on_dropped_trace_events() {
+    let dropped = dohperf_telemetry::trace::publish_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "[campaign] warning: {dropped} trace events dropped \
+             (debug ring buffer full; raise its capacity or trace less)"
+        );
+    }
+}
+
+/// Exercise the dnswire message phases for a traced DoH run: encode the
+/// query as a GET, then decode it server-side, each emitting a flight
+/// event. The simulated transport is time-only (it never builds wire
+/// bytes), so this reconstructs the wire work the client logically did.
+/// The query name is synthesised from immutable state — never
+/// [`Testbed::fresh_subdomain`], which advances a counter and would make
+/// tracing perturb the simulation.
+fn record_wire_phase(qname: &str) {
+    use dohperf_dns::doh::DohRequest;
+    use dohperf_dns::message::Message;
+    use dohperf_dns::name::DnsName;
+    use dohperf_dns::types::RecordType;
+    let Ok(name) = DnsName::parse(qname) else {
+        return;
+    };
+    let message = Message::query(0, &name, RecordType::A);
+    if let Ok(request) = DohRequest::get(&message) {
+        let _ = request.decode_message();
+    }
 }
 
 fn median(xs: &mut [f64]) -> f64 {
@@ -777,6 +993,57 @@ mod tests {
         assert_eq!(back.observed_ases, direct.observed_ases);
         assert_eq!(back.observed_resolvers, direct.observed_resolvers);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_sampling_never_perturbs_the_dataset() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(7)
+        };
+        let plain = Campaign::new(config).run();
+        let traced_campaign = Campaign::new(config).with_trace_sampling(4);
+        let traced = traced_campaign.run();
+        assert_eq!(plain.records, traced.records, "tracing must be invisible");
+        let traces = traced_campaign.take_traces();
+        assert!(!traces.is_empty(), "1-in-4 sampling should catch clients");
+        assert!(
+            traces.windows(2).all(|w| w[0].client_id < w[1].client_id),
+            "traces drain in canonical client order"
+        );
+        for trace in &traces {
+            let root = trace.root();
+            assert!(root.name.starts_with("client "), "{}", root.name);
+            assert!(
+                trace.spans.iter().any(|s| s.target == "proxy"),
+                "proxy spans recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_client_replays_the_full_campaign_record() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(11)
+        };
+        let ds = Campaign::new(config).run();
+        let target = &ds.records[3];
+        let explain = Campaign::explain_client(config, target.client_id).unwrap();
+        assert!(explain.retained);
+        // Bit-for-bit: the replayed shard derives the same RNG lineage.
+        assert_eq!(explain.record, *target);
+        assert_eq!(explain.trace.client_id, target.client_id);
+        assert!(
+            explain
+                .trace
+                .spans
+                .iter()
+                .any(|s| s.name == "derive Eq 1-8"),
+            "derivation spans present"
+        );
+        // Out-of-range ids are rejected, not mis-attributed.
+        assert!(Campaign::explain_client(config, u64::MAX).is_none());
     }
 
     #[test]

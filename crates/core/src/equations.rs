@@ -21,6 +21,7 @@
 //! negative — the methodology must surface that rather than clamp it away.
 
 use dohperf_proxy::observation::DohObservation;
+use dohperf_telemetry as telemetry;
 
 /// Equation 6: the recovered client↔exit round-trip time, in ms.
 pub fn derive_rtt_ms(obs: &DohObservation) -> f64 {
@@ -49,6 +50,195 @@ pub fn derive_t_dohr_ms(obs: &DohObservation) -> f64 {
 pub fn doh_n_ms(t_doh_ms: f64, t_dohr_ms: f64, n: u32) -> f64 {
     assert!(n >= 1, "DoH-N needs at least one request");
     (t_doh_ms + f64::from(n - 1) * t_dohr_ms) / f64::from(n)
+}
+
+/// The Eq 1–8 derivation of one observation, with every input and
+/// intermediate pinned, for the flight recorder and `repro explain`.
+///
+/// [`DerivationExplain::from_observation`] computes the final values by
+/// calling [`derive_rtt_ms`] / [`derive_t_doh_ms`] / [`derive_t_dohr_ms`]
+/// — not by re-deriving them locally — so the explained numbers are
+/// **bit-for-bit** the ones the campaign stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationExplain {
+    /// `T_A`, simulated nanoseconds.
+    pub t_a_nanos: u64,
+    /// `T_B`, simulated nanoseconds.
+    pub t_b_nanos: u64,
+    /// `T_C`, simulated nanoseconds.
+    pub t_c_nanos: u64,
+    /// `T_D`, simulated nanoseconds.
+    pub t_d_nanos: u64,
+    /// Eq 1 input: `T_B − T_A`, ms.
+    pub tb_ta_ms: f64,
+    /// Eq 2 input: `T_D − T_C`, ms.
+    pub td_tc_ms: f64,
+    /// Eq 3: `t3+t4` from `X-luminati-tun-timeline` (`dns`), ms.
+    pub tun_dns_ms: f64,
+    /// Eq 4: `t5+t6` from `X-luminati-tun-timeline` (`connect`), ms.
+    pub tun_connect_ms: f64,
+    /// `X-luminati-timeline` `auth` component, ms.
+    pub proxy_auth_ms: f64,
+    /// `X-luminati-timeline` `init` component, ms.
+    pub proxy_init_ms: f64,
+    /// `X-luminati-timeline` `select` component, ms.
+    pub proxy_select_ms: f64,
+    /// `X-luminati-timeline` `domain_check` component, ms.
+    pub proxy_domain_check_ms: f64,
+    /// Eq 5: `t_BrightData` (sum of the four proxy components), ms.
+    pub t_bd_ms: f64,
+    /// Eq 6 output: recovered client↔exit RTT, ms.
+    pub rtt_ms: f64,
+    /// Eq 7 output: derived DoH resolution time, ms.
+    pub t_doh_ms: f64,
+    /// Eq 8 output: derived connection-reuse query time, ms.
+    pub t_dohr_ms: f64,
+}
+
+impl DerivationExplain {
+    /// Work Eq 1–8 for `obs`, preserving bit-exact equality with the
+    /// plain `derive_*` functions.
+    pub fn from_observation(obs: &DohObservation) -> Self {
+        DerivationExplain {
+            t_a_nanos: obs.t_a.as_nanos(),
+            t_b_nanos: obs.t_b.as_nanos(),
+            t_c_nanos: obs.t_c.as_nanos(),
+            t_d_nanos: obs.t_d.as_nanos(),
+            tb_ta_ms: obs.t_b.saturating_since(obs.t_a).as_millis_f64(),
+            td_tc_ms: obs.t_d.saturating_since(obs.t_c).as_millis_f64(),
+            tun_dns_ms: obs.tun.dns.as_millis_f64(),
+            tun_connect_ms: obs.tun.connect.as_millis_f64(),
+            proxy_auth_ms: obs.proxy.auth.as_millis_f64(),
+            proxy_init_ms: obs.proxy.init.as_millis_f64(),
+            proxy_select_ms: obs.proxy.select_node.as_millis_f64(),
+            proxy_domain_check_ms: obs.proxy.domain_check.as_millis_f64(),
+            t_bd_ms: obs.proxy.total().as_millis_f64(),
+            rtt_ms: derive_rtt_ms(obs),
+            t_doh_ms: derive_t_doh_ms(obs),
+            t_dohr_ms: derive_t_dohr_ms(obs),
+        }
+    }
+
+    /// The `t3+t4+t5+t6` tunnel total, ms.
+    pub fn tun_total_ms(&self) -> f64 {
+        self.tun_dns_ms + self.tun_connect_ms
+    }
+
+    /// The derivation, one equation per line, in the paper's order and
+    /// notation. `{:.3}` formatting for human reading; bit-exact values
+    /// live in the struct fields (and in the flight-recorder attributes,
+    /// which use shortest-round-trip formatting).
+    pub fn lines(&self) -> Vec<String> {
+        let tun = self.tun_total_ms();
+        vec![
+            format!(
+                "Eq 1  T_B − T_A = {:.3} − {:.3} = {:.3} ms   (CONNECT round trip)",
+                self.t_b_nanos as f64 / 1e6,
+                self.t_a_nanos as f64 / 1e6,
+                self.tb_ta_ms
+            ),
+            format!(
+                "Eq 2  T_D − T_C = {:.3} − {:.3} = {:.3} ms   (HTTPS GET round trip)",
+                self.t_d_nanos as f64 / 1e6,
+                self.t_c_nanos as f64 / 1e6,
+                self.td_tc_ms
+            ),
+            format!(
+                "Eq 3  t3+t4 = {:.3} ms   (X-luminati-tun-timeline: dns)",
+                self.tun_dns_ms
+            ),
+            format!(
+                "Eq 4  t5+t6 = {:.3} ms   (X-luminati-tun-timeline: connect)",
+                self.tun_connect_ms
+            ),
+            format!(
+                "Eq 5  t_BD = auth {:.3} + init {:.3} + select {:.3} + domain_check {:.3} = {:.3} ms   (X-luminati-timeline)",
+                self.proxy_auth_ms,
+                self.proxy_init_ms,
+                self.proxy_select_ms,
+                self.proxy_domain_check_ms,
+                self.t_bd_ms
+            ),
+            format!(
+                "Eq 6  RTT = (T_B−T_A) − (t3+t4+t5+t6) − t_BD = {:.3} − {:.3} − {:.3} = {:.3} ms",
+                self.tb_ta_ms, tun, self.t_bd_ms, self.rtt_ms
+            ),
+            format!(
+                "Eq 7  t_DoH = (T_D−T_C) − 2·(T_B−T_A) + 3·(t3+t4+t5+t6) + 2·t_BD = {:.3} − 2·{:.3} + 3·{:.3} + 2·{:.3} = {:.3} ms",
+                self.td_tc_ms, self.tb_ta_ms, tun, self.t_bd_ms, self.t_doh_ms
+            ),
+            format!(
+                "Eq 8  t_DoHR = t_DoH − (t3+t4+t5+t6) − (t5+t6) = {:.3} − {:.3} − {:.3} = {:.3} ms",
+                self.t_doh_ms, tun, self.tun_connect_ms, self.t_dohr_ms
+            ),
+        ]
+    }
+
+    /// Attach the full derivation to `span` as flight-recorder
+    /// attributes, one per equation. Values use Rust's shortest
+    /// round-trip `f64` formatting, so a reader can recover the exact
+    /// bits the campaign stored.
+    pub fn annotate_span(&self, span: telemetry::flight::SpanToken) {
+        use telemetry::flight::attr;
+        let tun = self.tun_total_ms();
+        attr(span, "eq1.tb_ta_ms", format!("{}", self.tb_ta_ms));
+        attr(span, "eq2.td_tc_ms", format!("{}", self.td_tc_ms));
+        attr(span, "eq3.tun_dns_ms", format!("{}", self.tun_dns_ms));
+        attr(
+            span,
+            "eq4.tun_connect_ms",
+            format!("{}", self.tun_connect_ms),
+        );
+        attr(
+            span,
+            "eq5.t_bd_ms",
+            format!(
+                "{} (auth {} + init {} + select {} + domain_check {})",
+                self.t_bd_ms,
+                self.proxy_auth_ms,
+                self.proxy_init_ms,
+                self.proxy_select_ms,
+                self.proxy_domain_check_ms
+            ),
+        );
+        attr(
+            span,
+            "eq6.rtt_ms",
+            format!(
+                "{} = {} - {} - {}",
+                self.rtt_ms, self.tb_ta_ms, tun, self.t_bd_ms
+            ),
+        );
+        attr(
+            span,
+            "eq7.t_doh_ms",
+            format!(
+                "{} = {} - 2*{} + 3*{} + 2*{}",
+                self.t_doh_ms, self.td_tc_ms, self.tb_ta_ms, tun, self.t_bd_ms
+            ),
+        );
+        attr(
+            span,
+            "eq8.t_dohr_ms",
+            format!(
+                "{} = {} - {} - {}",
+                self.t_dohr_ms, self.t_doh_ms, tun, self.tun_connect_ms
+            ),
+        );
+    }
+}
+
+/// Record the Eq 1–8 derivation of `obs` as a zero-width flight span at
+/// `T_D` (the moment the last timestamp lands). No-op when no recording
+/// is armed on this thread.
+pub fn record_derivation(obs: &DohObservation) -> DerivationExplain {
+    let explain = DerivationExplain::from_observation(obs);
+    if telemetry::flight::active() {
+        let span = telemetry::flight::start_span("equations", "derive Eq 1-8", explain.t_d_nanos);
+        explain.annotate_span(span);
+        telemetry::flight::end_span(span, explain.t_d_nanos);
+    }
+    explain
 }
 
 #[cfg(test)]
@@ -229,6 +419,101 @@ mod tests {
         // Eq 8: 56 − 32 − 30 = −6 — legitimately negative, surfaced
         // rather than clamped (module-level contract).
         assert!((derive_t_dohr_ms(&obs) + 6.0).abs() < 1e-6);
+    }
+
+    /// The explain view must agree with the golden hand-worked timeline
+    /// number for number — same fixture as `golden_hand_computed_timeline`
+    /// — and bit-for-bit with the plain `derive_*` functions, since
+    /// `repro explain` prints exactly these fields.
+    #[test]
+    fn golden_timeline_explain_matches_fixture() {
+        let obs = DohObservation {
+            t_a: SimTime::from_nanos(5_000_000),
+            t_b: SimTime::from_nanos(145_000_000),
+            t_c: SimTime::from_nanos(145_000_000),
+            t_d: SimTime::from_nanos(430_000_000),
+            tun: TunTimeline {
+                dns: SimDuration::from_millis_f64(20.0),
+                connect: SimDuration::from_millis_f64(30.0),
+            },
+            proxy: ProxyTimeline {
+                auth: SimDuration::from_millis_f64(4.0),
+                init: SimDuration::from_millis_f64(3.0),
+                select_node: SimDuration::from_millis_f64(2.0),
+                domain_check: SimDuration::from_millis_f64(1.0),
+            },
+            truth_t_doh: SimDuration::from_millis_f64(175.0),
+            truth_t_dohr: SimDuration::from_millis_f64(90.0),
+        };
+        let explain = DerivationExplain::from_observation(&obs);
+        // Bit-for-bit equality with the plain derivation functions.
+        assert_eq!(explain.rtt_ms.to_bits(), derive_rtt_ms(&obs).to_bits());
+        assert_eq!(explain.t_doh_ms.to_bits(), derive_t_doh_ms(&obs).to_bits());
+        assert_eq!(
+            explain.t_dohr_ms.to_bits(),
+            derive_t_dohr_ms(&obs).to_bits()
+        );
+        // Inputs pinned to the hand-worked numbers.
+        assert_eq!(explain.tb_ta_ms, 140.0);
+        assert_eq!(explain.td_tc_ms, 285.0);
+        assert_eq!(explain.tun_dns_ms, 20.0);
+        assert_eq!(explain.tun_connect_ms, 30.0);
+        assert_eq!(explain.t_bd_ms, 10.0);
+        // The rendered lines carry the golden outputs.
+        let lines = explain.lines();
+        assert_eq!(lines.len(), 8, "one line per equation");
+        assert!(lines[0].starts_with("Eq 1"));
+        assert!(lines[5].contains("80.000"), "Eq 6 RTT: {}", lines[5]);
+        assert!(lines[6].contains("175.000"), "Eq 7 t_DoH: {}", lines[6]);
+        assert!(lines[7].contains("95.000"), "Eq 8 t_DoHR: {}", lines[7]);
+    }
+
+    /// `record_derivation` attaches all eight equations to a flight span
+    /// with shortest-round-trip values that parse back to the exact bits.
+    #[test]
+    fn record_derivation_annotates_flight_span() {
+        use dohperf_telemetry::flight;
+        let obs = DohObservation {
+            t_a: SimTime::from_nanos(5_000_000),
+            t_b: SimTime::from_nanos(145_000_000),
+            t_c: SimTime::from_nanos(145_000_000),
+            t_d: SimTime::from_nanos(430_000_000),
+            tun: TunTimeline {
+                dns: SimDuration::from_millis_f64(20.0),
+                connect: SimDuration::from_millis_f64(30.0),
+            },
+            proxy: ProxyTimeline {
+                auth: SimDuration::from_millis_f64(4.0),
+                init: SimDuration::from_millis_f64(3.0),
+                select_node: SimDuration::from_millis_f64(2.0),
+                domain_check: SimDuration::from_millis_f64(1.0),
+            },
+            truth_t_doh: SimDuration::from_millis_f64(175.0),
+            truth_t_dohr: SimDuration::from_millis_f64(90.0),
+        };
+        flight::begin(flight::derive_trace_id(2021, "US", 1), 1, "US");
+        let root = flight::start_span("test", "query", 0);
+        let explain = record_derivation(&obs);
+        flight::end_span(root, explain.t_d_nanos);
+        let trace = flight::take().unwrap();
+        let eq_span = trace
+            .spans
+            .iter()
+            .find(|s| s.target == "equations")
+            .expect("derivation span recorded");
+        assert_eq!(eq_span.attrs.len(), 8);
+        let (_, t_doh_attr) = eq_span
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "eq7.t_doh_ms")
+            .expect("Eq 7 attribute");
+        let parsed: f64 = t_doh_attr
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(parsed.to_bits(), derive_t_doh_ms(&obs).to_bits());
     }
 
     #[test]

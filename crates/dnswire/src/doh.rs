@@ -8,6 +8,7 @@
 use crate::base64url;
 use crate::error::DnsError;
 use crate::message::Message;
+use dohperf_telemetry::flight;
 use serde::{Deserialize, Serialize};
 
 /// The DoH media type (RFC 8484 §6).
@@ -43,6 +44,12 @@ impl DohRequest {
         let mut normalized = message.clone();
         normalized.header.id = 0;
         let wire = normalized.encode()?;
+        if flight::active() {
+            flight::event_here(format!(
+                "dnswire: encode GET /dns-query ({} wire bytes, id zeroed)",
+                wire.len()
+            ));
+        }
         Ok(DohRequest {
             method: DohMethod::Get,
             path: format!("/dns-query?dns={}", base64url::encode(&wire)),
@@ -52,15 +59,29 @@ impl DohRequest {
 
     /// Build a POST request.
     pub fn post(message: &Message) -> Result<Self, DnsError> {
+        let body = message.encode()?;
+        if flight::active() {
+            flight::event_here(format!(
+                "dnswire: encode POST /dns-query ({} wire bytes)",
+                body.len()
+            ));
+        }
         Ok(DohRequest {
             method: DohMethod::Post,
             path: "/dns-query".to_string(),
-            body: message.encode()?,
+            body,
         })
     }
 
     /// Recover the DNS message from a request (server side).
     pub fn decode_message(&self) -> Result<Message, DnsError> {
+        if flight::active() {
+            flight::event_here(format!(
+                "dnswire: decode {:?} {}",
+                self.method,
+                self.path.split('?').next().unwrap_or(&self.path)
+            ));
+        }
         match self.method {
             DohMethod::Get => {
                 let query = self

@@ -17,6 +17,7 @@
 //! validation (Tables 1–2 check agreement at the single-millisecond level).
 
 use dohperf_netsim::time::SimDuration;
+use dohperf_telemetry::flight;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -68,6 +69,31 @@ impl TunTimeline {
     /// dns + connect — the quantity added three times in Equation 7.
     pub fn total(&self) -> SimDuration {
         self.dns + self.connect
+    }
+
+    /// Annotate a flight span with each header timestamp as a point
+    /// event, at cumulative offsets from `base_nanos` (the moment the
+    /// exit node starts resolving), plus the raw header value as an
+    /// attribute. No-op when no recording is armed.
+    pub fn annotate_flight(&self, span: flight::SpanToken, base_nanos: u64) {
+        if !flight::active() {
+            return;
+        }
+        flight::attr(span, "x-luminati-tun-timeline", self.to_header_value());
+        let dns_done = base_nanos + self.dns.as_nanos();
+        flight::event_on(
+            span,
+            format!("tun dns done (t3+t4 = {:.3} ms)", self.dns.as_millis_f64()),
+            dns_done,
+        );
+        flight::event_on(
+            span,
+            format!(
+                "tun connect done (t5+t6 = {:.3} ms)",
+                self.connect.as_millis_f64()
+            ),
+            dns_done + self.connect.as_nanos(),
+        );
     }
 }
 
@@ -123,6 +149,31 @@ impl ProxyTimeline {
     /// Total BrightData processing time — t_BrightData in Equations 5–7.
     pub fn total(&self) -> SimDuration {
         self.auth + self.init + self.select_node + self.domain_check
+    }
+
+    /// Annotate a flight span with each `X-luminati-timeline` component
+    /// as a point event at cumulative offsets from `base_nanos` (tunnel
+    /// request arrival at the Super Proxy), plus the raw header value.
+    /// No-op when no recording is armed.
+    pub fn annotate_flight(&self, span: flight::SpanToken, base_nanos: u64) {
+        if !flight::active() {
+            return;
+        }
+        flight::attr(span, "x-luminati-timeline", self.to_header_value());
+        let mut at = base_nanos;
+        for (label, value) in [
+            ("auth", self.auth),
+            ("init", self.init),
+            ("select", self.select_node),
+            ("domain_check", self.domain_check),
+        ] {
+            at += value.as_nanos();
+            flight::event_on(
+                span,
+                format!("proxy {label} done ({:.3} ms)", value.as_millis_f64()),
+                at,
+            );
+        }
     }
 }
 

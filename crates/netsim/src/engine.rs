@@ -12,6 +12,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, NodeSpec, Topology};
 use crate::trace::{PacketDirection, PacketRecord, TraceLog};
+use dohperf_telemetry::flight;
 
 /// Callback type fired by the engine.
 pub type Action = Box<dyn FnOnce(&mut Simulator, SimTime)>;
@@ -94,7 +95,9 @@ impl Simulator {
         self.path.base_rtt(&self.topology, a, b)
     }
 
-    /// Record a trace entry at the current time.
+    /// Record a trace entry at the current time. When a flight recording
+    /// is armed on this thread, the packet also lands as a point event on
+    /// the query's innermost open span.
     pub fn trace_packet(
         &mut self,
         src: NodeId,
@@ -103,12 +106,19 @@ impl Simulator {
         note: impl Into<String>,
     ) {
         let at = self.now;
+        let note = note.into();
+        if flight::active() {
+            flight::event(
+                format!("{proto} n{}->n{} {note}", src.0, dst.0),
+                at.as_nanos(),
+            );
+        }
         self.trace.record(PacketRecord {
             at,
             src,
             dst,
             proto,
-            note: note.into(),
+            note,
             direction: PacketDirection::Tx,
         });
     }
@@ -133,7 +143,7 @@ impl Simulator {
         F: FnOnce(&mut Simulator, SimTime) + 'static,
     {
         let at = self.now + delay;
-        self.queue.schedule(at, action)
+        self.schedule_at(at, action)
     }
 
     /// Schedule an action at an absolute instant.
@@ -141,7 +151,14 @@ impl Simulator {
     where
         F: FnOnce(&mut Simulator, SimTime) + 'static,
     {
-        self.queue.schedule(at, action)
+        let id = self.queue.schedule(at, action);
+        if flight::active() {
+            flight::event(
+                format!("netsim schedule {id:?} at {}ns", at.as_nanos()),
+                self.now.as_nanos(),
+            );
+        }
+        id
     }
 
     /// Cancel a scheduled action.
@@ -159,6 +176,9 @@ impl Simulator {
             }
             let (at, action) = self.queue.pop().expect("peeked event vanished");
             self.advance_to(at);
+            if flight::active() {
+                flight::event("netsim dispatch event", at.as_nanos());
+            }
             action(self, at);
             executed += 1;
             self.executed_events += 1;

@@ -59,7 +59,7 @@ pub fn to_pcap(log: &TraceLog) -> Vec<u8> {
     put_u32(&mut out, SNAPLEN);
     put_u32(&mut out, LINKTYPE_ETHERNET);
     for record in log.records() {
-        append_record(&mut out, record);
+        append_record(&mut out, &record);
     }
     out
 }

@@ -4,9 +4,16 @@
 //! §4.3 reproduction ("which resolver do exit nodes actually use?") works by
 //! inspecting this log for the destination of the exit node's DNS query —
 //! the simulated analogue of running Wireshark on a controlled exit node.
+//!
+//! Storage lives in [`dohperf_telemetry::trace::PacketLog`] — the one
+//! packet-trace type in the workspace — and this module layers the typed
+//! view on top: [`PacketRecord`] carries [`SimTime`] / [`NodeId`] (and
+//! serde derives for export) instead of the raw nanosecond/index form the
+//! dependency-free telemetry crate stores.
 
 use crate::time::SimTime;
 use crate::topology::NodeId;
+use dohperf_telemetry::trace::{PacketEntry, PacketLog};
 use serde::{Deserialize, Serialize};
 
 /// Direction of a record relative to the node that logged it.
@@ -35,76 +42,113 @@ pub struct PacketRecord {
     pub direction: PacketDirection,
 }
 
-/// An append-only trace. Disabled by default; enabling costs one `Vec` push
-/// per exchange.
+impl PacketRecord {
+    fn to_entry(&self) -> PacketEntry {
+        PacketEntry {
+            at_nanos: self.at.as_nanos(),
+            src: self.src.0,
+            dst: self.dst.0,
+            proto: self.proto,
+            note: self.note.clone(),
+            tx: self.direction == PacketDirection::Tx,
+        }
+    }
+
+    fn from_entry(entry: &PacketEntry) -> PacketRecord {
+        PacketRecord {
+            at: SimTime::from_nanos(entry.at_nanos),
+            src: NodeId(entry.src),
+            dst: NodeId(entry.dst),
+            proto: entry.proto,
+            note: entry.note.clone(),
+            direction: if entry.tx {
+                PacketDirection::Tx
+            } else {
+                PacketDirection::Rx
+            },
+        }
+    }
+}
+
+/// An append-only trace backed by the telemetry packet log. Disabled by
+/// default; enabling costs one `Vec` push per exchange.
 #[derive(Debug, Default)]
 pub struct TraceLog {
-    enabled: bool,
-    records: Vec<PacketRecord>,
+    log: PacketLog,
 }
 
 impl TraceLog {
     /// A disabled log (records are discarded).
     pub fn disabled() -> Self {
         TraceLog {
-            enabled: false,
-            records: Vec::new(),
+            log: PacketLog::disabled(),
         }
     }
 
     /// An enabled log.
     pub fn enabled() -> Self {
         TraceLog {
-            enabled: true,
-            records: Vec::new(),
+            log: PacketLog::enabled(),
         }
     }
 
     /// Turn recording on or off.
     pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
+        self.log.set_enabled(enabled);
     }
 
     /// Whether records are being kept.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.log.is_enabled()
     }
 
     /// Append a record (no-op when disabled).
     pub fn record(&mut self, record: PacketRecord) {
-        if self.enabled {
-            self.records.push(record);
+        if self.log.is_enabled() {
+            self.log.record(record.to_entry());
         }
     }
 
     /// All records in arrival order.
-    pub fn records(&self) -> &[PacketRecord] {
-        &self.records
+    pub fn records(&self) -> Vec<PacketRecord> {
+        self.log
+            .entries()
+            .iter()
+            .map(PacketRecord::from_entry)
+            .collect()
     }
 
     /// Records matching a protocol label.
-    pub fn by_proto<'a>(&'a self, proto: &'a str) -> impl Iterator<Item = &'a PacketRecord> {
-        self.records.iter().filter(move |r| r.proto == proto)
+    pub fn by_proto<'a>(&'a self, proto: &'a str) -> impl Iterator<Item = PacketRecord> + 'a {
+        self.log
+            .entries()
+            .iter()
+            .filter(move |e| e.proto == proto)
+            .map(PacketRecord::from_entry)
     }
 
     /// Records sent by a node.
-    pub fn sent_by(&self, node: NodeId) -> impl Iterator<Item = &PacketRecord> {
-        self.records.iter().filter(move |r| r.src == node)
+    pub fn sent_by(&self, node: NodeId) -> impl Iterator<Item = PacketRecord> + '_ {
+        self.log
+            .entries()
+            .iter()
+            .filter(move |e| e.src == node.0)
+            .map(PacketRecord::from_entry)
     }
 
     /// Drop all records.
     pub fn clear(&mut self) {
-        self.records.clear();
+        self.log.clear();
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.log.len()
     }
 
     /// True if no records are kept.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.log.is_empty()
     }
 }
 
@@ -160,5 +204,20 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn typed_view_round_trips_through_raw_entries() {
+        let mut log = TraceLog::enabled();
+        let original = PacketRecord {
+            at: SimTime::from_nanos(123_456_789),
+            src: NodeId(7),
+            dst: NodeId(9),
+            proto: "tls",
+            note: "ClientHello".to_string(),
+            direction: PacketDirection::Rx,
+        };
+        log.record(original.clone());
+        assert_eq!(log.records()[0], original);
     }
 }

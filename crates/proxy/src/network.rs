@@ -18,6 +18,7 @@ use dohperf_netsim::topology::NodeId;
 use dohperf_netsim::transport::TlsVersion;
 use dohperf_providers::pops::PopDeployment;
 use dohperf_providers::provider::ProviderKind;
+use dohperf_telemetry::flight;
 use serde::{Deserialize, Serialize};
 
 /// Probability the exit node's resolver has a DoH provider's bootstrap
@@ -170,9 +171,24 @@ impl BrightDataNetwork {
         let sp = self.super_proxy_for(sim, client);
         let pop = deployment.sites[pop_index].node;
         dohperf_telemetry::counter!("proxy.connect_tunnels").inc();
+        let recording = flight::active();
 
         // --- Steps 1–8: establish the TCP tunnel. ---
         let t_a = sim.now();
+        let doh_span = if recording {
+            flight::start_span(
+                "proxy",
+                format!("doh {}", provider.hostname()),
+                t_a.as_nanos(),
+            )
+        } else {
+            flight::SpanToken::NOOP
+        };
+        let connect_span = if recording {
+            flight::start_span("proxy", "connect-tunnel (steps 1-8)", t_a.as_nanos())
+        } else {
+            flight::SpanToken::NOOP
+        };
         let proxy_timeline = SuperProxy::processing_timeline(rng);
         // t3+t4: bootstrap-resolve the provider hostname at the exit node.
         let dns_bootstrap =
@@ -183,10 +199,32 @@ impl BrightDataNetwork {
         let phase1 = tunnel_rtt_1 + proxy_timeline.total() + dns_bootstrap + tcp_connect;
         sim.advance(phase1);
         let t_b = sim.now();
+        if recording {
+            flight::attr(
+                connect_span,
+                "tunnel_rtt_ms",
+                format!("{}", tunnel_rtt_1.as_millis_f64()),
+            );
+            // Header timestamps as span events, offset from T_A: the
+            // tunnel components from X-Luminati-Tun-Timeline and the
+            // BrightData-box components from X-Luminati-Timeline.
+            TunTimeline {
+                dns: dns_bootstrap,
+                connect: tcp_connect,
+            }
+            .annotate_flight(connect_span, t_a.as_nanos());
+            proxy_timeline.annotate_flight(connect_span, t_a.as_nanos());
+            flight::end_span(connect_span, t_b.as_nanos());
+        }
 
         // --- Steps 9–14: the TLS handshake (one round trip for 1.3; a
         // TLS 1.2 ablation pays a second round trip). ---
         let t_c = t_b; // ClientHello is sent immediately.
+        let tls_span = if recording {
+            flight::start_span("proxy", "tls-handshake (steps 9-14)", t_c.as_nanos())
+        } else {
+            flight::SpanToken::NOOP
+        };
         let tunnel_rtt_2 = Self::tunnel_rtt(sim, client, sp.node, exit.node);
         let framing = |d: SimDuration| match opts.protocol {
             EncryptedProtocol::DoH => d,
@@ -206,8 +244,23 @@ impl BrightDataNetwork {
             sim.advance(tunnel_rtt_extra + tls_leg_2);
             tls_leg += tls_leg_2;
         }
+        if recording {
+            flight::attr(tls_span, "tls_version", format!("{:?}", opts.tls));
+            flight::attr(
+                tls_span,
+                "tls_leg_ms",
+                format!("{}", tls_leg.as_millis_f64()),
+            );
+            flight::end_span(tls_span, sim.now().as_nanos());
+        }
 
         // --- Steps 15–22: the DoH query itself. ---
+        let query_start = sim.now();
+        let query_span = if recording {
+            flight::start_span("proxy", "doh-query (steps 15-22)", query_start.as_nanos())
+        } else {
+            flight::SpanToken::NOOP
+        };
         let tunnel_rtt_3 = Self::tunnel_rtt(sim, client, sp.node, exit.node);
         let mut query_leg = sim.rtt(exit.node, pop) + framing(exit.https_overhead(rng)); // t17 + t20
         if rng.chance(opts.extra_loss_p) {
@@ -238,6 +291,25 @@ impl BrightDataNetwork {
         let overhead_3 = forwarding_overhead(rng);
         sim.advance(tunnel_rtt_3 + query_leg + recursion + processing + overhead_3);
         let t_d = sim.now();
+        if recording {
+            flight::attr(query_span, "cache_hit", format!("{doh_cache_hit}"));
+            flight::attr(
+                query_span,
+                "recursion_ms",
+                format!("{}", recursion.as_millis_f64()),
+            );
+            flight::attr(
+                query_span,
+                "processing_ms",
+                format!("{}", processing.as_millis_f64()),
+            );
+            flight::end_span(query_span, t_d.as_nanos());
+            flight::attr(doh_span, "T_A_ns", format!("{}", t_a.as_nanos()));
+            flight::attr(doh_span, "T_B_ns", format!("{}", t_b.as_nanos()));
+            flight::attr(doh_span, "T_C_ns", format!("{}", t_c.as_nanos()));
+            flight::attr(doh_span, "T_D_ns", format!("{}", t_d.as_nanos()));
+            flight::end_span(doh_span, t_d.as_nanos());
+        }
 
         // Ground truth per Equation 1 (never visible to the methodology).
         let truth_t_doh =
@@ -317,6 +389,13 @@ impl BrightDataNetwork {
     ) -> Do53Observation {
         let sp = self.super_proxy_for(sim, client);
         dohperf_telemetry::counter!("proxy.connect_tunnels").inc();
+        let recording = flight::active();
+        let do53_span = if recording {
+            flight::start_span("proxy", format!("do53 fetch {qname}"), sim.now().as_nanos())
+        } else {
+            flight::SpanToken::NOOP
+        };
+        let fetch_start = sim.now();
         let proxy_timeline = SuperProxy::processing_timeline(rng);
         let hijacked = SuperProxy::resolves_dns_for(exit.country_iso);
         if hijacked {
@@ -356,6 +435,21 @@ impl BrightDataNetwork {
         // The fetch itself (headers only care about dns/connect).
         let fetch_leg = sim.rtt(exit.node, web_server);
         sim.advance(tunnel_rtt + proxy_timeline.total() + header_dns + tcp_connect + fetch_leg);
+        if recording {
+            flight::attr(do53_span, "resolved_at_super_proxy", format!("{hijacked}"));
+            flight::attr(
+                do53_span,
+                "truth_t_do53_ms",
+                format!("{}", truth_t_do53.as_millis_f64()),
+            );
+            TunTimeline {
+                dns: header_dns,
+                connect: tcp_connect,
+            }
+            .annotate_flight(do53_span, fetch_start.as_nanos());
+            proxy_timeline.annotate_flight(do53_span, fetch_start.as_nanos());
+            flight::end_span(do53_span, sim.now().as_nanos());
+        }
 
         Do53Observation {
             tun: TunTimeline {

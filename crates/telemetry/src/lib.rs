@@ -51,9 +51,21 @@
 //! dropped and counted, never blocking the hot path), and [`trace::span`]
 //! brackets a named phase with explicit (simulated-time) durations — the
 //! facade never reads a wall clock on its own.
+//!
+//! ## Flight recorder
+//!
+//! [`flight`] is the per-query structured tracer: span *trees* with
+//! deterministic trace/span IDs and simulated-time stamps, recorded
+//! thread-locally for sampled queries. [`perfetto`] renders collected
+//! trees as Chrome trace-event JSON (and validates such documents), and
+//! [`phases`] is the wall-clock (per-run) hierarchical phase profiler
+//! that rides along in the metrics snapshot.
 
+pub mod flight;
 mod json;
 mod metrics;
+pub mod perfetto;
+pub mod phases;
 mod registry;
 mod snapshot;
 pub mod trace;

@@ -46,6 +46,7 @@ pub struct TraceSink {
     capacity: usize,
     seq: AtomicU64,
     dropped: AtomicU64,
+    reported_dropped: AtomicU64,
 }
 
 impl TraceSink {
@@ -56,6 +57,7 @@ impl TraceSink {
             capacity,
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            reported_dropped: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +111,20 @@ impl TraceSink {
     /// Number of entries discarded because the buffer was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Publish drops not yet reported to the `trace.events_dropped`
+    /// counter (per-run class: the drop count depends on buffer pressure,
+    /// not on the workload alone). Returns the total dropped so far.
+    /// Idempotent between drops: calling twice publishes the delta once.
+    pub fn publish_dropped(&self) -> u64 {
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        let reported = self.reported_dropped.swap(dropped, Ordering::Relaxed);
+        let delta = dropped.saturating_sub(reported);
+        if delta > 0 {
+            crate::counter!("trace.events_dropped", per_run).add(delta);
+        }
+        dropped
     }
 
     /// One line per buffered entry, without draining.
@@ -204,6 +220,96 @@ pub fn span(target: &'static str, name: impl Into<String>) -> Span<'static> {
     sink().span(target, name)
 }
 
+/// Publish unreported drops from the global sink; see
+/// [`TraceSink::publish_dropped`]. Callers should warn on stderr when the
+/// returned total is nonzero at end of run.
+pub fn publish_dropped() -> u64 {
+    sink().publish_dropped()
+}
+
+/// One logged packet exchange, in raw representation.
+///
+/// This is the *storage* type shared by every simulator-side packet
+/// tracer: timestamps are simulated nanoseconds and endpoints are bare
+/// node indices, so this crate stays dependency-free while `netsim`
+/// layers its typed `PacketRecord` view (SimTime / NodeId) on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketEntry {
+    /// Simulated timestamp, nanoseconds.
+    pub at_nanos: u64,
+    /// Sending node index.
+    pub src: u32,
+    /// Receiving node index.
+    pub dst: u32,
+    /// Protocol label, e.g. `"dns/udp"`, `"tcp/handshake"`, `"tls"`.
+    pub proto: &'static str,
+    /// Free-form annotation (query name, header summary, …).
+    pub note: String,
+    /// True when logged from the sender's perspective.
+    pub tx: bool,
+}
+
+/// An append-only packet log. Disabled by default; enabling costs one
+/// `Vec` push per exchange. Unbounded by design — packet tracing is
+/// opt-in and scoped to one simulator, unlike the global ring buffer.
+#[derive(Debug, Default)]
+pub struct PacketLog {
+    enabled: bool,
+    entries: Vec<PacketEntry>,
+}
+
+impl PacketLog {
+    /// A disabled log (entries are discarded).
+    pub fn disabled() -> Self {
+        PacketLog::default()
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        PacketLog {
+            enabled: true,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether entries are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an entry (no-op when disabled).
+    pub fn record(&mut self, entry: PacketEntry) {
+        if self.enabled {
+            self.entries.push(entry);
+        }
+    }
+
+    /// All entries in arrival order.
+    pub fn entries(&self) -> &[PacketEntry] {
+        &self.entries
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are kept.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +353,43 @@ mod tests {
         let entries = sink.drain();
         assert_eq!(entries[1].kind, TraceKind::SpanEnd);
         assert_eq!(entries[1].value_ms, None);
+    }
+
+    #[test]
+    fn publish_dropped_reports_each_drop_once() {
+        let sink = TraceSink::with_capacity(2);
+        for i in 0..5 {
+            sink.event("t", format!("e{i}"));
+        }
+        assert_eq!(sink.publish_dropped(), 3);
+        // A second call without new drops publishes nothing new but still
+        // returns the running total.
+        assert_eq!(sink.publish_dropped(), 3);
+        sink.event("t", "one more");
+        assert_eq!(sink.publish_dropped(), 4);
+    }
+
+    #[test]
+    fn packet_log_respects_enable_flag() {
+        let entry = |src: u32, proto: &'static str| PacketEntry {
+            at_nanos: 5,
+            src,
+            dst: 1,
+            proto,
+            note: String::new(),
+            tx: true,
+        };
+        let mut log = PacketLog::disabled();
+        log.record(entry(0, "dns/udp"));
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        assert!(log.is_enabled());
+        log.record(entry(0, "dns/udp"));
+        log.record(entry(2, "http"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[1].proto, "http");
+        log.clear();
+        assert!(log.is_empty());
     }
 
     #[test]

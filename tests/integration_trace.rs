@@ -1,0 +1,89 @@
+//! Flight-recorder integration: trace export must be byte-identical for
+//! any worker thread count, and `explain` must replay a client's stored
+//! medians bit-for-bit (see DESIGN.md §11).
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_telemetry::perfetto;
+
+fn config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        scale: 0.02,
+        threads,
+        ..CampaignConfig::quick(2021)
+    }
+}
+
+fn export(threads: usize) -> String {
+    let campaign = Campaign::new(config(threads)).with_trace_sampling(16);
+    campaign.run();
+    perfetto::to_chrome_trace(&campaign.take_traces())
+}
+
+#[test]
+fn trace_export_is_byte_identical_across_thread_counts() {
+    let one = export(1);
+    let two = export(2);
+    let eight = export(8);
+    assert_eq!(one, two, "threads 1 vs 2 diverged");
+    assert_eq!(one, eight, "threads 1 vs 8 diverged");
+
+    let stats = perfetto::validate_chrome_trace(&one).expect("well-formed trace");
+    assert!(stats.complete > 0, "no complete events");
+    assert!(stats.instants > 0, "no instant events");
+    assert!(stats.tracks > 1, "expected several sampled clients");
+}
+
+#[test]
+fn explain_reproduces_stored_medians_bit_for_bit() {
+    let cfg = config(2);
+    let ds = Campaign::new(cfg).run();
+    let record = &ds.records[ds.records.len() / 2];
+
+    let explain = Campaign::explain_client(cfg, record.client_id).expect("client exists");
+    assert!(explain.retained);
+    assert_eq!(explain.record, *record);
+    for (replayed, stored) in explain.record.doh.iter().zip(&record.doh) {
+        assert_eq!(replayed.t_doh_ms.to_bits(), stored.t_doh_ms.to_bits());
+        assert_eq!(replayed.t_dohr_ms.to_bits(), stored.t_dohr_ms.to_bits());
+    }
+    assert_eq!(
+        explain.record.do53_ms.map(f64::to_bits),
+        record.do53_ms.map(f64::to_bits)
+    );
+
+    // The trace itself carries the derivation: every DoH run leaves an
+    // Eq 1-8 span, and the root span covers the whole client.
+    let eq_spans = explain
+        .trace
+        .spans
+        .iter()
+        .filter(|s| s.target == "equations")
+        .count();
+    assert_eq!(eq_spans, 4, "one derivation per provider at 1 run each");
+    assert!(explain
+        .trace
+        .root()
+        .name
+        .contains(&record.client_id.to_string()));
+}
+
+#[test]
+fn sampling_is_a_pure_filter_over_trace_ids() {
+    // Denser sampling must yield a superset of the sparser sample's
+    // trace ids — the decision is per-client, keyed off its RNG stream.
+    let sparse = Campaign::new(config(2)).with_trace_sampling(32);
+    sparse.run();
+    let sparse_ids: Vec<u64> = sparse.take_traces().iter().map(|t| t.client_id).collect();
+
+    let dense = Campaign::new(config(2)).with_trace_sampling(1);
+    dense.run();
+    let dense_ids: Vec<u64> = dense.take_traces().iter().map(|t| t.client_id).collect();
+
+    assert!(!sparse_ids.is_empty());
+    assert!(dense_ids.len() > sparse_ids.len());
+    // every-client tracing covers all retained + discarded clients, so
+    // any 1-in-32 sample the same seed produced is contained in it.
+    for id in &sparse_ids {
+        assert!(dense_ids.contains(id), "client {id} missing from dense");
+    }
+}
