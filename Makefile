@@ -2,7 +2,7 @@
 
 .PHONY: build test bench doc repro repro-full examples verify clean \
         ci fmt-check clippy perf-smoke baseline store-roundtrip \
-        trace-smoke golden-trace
+        trace-smoke golden-trace alloc-smoke
 
 build:
 	cargo build --workspace --release
@@ -31,6 +31,7 @@ verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
 	$(MAKE) store-roundtrip
 	$(MAKE) trace-smoke
+	$(MAKE) alloc-smoke
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
 ci: fmt-check clippy
@@ -72,6 +73,19 @@ trace-smoke:
 	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace.json
 	cmp target/ci/trace.json ci/golden-trace.json
 	@echo "trace smoke OK: deterministic bytes match ci/golden-trace.json"
+
+# Zero-allocation gate (DESIGN.md §12). Rebuilds with the counting
+# global allocator, runs the perf-smoke campaign twice in one process,
+# and fails if the warm run makes any steady-state hot-path allocation.
+# (`alloc.steady_state_allocs` in ci/baseline-metrics.json pins the same
+# contract on the perf-smoke metrics diff.) The throughput + allocs/query
+# report lands in target/ci/alloc.json; the committed before/after record
+# is BENCH_alloc.json.
+alloc-smoke:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --features alloc-count \
+	    --bin alloc_check -- --out target/ci/alloc.json
+	cargo test --release -p dohperf --features alloc-count --test integration_alloc
 
 # Regenerate the golden trace after an intentional instrumentation change.
 golden-trace:

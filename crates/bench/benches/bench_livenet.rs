@@ -26,7 +26,7 @@ fn bench_live_do53(c: &mut Criterion) {
             i = i.wrapping_add(1);
             let q = Message::query(
                 i,
-                &DnsName::parse(&format!("b{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("b{i}.a.com")).unwrap(),
                 RecordType::A,
             );
             client.resolve(&q).unwrap()
@@ -46,7 +46,7 @@ fn bench_live_doh(c: &mut Criterion) {
             i = i.wrapping_add(1);
             let q = Message::query(
                 i,
-                &DnsName::parse(&format!("h{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("h{i}.a.com")).unwrap(),
                 RecordType::A,
             );
             client.resolve_get(&q).unwrap()
@@ -58,7 +58,7 @@ fn bench_live_doh(c: &mut Criterion) {
                 .map(|k| {
                     Message::query(
                         k,
-                        &DnsName::parse(&format!("r{k}.a.com")).unwrap(),
+                        DnsName::parse(&format!("r{k}.a.com")).unwrap(),
                         RecordType::A,
                     )
                 })

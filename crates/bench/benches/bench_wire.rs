@@ -12,7 +12,7 @@ use dohperf_http::codec::{Method, Request, Response, StatusCode};
 fn sample_response() -> Message {
     let q = Message::query(
         0x42,
-        &DnsName::parse("0123456789abcdef.a.com").unwrap(),
+        DnsName::parse("0123456789abcdef.a.com").unwrap(),
         RecordType::A,
     );
     Message::answer_a(&q, std::net::Ipv4Addr::new(203, 0, 113, 9), 300)
@@ -43,7 +43,7 @@ fn bench_base64url(c: &mut Criterion) {
 fn bench_doh_payload(c: &mut Criterion) {
     let query = Message::query(
         0,
-        &DnsName::parse("0123456789abcdef.a.com").unwrap(),
+        DnsName::parse("0123456789abcdef.a.com").unwrap(),
         RecordType::A,
     );
     c.bench_function("doh_get_build_and_parse", |b| {

@@ -1,0 +1,169 @@
+//! Allocation-regression gate for the zero-allocation hot path.
+//!
+//! Runs the perf-smoke campaign twice in one process. The first (cold)
+//! run populates the process-wide caches: the DNS label arena, the
+//! path-latency cache, the metric-handle `OnceLock`s. The second (warm)
+//! run is the one that matters: its steady-state hot-path allocation
+//! count — allocations inside a [`hot_scope`] outside any exempt scope,
+//! after per-shard warmup — must be **zero**, and the binary exits 1 if
+//! it is not.
+//!
+//! It also reports throughput (queries/sec over the warm simulate
+//! phase) and allocations per query, and with `--out` writes both as
+//! JSON so `make alloc-smoke` can archive `BENCH_alloc.json`.
+//!
+//! Build with the counting allocator to get real numbers:
+//!
+//! ```text
+//! cargo run --release -p dohperf-bench --features alloc-count --bin alloc_check
+//! ```
+//!
+//! Without the `alloc-count` feature the binary still runs the campaign
+//! pair (useful as a smoke test) but reports `counting: disabled` and
+//! gates nothing.
+//!
+//! [`hot_scope`]: dohperf_telemetry::alloc::hot_scope
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_telemetry::alloc;
+use std::time::Instant;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: alloc::CountingAllocator = alloc::CountingAllocator;
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2021,
+        scale: 0.05,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--help" | "-h" => {
+                return Err("usage: alloc_check [--seed N] [--scale F] [--out FILE]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(args.scale > 0.0 && args.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    Ok(args)
+}
+
+struct RunStats {
+    queries: u64,
+    records: usize,
+    wall_ms: f64,
+    allocs: u64,
+    bytes: u64,
+    steady: u64,
+}
+
+/// Run one campaign and report what it did and what it allocated. The
+/// totals are reset on entry so each run is accounted separately.
+fn run_once(config: CampaignConfig) -> RunStats {
+    let registry = dohperf_telemetry::global();
+    let doh = registry.counter("campaign.doh_queries");
+    let do53 = registry.counter("campaign.do53_queries");
+    let queries_before = doh.get() + do53.get();
+    alloc::reset();
+    let start = Instant::now();
+    let dataset = Campaign::new(config).run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let totals = alloc::totals();
+    RunStats {
+        queries: doh.get() + do53.get() - queries_before,
+        records: dataset.records.len(),
+        wall_ms,
+        allocs: totals.allocs,
+        bytes: totals.bytes,
+        steady: totals.steady,
+    }
+}
+
+fn report(label: &str, s: &RunStats) {
+    let qps = s.queries as f64 / (s.wall_ms / 1e3);
+    let apq = s.allocs as f64 / s.queries.max(1) as f64;
+    eprintln!(
+        "{label}: {} queries ({} records) in {:.0} ms = {:.0} queries/sec; \
+         {} allocs ({} bytes, {:.1}/query), {} steady-state",
+        s.queries, s.records, s.wall_ms, qps, s.allocs, s.bytes, apq, s.steady
+    );
+}
+
+fn write_json(path: &std::path::Path, args: &Args, warm: &RunStats) -> std::io::Result<()> {
+    // Hand-rolled JSON: the offline serde shim has no serializer.
+    let qps = warm.queries as f64 / (warm.wall_ms / 1e3);
+    let apq = warm.allocs as f64 / warm.queries.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"alloc_check\",\n  \"seed\": {},\n  \"scale\": {},\n  \
+         \"counting\": {},\n  \"queries\": {},\n  \"wall_ms\": {:.1},\n  \
+         \"queries_per_sec\": {:.0},\n  \"allocs\": {},\n  \"alloc_bytes\": {},\n  \
+         \"allocs_per_query\": {:.2},\n  \"steady_state_allocs\": {}\n}}\n",
+        args.seed,
+        args.scale,
+        alloc::counting_compiled(),
+        warm.queries,
+        warm.wall_ms,
+        qps,
+        warm.allocs,
+        warm.bytes,
+        apq,
+        warm.steady
+    );
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if !alloc::counting_compiled() {
+        eprintln!("# counting: disabled (build with --features alloc-count to gate)");
+    }
+    let config = CampaignConfig {
+        seed: args.seed,
+        scale: args.scale,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+
+    let cold = run_once(config);
+    report("cold", &cold);
+    let warm = run_once(config);
+    report("warm", &warm);
+
+    if let Some(path) = &args.out {
+        if let Err(e) = write_json(path, &args, &warm) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {}", path.display());
+    }
+
+    if alloc::counting_compiled() && warm.steady > 0 {
+        eprintln!(
+            "FAIL: {} steady-state hot-path allocation(s) in the warm run (must be 0)",
+            warm.steady
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK: zero steady-state hot-path allocations");
+}

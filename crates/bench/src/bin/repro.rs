@@ -266,6 +266,11 @@ fn main() {
         // Fold the wall-clock phase profile into the snapshot (as
         // per-run gauges, never baseline-gated) for CI archiving.
         dohperf_telemetry::phases::publish();
+        // Allocation accounting: alloc.count / alloc.bytes are per-run,
+        // alloc.steady_state_allocs is deterministic and baseline-gated
+        // (it stays zero unless a build with `alloc-count` observes a
+        // hot-path allocation).
+        dohperf_telemetry::alloc::publish();
         let snap = match &metrics_path {
             Some(path) => match dohperf_telemetry::write_snapshot(path) {
                 Ok(snap) => {

@@ -23,7 +23,7 @@
 use crate::equations::record_derivation;
 use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
 use crate::store_io;
-use crate::testbed::Testbed;
+use crate::testbed::{format_subdomain, Testbed, SUBDOMAIN_BUF_LEN};
 use dohperf_netsim::rng::SimRng;
 use dohperf_providers::anycast::AnycastPolicy;
 use dohperf_providers::provider::ALL_PROVIDERS;
@@ -538,11 +538,11 @@ impl Campaign {
         let count = plan.counts[country_index];
         let client_id_base = plan.bases[country_index];
         let iso = country.iso;
-        let mut tb = Testbed::new(root_rng.fork(&format!("testbed-{iso}")).seed());
+        let mut tb = Testbed::new(root_rng.fork_parts(&["testbed-", iso]).seed());
         // The prefix base equals the shard's client-ID base, so the /24s
         // handed out match the layout of a single sequential allocator.
         let mut geoloc = GeolocationService::with_prefix_base(
-            root_rng.fork(&format!("geoloc-{iso}")),
+            root_rng.fork_parts(&["geoloc-", iso]),
             self.config.geoloc_error_rate,
             plan.countries.clone(),
             client_id_base as u32,
@@ -556,6 +556,10 @@ impl Campaign {
         let mut retained = 0usize;
         let mut discarded = 0usize;
         for (offset, site) in sites.into_iter().take(count).enumerate() {
+            // The shard's first client walks every cold path (latency
+            // cache fills, label interning, pool priming); it is warmup
+            // for the steady-state allocation gate, the rest are not.
+            dohperf_telemetry::alloc::set_warmup(offset == 0);
             let client_id = client_id_base + offset as u64 + 1;
             let mut client_rng = root_rng.fork_indexed("client", client_id);
             // The sampling draw is a fork (forks never advance the parent
@@ -613,7 +617,7 @@ impl Campaign {
         // RIPE Atlas remedy for the Super Proxy countries (§3.5).
         let atlas_do53_ms = if SuperProxy::resolves_dns_for(iso) {
             let mut atlas = AtlasNetwork::new();
-            let mut atlas_rng = root_rng.fork(&format!("atlas-{iso}"));
+            let mut atlas_rng = root_rng.fork_parts(&["atlas-", iso]);
             let probe_indices = atlas.deploy_probes(
                 &mut tb.sim,
                 country,
@@ -663,28 +667,35 @@ impl Campaign {
         for (pi, &provider) in ALL_PROVIDERS.iter().enumerate() {
             let deployment = &tb.deployments[pi];
             // Sticky anycast assignment per (client, provider).
-            let mut anycast_rng = client_rng.fork(&format!("anycast-{provider}"));
+            let mut anycast_rng = client_rng.fork_parts(&["anycast-", provider.name()]);
             let policy = if self.config.perfect_anycast {
                 AnycastPolicy::perfect()
             } else {
                 provider.anycast_policy()
             };
             let pop_index = policy.assign(deployment, &exit.position, &mut anycast_rng);
-            let mut t_doh_runs = Vec::new();
-            let mut t_dohr_runs = Vec::new();
+            let mut t_doh_runs = Vec::with_capacity(self.config.runs_per_client as usize);
+            let mut t_dohr_runs = Vec::with_capacity(self.config.runs_per_client as usize);
             for run in 0..self.config.runs_per_client {
-                let mut run_rng = client_rng.fork_indexed(&format!("doh-{provider}"), run.into());
-                let obs = tb.network.doh_measurement_with(
-                    &mut tb.sim,
-                    tb.client,
-                    exit,
-                    provider,
-                    deployment,
-                    pop_index,
-                    tb.auth_ns,
-                    &mut run_rng,
-                    &self.config.measurement,
-                );
+                let mut run_rng =
+                    client_rng.fork_indexed_parts(&["doh-", provider.name()], run.into());
+                // The measurement body is the per-query simulation path:
+                // under the counting allocator, any allocation in here
+                // (outside warmup/exempt scopes) fails the gate.
+                let obs = {
+                    let _hot = dohperf_telemetry::alloc::hot_scope();
+                    tb.network.doh_measurement_with(
+                        &mut tb.sim,
+                        tb.client,
+                        exit,
+                        provider,
+                        deployment,
+                        pop_index,
+                        tb.auth_ns,
+                        &mut run_rng,
+                        &self.config.measurement,
+                    )
+                };
                 dohperf_telemetry::counter!("campaign.doh_queries").inc();
                 if flight::active() {
                     record_wire_phase(&format!("c{}-r{run}.{}", exit.id, provider.hostname()));
@@ -718,21 +729,27 @@ impl Campaign {
         }
 
         // Do53 measurement (one per run; header value or Atlas remedy).
-        let mut do53_runs = Vec::new();
+        let mut do53_runs = Vec::with_capacity(self.config.runs_per_client as usize);
         let mut hijacked = false;
+        let mut qname_buf = [0u8; SUBDOMAIN_BUF_LEN];
         for run in 0..self.config.runs_per_client {
-            let qname = tb.fresh_subdomain();
             let mut run_rng = client_rng.fork_indexed("do53", run.into());
-            let obs = tb.network.do53_measurement_with(
-                &mut tb.sim,
-                tb.client,
-                exit,
-                tb.web_server,
-                tb.auth_ns,
-                &qname,
-                &mut run_rng,
-                &self.config.measurement,
-            );
+            let obs = {
+                let _hot = dohperf_telemetry::alloc::hot_scope();
+                // Same RNG draw fresh_subdomain would make, formatted on
+                // the stack instead of into a fresh String.
+                let qname = format_subdomain(tb.fresh_subdomain_id(), &mut qname_buf);
+                tb.network.do53_measurement_with(
+                    &mut tb.sim,
+                    tb.client,
+                    exit,
+                    tb.web_server,
+                    tb.auth_ns,
+                    qname,
+                    &mut run_rng,
+                    &self.config.measurement,
+                )
+            };
             dohperf_telemetry::counter!("campaign.do53_queries").inc();
             hijacked = obs.resolved_at_super_proxy;
             if !hijacked {
@@ -844,7 +861,7 @@ fn record_wire_phase(qname: &str) {
     let Ok(name) = DnsName::parse(qname) else {
         return;
     };
-    let message = Message::query(0, &name, RecordType::A);
+    let message = Message::query(0, name, RecordType::A);
     if let Ok(request) = DohRequest::get(&message) {
         let _ = request.decode_message();
     }

@@ -88,9 +88,32 @@ impl Testbed {
     /// Mint a fresh UUID-style subdomain of the measurement zone, one per
     /// request, defeating caches (§3.1).
     pub fn fresh_subdomain(&mut self) -> String {
-        let id = self.sim.rng_mut().next_u64();
-        format!("{id:016x}.{MEASUREMENT_ZONE}")
+        let mut buf = [0u8; SUBDOMAIN_BUF_LEN];
+        format_subdomain(self.fresh_subdomain_id(), &mut buf).to_string()
     }
+
+    /// Draw the id behind [`Self::fresh_subdomain`] — one RNG advance,
+    /// exactly as the formatting path consumes — for callers that format
+    /// the qname into their own stack buffer via [`format_subdomain`].
+    pub fn fresh_subdomain_id(&mut self) -> u64 {
+        self.sim.rng_mut().next_u64()
+    }
+}
+
+/// Bytes needed to format a fresh subdomain: 16 hex digits, a dot, and
+/// the measurement zone.
+pub const SUBDOMAIN_BUF_LEN: usize = 17 + MEASUREMENT_ZONE.len();
+
+/// Format `"{id:016x}.a.com"` into `buf` without allocating; returns the
+/// string slice over the buffer.
+pub fn format_subdomain(id: u64, buf: &mut [u8; SUBDOMAIN_BUF_LEN]) -> &str {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for i in 0..16 {
+        buf[15 - i] = HEX[((id >> (4 * i)) & 0xF) as usize];
+    }
+    buf[16] = b'.';
+    buf[17..].copy_from_slice(MEASUREMENT_ZONE.as_bytes());
+    std::str::from_utf8(buf).expect("hex digits and zone are ASCII")
 }
 
 #[cfg(test)]
@@ -116,6 +139,17 @@ mod tests {
         let b = tb.fresh_subdomain();
         assert_ne!(a, b);
         assert!(a.ends_with(".a.com"));
+    }
+
+    #[test]
+    fn format_subdomain_matches_format_macro() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let mut buf = [0u8; SUBDOMAIN_BUF_LEN];
+            assert_eq!(
+                format_subdomain(id, &mut buf),
+                format!("{id:016x}.{MEASUREMENT_ZONE}")
+            );
+        }
     }
 
     #[test]

@@ -124,11 +124,7 @@ mod tests {
     use crate::types::RecordType;
 
     fn sample() -> Message {
-        Message::query(
-            0x77,
-            &DnsName::parse("abc123.a.com").unwrap(),
-            RecordType::A,
-        )
+        Message::query(0x77, DnsName::parse("abc123.a.com").unwrap(), RecordType::A)
     }
 
     #[test]

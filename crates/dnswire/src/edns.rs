@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn edns_roundtrips_through_the_wire() {
-        let mut q = Message::query(1, &DnsName::parse("x.a.com").unwrap(), RT::A);
+        let mut q = Message::query(1, DnsName::parse("x.a.com").unwrap(), RT::A);
         add_edns(
             &mut q,
             EdnsOptions {
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn add_edns_is_idempotent() {
-        let mut q = Message::query(2, &DnsName::parse("x.a.com").unwrap(), RT::A);
+        let mut q = Message::query(2, DnsName::parse("x.a.com").unwrap(), RT::A);
         add_edns(&mut q, EdnsOptions::default());
         add_edns(
             &mut q,
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn missing_edns_is_none() {
-        let q = Message::query(3, &DnsName::parse("x.a.com").unwrap(), RT::A);
+        let q = Message::query(3, DnsName::parse("x.a.com").unwrap(), RT::A);
         assert!(edns_of(&q).is_none());
     }
 

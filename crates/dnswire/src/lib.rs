@@ -14,7 +14,7 @@
 //! ```
 //! use dohperf_dns::prelude::*;
 //!
-//! let query = Message::query(0x1234, &DnsName::parse("example.com").unwrap(), RecordType::A);
+//! let query = Message::query(0x1234, DnsName::parse("example.com").unwrap(), RecordType::A);
 //! let bytes = query.encode().unwrap();
 //! let decoded = Message::decode(&bytes).unwrap();
 //! assert_eq!(decoded.header.id, 0x1234);
@@ -27,8 +27,10 @@ pub mod doh;
 pub mod edns;
 pub mod error;
 pub mod header;
+pub mod intern;
 pub mod message;
 pub mod name;
+pub mod pool;
 pub mod rdata;
 pub mod record;
 pub mod resolver;
@@ -41,8 +43,10 @@ pub use doh::{DohMethod, DohRequest};
 pub use edns::{add_edns, edns_of, EdnsOptions};
 pub use error::DnsError;
 pub use header::{Header, HeaderFlags};
+pub use intern::Label;
 pub use message::Message;
 pub use name::DnsName;
+pub use pool::PooledBuf;
 pub use rdata::RData;
 pub use record::{Question, ResourceRecord};
 pub use resolver::{Answer, IterativeResolver, ResolveError, Step};

@@ -3,10 +3,12 @@
 use crate::error::DnsError;
 use crate::header::Header;
 use crate::name::DnsName;
+use crate::pool::PooledBuf;
 use crate::rdata::RData;
 use crate::record::{Question, ResourceRecord};
 use crate::types::{RCode, RecordType};
 use crate::wire::{WireReader, WireWriter};
+use bytes::BytesMut;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
@@ -29,13 +31,15 @@ pub struct Message {
 }
 
 impl Message {
-    /// Build a standard recursive query for `name`/`rtype`.
-    pub fn query(id: u16, name: &DnsName, rtype: RecordType) -> Self {
+    /// Build a standard recursive query for `name`/`rtype`. The name is
+    /// taken by value — callers that still need theirs clone explicitly,
+    /// and hot paths hand over an interned name with no copy at all.
+    pub fn query(id: u16, name: DnsName, rtype: RecordType) -> Self {
         let mut header = Header::new_query(id);
         header.qdcount = 1;
         Message {
             header,
-            questions: vec![Question::new(name.clone(), rtype)],
+            questions: vec![Question::new(name, rtype)],
             answers: Vec::new(),
             authorities: Vec::new(),
             additionals: Vec::new(),
@@ -84,6 +88,30 @@ impl Message {
 
     /// Encode the message, recomputing section counts.
     pub fn encode(&self) -> Result<Vec<u8>, DnsError> {
+        let mut w = WireWriter::new();
+        self.encode_with(&mut w)?;
+        w.finish()
+    }
+
+    /// Encode into a caller-provided buffer, reusing its capacity. The
+    /// buffer is cleared first and holds exactly the encoded message on
+    /// return; on error its contents are unspecified.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> Result<(), DnsError> {
+        let mut w = WireWriter::with_buf(std::mem::take(buf));
+        self.encode_with(&mut w)?;
+        *buf = w.into_buf()?;
+        Ok(())
+    }
+
+    /// Encode into a per-thread pooled buffer (see [`crate::pool`]); the
+    /// buffer recycles when the returned handle drops.
+    pub fn encode_pooled(&self) -> Result<PooledBuf, DnsError> {
+        let mut w = WireWriter::pooled();
+        self.encode_with(&mut w)?;
+        w.finish_pooled()
+    }
+
+    fn encode_with(&self, w: &mut WireWriter) -> Result<(), DnsError> {
         let mut header = self.header;
         header.qdcount = u16::try_from(self.questions.len())
             .map_err(|_| DnsError::MessageTooLong(self.questions.len()))?;
@@ -93,10 +121,9 @@ impl Message {
             .map_err(|_| DnsError::MessageTooLong(self.authorities.len()))?;
         header.arcount = u16::try_from(self.additionals.len())
             .map_err(|_| DnsError::MessageTooLong(self.additionals.len()))?;
-        let mut w = WireWriter::new();
-        header.encode(&mut w);
+        header.encode(w);
         for q in &self.questions {
-            q.encode(&mut w)?;
+            q.encode(w)?;
         }
         for rr in self
             .answers
@@ -104,9 +131,9 @@ impl Message {
             .chain(&self.authorities)
             .chain(&self.additionals)
         {
-            rr.encode(&mut w)?;
+            rr.encode(w)?;
         }
-        w.finish()
+        Ok(())
     }
 
     /// Decode a complete message.
@@ -185,9 +212,24 @@ mod tests {
     fn sample_query() -> Message {
         Message::query(
             0x4242,
-            &DnsName::parse("e4b1c2d3.a.com").unwrap(),
+            DnsName::parse("e4b1c2d3.a.com").unwrap(),
             RecordType::A,
         )
+    }
+
+    #[test]
+    fn encode_into_and_pooled_match_encode() {
+        let q = sample_query();
+        let plain = q.encode().unwrap();
+        let mut buf = bytes::BytesMut::new();
+        q.encode_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], &plain[..]);
+        // Reuse the same buffer for a different message.
+        let resp = Message::answer_a(&q, Ipv4Addr::new(5, 6, 7, 8), 60);
+        resp.encode_into(&mut buf).unwrap();
+        assert_eq!(&buf[..], &resp.encode().unwrap()[..]);
+        let pooled = q.encode_pooled().unwrap();
+        assert_eq!(&pooled[..], &plain[..]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! additionally permitted (service labels like `_dns` appear in the wild).
 
 use crate::error::DnsError;
+use crate::intern::{self, Label};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -16,9 +17,15 @@ pub const MAX_NAME_LEN: usize = 255;
 pub const MAX_LABEL_LEN: usize = 63;
 
 /// A validated, normalised (lowercase) domain name.
+///
+/// Labels are interned handles (see [`crate::intern`]): cloning a name
+/// copies a vector of thin pointers, and no label string is ever
+/// re-allocated. Comparison, ordering, and hashing go through the label
+/// *content*, so behaviour is identical to the `Vec<String>`
+/// representation this replaced.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DnsName {
-    labels: Vec<String>,
+    labels: Vec<Label>,
 }
 
 impl DnsName {
@@ -48,11 +55,14 @@ impl DnsName {
 
     /// Build from pre-validated lowercase labels (used by the wire reader,
     /// which already enforces length limits).
-    pub(crate) fn from_labels_unchecked(labels: Vec<String>) -> Self {
+    pub(crate) fn from_labels_unchecked(labels: Vec<Label>) -> Self {
         DnsName { labels }
     }
 
-    fn validate_label(raw: &str) -> Result<String, DnsError> {
+    /// Validate and intern one label. The charset check guarantees ASCII,
+    /// so lowercasing happens on a stack buffer — no allocation unless
+    /// the label has never been seen before.
+    fn validate_label(raw: &str) -> Result<Label, DnsError> {
         if raw.is_empty() {
             return Err(DnsError::EmptyLabel);
         }
@@ -65,11 +75,11 @@ impl DnsName {
         if !ok {
             return Err(DnsError::InvalidLabel(raw.to_string()));
         }
-        Ok(raw.to_ascii_lowercase())
+        Ok(intern::intern_bytes_lossy_lower(raw.as_bytes()))
     }
 
     /// The labels, most-specific first.
-    pub fn labels(&self) -> &[String] {
+    pub fn labels(&self) -> &[Label] {
         &self.labels
     }
 
@@ -131,7 +141,13 @@ impl fmt::Display for DnsName {
         if self.labels.is_empty() {
             write!(f, ".")
         } else {
-            write!(f, "{}", self.labels.join("."))
+            for (i, label) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(".")?;
+                }
+                f.write_str(label.as_str())?;
+            }
+            Ok(())
         }
     }
 }

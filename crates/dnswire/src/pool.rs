@@ -1,0 +1,113 @@
+//! Per-worker wire-buffer pool.
+//!
+//! Encoding a DNS message needs a scratch buffer; allocating one per
+//! message is exactly the churn the zero-allocation hot path forbids.
+//! This pool keeps a small thread-local stash of [`BytesMut`] buffers:
+//! [`take`] hands one out with its capacity intact, and [`give`] (or
+//! dropping a [`PooledBuf`]) returns it. After the first few messages on
+//! a worker thread, every encode reuses warmed-up capacity.
+
+use bytes::BytesMut;
+use std::cell::RefCell;
+
+/// Buffers kept per thread; beyond this, returned buffers are dropped.
+const POOL_CAP: usize = 8;
+/// Fresh buffers start with one typical message's capacity.
+const INITIAL_CAPACITY: usize = 512;
+
+thread_local! {
+    static POOL: RefCell<Vec<BytesMut>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a cleared buffer from the thread's pool (allocating a fresh one
+/// only when the pool is empty — cold, exempt work).
+pub fn take() -> BytesMut {
+    POOL.with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| {
+            let _cold = dohperf_telemetry::alloc::exempt_scope();
+            BytesMut::with_capacity(INITIAL_CAPACITY)
+        })
+}
+
+/// Return a buffer to the thread's pool, keeping its capacity.
+pub fn give(mut buf: BytesMut) {
+    buf.clear();
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
+/// An encoded message backed by a pooled buffer; the buffer returns to
+/// the pool when this drops. Dereferences to the message bytes.
+pub struct PooledBuf {
+    buf: Option<BytesMut>,
+}
+
+impl PooledBuf {
+    pub(crate) fn new(buf: BytesMut) -> Self {
+        PooledBuf { buf: Some(buf) }
+    }
+
+    /// The encoded bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        self.buf.as_ref().expect("buffer taken")
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.as_slice().len())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            give(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BufMut;
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let mut a = take();
+        a.put_slice(b"hello");
+        assert_eq!(&a[..], b"hello");
+        give(a);
+        let b = take();
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+    }
+
+    #[test]
+    fn pooled_buf_returns_on_drop() {
+        let mut buf = take();
+        buf.put_slice(b"abc");
+        let pooled = PooledBuf::new(buf);
+        assert_eq!(&*pooled, b"abc");
+        drop(pooled);
+        assert!(take().is_empty());
+    }
+}

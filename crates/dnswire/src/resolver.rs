@@ -384,7 +384,7 @@ mod tests {
 
     /// A scripted upstream: answers like a root, .com TLD, and a.com auth.
     fn scripted_response(server: Ipv4Addr, question: &Question) -> Message {
-        let query = Message::query(1, &question.qname, question.qtype);
+        let query = Message::query(1, question.qname.clone(), question.qtype);
         if server == ROOT {
             // Referral to .com with glue.
             let mut resp = Message::response(&query, RCode::NoError, Vec::new());
@@ -503,7 +503,7 @@ mod tests {
     #[test]
     fn advance_without_query_errors() {
         let mut r = IterativeResolver::new(vec![ROOT]);
-        let q = Message::query(1, &name("x.com"), RecordType::A);
+        let q = Message::query(1, name("x.com"), RecordType::A);
         let resp = Message::answer_a(&q, WEB, 60);
         assert_eq!(r.advance(&resp, 0), Err(ResolveError::NotWaiting));
     }
@@ -517,7 +517,7 @@ mod tests {
         for _ in 0..64 {
             match step {
                 Step::Query { ref question, .. } => {
-                    let query = Message::query(1, &question.qname, question.qtype);
+                    let query = Message::query(1, question.qname.clone(), question.qtype);
                     let mut resp = Message::response(&query, RCode::NoError, Vec::new());
                     resp.authorities.push(ResourceRecord::new(
                         name("evil"),
@@ -549,7 +549,7 @@ mod tests {
         let mut step = r.begin(&name("www.a.com"), RecordType::A, 0);
         // Feed a bare NOERROR immediately.
         if let Step::Query { ref question, .. } = step {
-            let query = Message::query(1, &question.qname, question.qtype);
+            let query = Message::query(1, question.qname.clone(), question.qtype);
             let resp = Message::response(&query, RCode::NoError, Vec::new());
             step = r.advance(&resp, 0).unwrap();
         }

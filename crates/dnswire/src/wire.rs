@@ -6,8 +6,9 @@
 //! The [`WireReader`] follows pointers with loop protection.
 
 use crate::error::DnsError;
+use crate::intern::{self, Label};
+use crate::pool::{self, PooledBuf};
 use bytes::{BufMut, BytesMut};
-use std::collections::HashMap;
 
 /// Maximum hops a reader will follow through compression pointers before
 /// declaring a loop. RFC 1035 names have at most 128 labels, so any honest
@@ -18,10 +19,18 @@ const MAX_POINTER_HOPS: usize = 128;
 pub const MAX_MESSAGE_LEN: usize = 65_535;
 
 /// Growable big-endian writer with compression bookkeeping.
+///
+/// Compression state is a list of suffix start offsets in insertion
+/// order; lookups re-read the label sequence out of the buffer itself
+/// (following pointers) and byte-compare. Offsets are unique per suffix —
+/// a repeated suffix compresses to a pointer before it could ever be
+/// recorded twice — so scanning in insertion order finds the *first*
+/// occurrence, exactly like the suffix→offset map this replaced, with no
+/// per-name string keys.
 pub struct WireWriter {
     buf: BytesMut,
-    /// Suffix (as lowercase dotted string) -> offset of its first encoding.
-    compression: HashMap<String, u16>,
+    /// Offsets at which a (pointer-addressable) name suffix was encoded.
+    name_offsets: Vec<u16>,
 }
 
 impl Default for WireWriter {
@@ -33,9 +42,22 @@ impl Default for WireWriter {
 impl WireWriter {
     /// Create an empty writer.
     pub fn new() -> Self {
+        Self::with_buf(BytesMut::with_capacity(512))
+    }
+
+    /// Create a writer over a pooled buffer (see [`crate::pool`]); pair
+    /// with [`finish_pooled`](Self::finish_pooled) to recycle it.
+    pub fn pooled() -> Self {
+        Self::with_buf(pool::take())
+    }
+
+    /// Create a writer over an existing buffer, reusing its capacity. The
+    /// buffer is cleared first.
+    pub fn with_buf(mut buf: BytesMut) -> Self {
+        buf.clear();
         WireWriter {
-            buf: BytesMut::with_capacity(512),
-            compression: HashMap::new(),
+            buf,
+            name_offsets: Vec::new(),
         }
     }
 
@@ -49,12 +71,25 @@ impl WireWriter {
         self.buf.is_empty()
     }
 
-    /// Finish and return the encoded bytes.
+    /// Finish and return the encoded bytes. The buffer is moved, not
+    /// copied.
     pub fn finish(self) -> Result<Vec<u8>, DnsError> {
+        Ok(Vec::from(self.into_buf()?))
+    }
+
+    /// Finish and return the backing buffer (for callers reusing their
+    /// own allocation via [`with_buf`](Self::with_buf)).
+    pub fn into_buf(self) -> Result<BytesMut, DnsError> {
         if self.buf.len() > MAX_MESSAGE_LEN {
             return Err(DnsError::MessageTooLong(self.buf.len()));
         }
-        Ok(self.buf.to_vec())
+        Ok(self.buf)
+    }
+
+    /// Finish a [`pooled`](Self::pooled) writer: the encoded bytes stay
+    /// in the pooled buffer and recycle when the handle drops.
+    pub fn finish_pooled(self) -> Result<PooledBuf, DnsError> {
+        Ok(PooledBuf::new(self.into_buf()?))
     }
 
     /// Append a single octet.
@@ -87,10 +122,11 @@ impl WireWriter {
 
     /// Write a domain name given as lowercase labels, using compression
     /// pointers for any suffix already present in the message.
-    pub fn put_name(&mut self, labels: &[String]) -> Result<(), DnsError> {
+    ///
+    /// Accepts any label representation (`&[Label]`, `&[String]`, …).
+    pub fn put_name<L: AsRef<str>>(&mut self, labels: &[L]) -> Result<(), DnsError> {
         for start in 0..labels.len() {
-            let suffix = labels[start..].join(".");
-            if let Some(&offset) = self.compression.get(&suffix) {
+            if let Some(offset) = self.find_suffix(&labels[start..]) {
                 // Pointer: two octets, top bits 11.
                 self.put_u16(0xC000 | offset);
                 return Ok(());
@@ -99,10 +135,9 @@ impl WireWriter {
             // (pointers are 14-bit).
             let here = self.buf.len();
             if here <= 0x3FFF {
-                self.compression.insert(suffix, here as u16);
+                self.name_offsets.push(here as u16);
             }
-            let label = &labels[start];
-            let bytes = label.as_bytes();
+            let bytes = labels[start].as_ref().as_bytes();
             if bytes.len() > 63 {
                 return Err(DnsError::LabelTooLong(bytes.len()));
             }
@@ -111,6 +146,50 @@ impl WireWriter {
         }
         self.put_u8(0); // root
         Ok(())
+    }
+
+    /// Earliest recorded offset whose encoded label sequence equals
+    /// `labels`, if any.
+    fn find_suffix<L: AsRef<str>>(&self, labels: &[L]) -> Option<u16> {
+        self.name_offsets
+            .iter()
+            .copied()
+            .find(|&off| self.suffix_matches(off as usize, labels))
+    }
+
+    /// Byte-compare the name encoded at `off` (following pointers)
+    /// against `labels`.
+    fn suffix_matches<L: AsRef<str>>(&self, mut off: usize, labels: &[L]) -> bool {
+        let buf = &self.buf[..];
+        let mut i = 0usize;
+        loop {
+            // Offsets recorded earlier in the *current* `put_name` call
+            // belong to names still being written; walking off the end of
+            // the buffer means the recorded suffix has strictly more
+            // labels than the query, i.e. no match.
+            let Some(&len) = buf.get(off) else {
+                return false;
+            };
+            let len = len as usize;
+            if len & 0xC0 == 0xC0 {
+                // Recorded suffixes only ever point at earlier recorded
+                // suffixes, so this cannot loop.
+                off = ((len & 0x3F) << 8) | buf[off + 1] as usize;
+                continue;
+            }
+            if len == 0 {
+                return i == labels.len();
+            }
+            if i == labels.len() {
+                return false;
+            }
+            let label = labels[i].as_ref().as_bytes();
+            if label.len() != len || &buf[off + 1..off + 1 + len] != label {
+                return false;
+            }
+            off += 1 + len;
+            i += 1;
+        }
     }
 }
 
@@ -179,10 +258,11 @@ impl<'a> WireReader<'a> {
         Ok(())
     }
 
-    /// Read a (possibly compressed) domain name, returning lowercase labels.
-    /// The cursor advances past the name as it appears at the current
-    /// position; pointer targets are followed without moving the cursor.
-    pub fn get_name(&mut self) -> Result<Vec<String>, DnsError> {
+    /// Read a (possibly compressed) domain name, returning lowercase
+    /// interned labels. The cursor advances past the name as it appears
+    /// at the current position; pointer targets are followed without
+    /// moving the cursor.
+    pub fn get_name(&mut self) -> Result<Vec<Label>, DnsError> {
         let mut labels = Vec::new();
         let mut pos = self.pos;
         let mut followed_pointer = false;
@@ -231,7 +311,7 @@ impl<'a> WireReader<'a> {
                 return Err(DnsError::NameTooLong(total_len));
             }
             let label = &self.data[start..end];
-            labels.push(String::from_utf8_lossy(label).to_ascii_lowercase());
+            labels.push(intern::intern_bytes_lossy_lower(label));
             pos = end;
         }
     }
@@ -240,6 +320,11 @@ impl<'a> WireReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Interned labels as plain strings, for comparison with expectations.
+    fn strs(labels: Vec<Label>) -> Vec<String> {
+        labels.into_iter().map(|l| l.as_str().to_string()).collect()
+    }
 
     #[test]
     fn primitive_roundtrip() {
@@ -273,7 +358,7 @@ mod tests {
         let buf = w.finish().unwrap();
         assert_eq!(buf, b"\x03www\x07example\x03com\x00");
         let mut r = WireReader::new(&buf);
-        assert_eq!(r.get_name().unwrap(), labels);
+        assert_eq!(strs(r.get_name().unwrap()), labels);
         assert_eq!(r.remaining(), 0);
     }
 
@@ -289,8 +374,8 @@ mod tests {
         // Second name is label "b" (2 bytes) + pointer (2 bytes).
         assert_eq!(buf.len(), len_after_first + 4);
         let mut r = WireReader::new(&buf);
-        assert_eq!(r.get_name().unwrap(), a);
-        assert_eq!(r.get_name().unwrap(), b);
+        assert_eq!(strs(r.get_name().unwrap()), a);
+        assert_eq!(strs(r.get_name().unwrap()), b);
     }
 
     #[test]
@@ -324,10 +409,10 @@ mod tests {
         buf.extend_from_slice(b"\x03www");
         buf.extend_from_slice(&[0xC0, 0x05]); // -> 5 -> 0
         let mut r = WireReader::new(&buf);
-        assert_eq!(r.get_name().unwrap(), vec!["com".to_string()]);
-        assert_eq!(r.get_name().unwrap(), vec!["com".to_string()]);
+        assert_eq!(strs(r.get_name().unwrap()), vec!["com".to_string()]);
+        assert_eq!(strs(r.get_name().unwrap()), vec!["com".to_string()]);
         assert_eq!(
-            r.get_name().unwrap(),
+            strs(r.get_name().unwrap()),
             vec!["www".to_string(), "com".to_string()]
         );
     }
@@ -364,8 +449,20 @@ mod tests {
         let buf = b"\x03WwW\x03CoM\x00";
         let mut r = WireReader::new(buf);
         assert_eq!(
-            r.get_name().unwrap(),
+            strs(r.get_name().unwrap()),
             vec!["www".to_string(), "com".to_string()]
         );
+    }
+
+    #[test]
+    fn repeated_leading_label_does_not_false_match_mid_write() {
+        // "a.a": while writing, the suffix ["a"] must not match the
+        // still-unterminated ["a", "a"] recorded one label earlier.
+        let mut w = WireWriter::new();
+        w.put_name(&["a".to_string(), "a".to_string()]).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf, b"\x01a\x01a\x00");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(strs(r.get_name().unwrap()), vec!["a", "a"]);
     }
 }

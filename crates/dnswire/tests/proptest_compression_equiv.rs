@@ -1,0 +1,129 @@
+//! The offset-scan compression in `WireWriter` must be byte-for-byte
+//! identical to the suffix-string `HashMap` bookkeeping it replaced: same
+//! pointer targets, same pointer positions, same label bytes. These tests
+//! pit the new writer against a straight port of the old implementation
+//! over adversarial name sequences (shared suffixes, repeated names,
+//! maximum-length labels, interleaved fixed-width fields).
+
+use dohperf_dns::error::DnsError;
+use dohperf_dns::wire::WireWriter;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Verbatim port of the pre-interning writer: suffixes keyed by their
+/// dotted lowercase string, first-encoded offset wins.
+#[derive(Default)]
+struct ReferenceWriter {
+    buf: Vec<u8>,
+    compression: HashMap<String, u16>,
+}
+
+impl ReferenceWriter {
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_name(&mut self, labels: &[String]) -> Result<(), DnsError> {
+        for start in 0..labels.len() {
+            let suffix = labels[start..].join(".");
+            if let Some(&offset) = self.compression.get(&suffix) {
+                self.put_u16(0xC000 | offset);
+                return Ok(());
+            }
+            let here = self.buf.len();
+            if here <= 0x3FFF {
+                self.compression.insert(suffix, here as u16);
+            }
+            let bytes = labels[start].as_bytes();
+            if bytes.len() > 63 {
+                return Err(DnsError::LabelTooLong(bytes.len()));
+            }
+            self.buf.push(bytes.len() as u8);
+            self.buf.extend_from_slice(bytes);
+        }
+        self.buf.push(0);
+        Ok(())
+    }
+}
+
+/// Labels drawn from a two-letter alphabet so generated names share
+/// suffixes constantly — the worst case for compression bookkeeping.
+fn arb_colliding_label() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::string::string_regex("[ab]{1,3}").unwrap(),
+        // Maximum-length labels exercise the 63-byte boundary.
+        Just("x".repeat(63)),
+    ]
+}
+
+fn arb_names() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_colliding_label(), 1..5),
+        1..12,
+    )
+}
+
+/// Encode the same name sequence through both writers, interleaving a
+/// fixed-width field between names (as real messages do with TYPE/CLASS)
+/// so pointer offsets are non-trivial.
+fn encode_both(names: &[Vec<String>]) -> (Vec<u8>, Vec<u8>) {
+    let mut new = WireWriter::new();
+    let mut old = ReferenceWriter::default();
+    for (i, name) in names.iter().enumerate() {
+        new.put_name(name).unwrap();
+        old.put_name(name).unwrap();
+        let filler = i as u16;
+        new.put_u16(filler);
+        old.put_u16(filler);
+    }
+    (new.finish().unwrap(), old.buf)
+}
+
+proptest! {
+    /// Arbitrary suffix-heavy name sequences encode identically, pointers
+    /// and all.
+    #[test]
+    fn offset_scan_matches_hashmap_reference(names in arb_names()) {
+        let (new, old) = encode_both(&names);
+        prop_assert_eq!(new, old);
+    }
+}
+
+#[test]
+fn repeated_and_nested_suffixes_match() {
+    let cases: Vec<Vec<Vec<&str>>> = vec![
+        // Identical names -> second is a lone pointer.
+        vec![vec!["example", "com"], vec!["example", "com"]],
+        // Sibling hosts share the parent suffix.
+        vec![vec!["a", "example", "com"], vec!["b", "example", "com"]],
+        // A name whose labels repeat ("a.a.a") must not self-compress.
+        vec![vec!["a", "a", "a"], vec!["a", "a"], vec!["a"]],
+        // Deep chains: each name extends the previous one.
+        vec![
+            vec!["com"],
+            vec!["example", "com"],
+            vec!["www", "example", "com"],
+            vec!["cdn", "www", "example", "com"],
+        ],
+    ];
+    for case in cases {
+        let owned: Vec<Vec<String>> = case
+            .iter()
+            .map(|n| n.iter().map(|l| l.to_string()).collect())
+            .collect();
+        let (new, old) = encode_both(&owned);
+        assert_eq!(new, old, "case {case:?}");
+    }
+}
+
+#[test]
+fn max_length_labels_compress_identically() {
+    let long = "z".repeat(63);
+    let names = vec![
+        vec![long.clone(), "com".to_string()],
+        vec!["www".to_string(), long.clone(), "com".to_string()],
+        vec![long.clone(), "com".to_string()],
+    ];
+    let (new, old) = encode_both(&names);
+    assert_eq!(new, old);
+}

@@ -61,7 +61,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec(arb_record(), 0..3),
     )
         .prop_map(|(id, qname, answers, authorities, additionals)| {
-            let mut m = Message::query(id, &qname, RecordType::A);
+            let mut m = Message::query(id, qname, RecordType::A);
             m.answers = answers;
             m.authorities = authorities;
             m.additionals = additionals;
@@ -73,7 +73,7 @@ proptest! {
     /// Names written then read come back identical (lowercased already).
     #[test]
     fn name_roundtrip(name in arb_name()) {
-        let q = Message::query(1, &name, RecordType::A);
+        let q = Message::query(1, name.clone(), RecordType::A);
         let buf = q.encode().unwrap();
         let d = Message::decode(&buf).unwrap();
         prop_assert_eq!(&d.questions[0].qname, &name);
@@ -98,7 +98,7 @@ proptest! {
         hosts in proptest::collection::vec(arb_label(), 1..8),
         ttl in any::<u32>(),
     ) {
-        let mut msg = Message::query(9, &zone, RecordType::A);
+        let mut msg = Message::query(9, zone.clone(), RecordType::A);
         for h in &hosts {
             if let Ok(name) = zone.prepend(h) {
                 msg.answers.push(ResourceRecord::new(name, ttl, RData::A(Ipv4Addr::new(10, 0, 0, 1))));
@@ -133,7 +133,7 @@ proptest! {
     /// DoH GET and POST both recover the original question.
     #[test]
     fn doh_roundtrip(name in arb_name(), id in any::<u16>()) {
-        let msg = Message::query(id, &name, RecordType::A);
+        let msg = Message::query(id, name, RecordType::A);
         let get = DohRequest::get(&msg).unwrap();
         prop_assert_eq!(&get.decode_message().unwrap().questions, &msg.questions);
         let post = DohRequest::post(&msg).unwrap();

@@ -48,6 +48,7 @@ pub use dohperf_providers as providers;
 pub use dohperf_proxy as proxy;
 pub use dohperf_stats as stats;
 pub use dohperf_store as store;
+pub use dohperf_telemetry as telemetry;
 pub use dohperf_world as world;
 
 /// The most commonly used types, re-exported flat.

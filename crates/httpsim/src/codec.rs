@@ -7,6 +7,7 @@
 //! peer in this system sends explicit lengths — and is rejected loudly
 //! rather than mis-framed silently.
 
+use bytes::BytesMut;
 use std::fmt;
 
 /// HTTP request methods used in this system.
@@ -187,7 +188,7 @@ impl Headers {
         self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
     }
 
-    fn write_to(&self, out: &mut Vec<u8>) {
+    fn write_to(&self, out: &mut BytesMut) {
         for (name, value) in &self.entries {
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(b": ");
@@ -195,6 +196,28 @@ impl Headers {
             out.extend_from_slice(b"\r\n");
         }
     }
+}
+
+/// Append `n` in decimal, formatted on the stack.
+fn write_decimal(mut n: usize, out: &mut BytesMut) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Write `Content-Length: <n>\r\n` with the number formatted on the stack.
+fn write_content_length(n: usize, out: &mut BytesMut) {
+    out.extend_from_slice(b"Content-Length: ");
+    write_decimal(n, out);
+    out.extend_from_slice(b"\r\n");
 }
 
 /// An HTTP/1.1 request.
@@ -231,19 +254,27 @@ impl Request {
     /// Serialise to wire bytes. Content-Length is added when a body exists
     /// and none was set.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
+        let mut out = BytesMut::with_capacity(128 + self.body.len());
+        self.encode_into(&mut out);
+        Vec::from(out)
+    }
+
+    /// Serialise into a caller-provided buffer, reusing its capacity. The
+    /// buffer is cleared first. An auto-added Content-Length goes after
+    /// the explicit headers — the same position `Headers::set` on a clone
+    /// produced — so the bytes match [`encode`](Self::encode) exactly.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.clear();
         out.extend_from_slice(self.method.as_str().as_bytes());
-        out.push(b' ');
+        out.extend_from_slice(b" ");
         out.extend_from_slice(self.target.as_bytes());
         out.extend_from_slice(b" HTTP/1.1\r\n");
-        let mut headers = self.headers.clone();
-        if !self.body.is_empty() && headers.get("content-length").is_none() {
-            headers.set("Content-Length", self.body.len().to_string());
+        self.headers.write_to(out);
+        if !self.body.is_empty() && self.headers.get("content-length").is_none() {
+            write_content_length(self.body.len(), out);
         }
-        headers.write_to(&mut out);
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        out
     }
 
     /// Parse a complete request from `buf`, returning it and the number of
@@ -306,20 +337,27 @@ impl Response {
 
     /// Serialise to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
+        let mut out = BytesMut::with_capacity(128 + self.body.len());
+        self.encode_into(&mut out);
+        Vec::from(out)
+    }
+
+    /// Serialise into a caller-provided buffer, reusing its capacity. The
+    /// buffer is cleared first; output is byte-identical to
+    /// [`encode`](Self::encode).
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.clear();
         out.extend_from_slice(b"HTTP/1.1 ");
-        out.extend_from_slice(self.status.0.to_string().as_bytes());
-        out.push(b' ');
+        write_decimal(self.status.0 as usize, out);
+        out.extend_from_slice(b" ");
         out.extend_from_slice(self.status.reason().as_bytes());
         out.extend_from_slice(b"\r\n");
-        let mut headers = self.headers.clone();
-        if headers.get("content-length").is_none() {
-            headers.set("Content-Length", self.body.len().to_string());
+        self.headers.write_to(out);
+        if self.headers.get("content-length").is_none() {
+            write_content_length(self.body.len(), out);
         }
-        headers.write_to(&mut out);
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        out
     }
 
     /// Parse a complete response, returning it and the bytes consumed.
@@ -534,6 +572,38 @@ mod tests {
         assert_eq!(StatusCode::OK.reason(), "OK");
         assert!(StatusCode::OK.is_success());
         assert!(!StatusCode::BAD_GATEWAY.is_success());
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let mut req = Request::new(Method::Post, "/dns-query").with_body(b"payload".to_vec());
+        req.headers.insert("Host", "doh.example");
+        let mut buf = BytesMut::new();
+        req.encode_into(&mut buf);
+        assert_eq!(&buf[..], &req.encode()[..]);
+
+        // Auto-added Content-Length lands after explicit headers, exactly
+        // where the clone-and-set path used to put it.
+        let mut auto = Request::new(Method::Post, "/x");
+        auto.headers.insert("Host", "h");
+        auto.body = b"abc".to_vec();
+        auto.encode_into(&mut buf);
+        assert_eq!(&buf[..], &auto.encode()[..]);
+        let text = String::from_utf8(buf.to_vec()).unwrap();
+        assert!(
+            text.contains("Host: h\r\nContent-Length: 3\r\n\r\n"),
+            "{text}"
+        );
+
+        let mut resp = Response::new(StatusCode::OK).with_body(b"hi".to_vec());
+        resp.headers.insert("X-Luminati-Timeline", "auth:1.000ms");
+        resp.encode_into(&mut buf);
+        assert_eq!(&buf[..], &resp.encode()[..]);
+
+        // Unusual status codes format like to_string() did.
+        let odd = Response::new(StatusCode(99));
+        odd.encode_into(&mut buf);
+        assert!(buf.starts_with(b"HTTP/1.1 99 "));
     }
 
     #[test]

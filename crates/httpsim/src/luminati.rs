@@ -38,11 +38,23 @@ pub struct TunTimeline {
 impl TunTimeline {
     /// Serialise as a header value, e.g. `dns:12.345ms,connect:33.100ms`.
     pub fn to_header_value(&self) -> String {
-        format!(
+        let mut out = String::with_capacity(32);
+        self.write_header_value(&mut out);
+        out
+    }
+
+    /// Append the header value to a caller-owned scratch string, reusing
+    /// its capacity (the string is cleared first).
+    pub fn write_header_value(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.clear();
+        write!(
+            out,
             "dns:{:.3}ms,connect:{:.3}ms",
             self.dns.as_millis_f64(),
             self.connect.as_millis_f64()
         )
+        .expect("writing to a String cannot fail");
     }
 
     /// Parse a header value produced by [`Self::to_header_value`].
@@ -113,13 +125,25 @@ pub struct ProxyTimeline {
 impl ProxyTimeline {
     /// Serialise as a header value.
     pub fn to_header_value(&self) -> String {
-        format!(
+        let mut out = String::with_capacity(64);
+        self.write_header_value(&mut out);
+        out
+    }
+
+    /// Append the header value to a caller-owned scratch string, reusing
+    /// its capacity (the string is cleared first).
+    pub fn write_header_value(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.clear();
+        write!(
+            out,
             "auth:{:.3}ms,init:{:.3}ms,select:{:.3}ms,domain_check:{:.3}ms",
             self.auth.as_millis_f64(),
             self.init.as_millis_f64(),
             self.select_node.as_millis_f64(),
             self.domain_check.as_millis_f64()
         )
+        .expect("writing to a String cannot fail");
     }
 
     /// Parse a header value produced by [`Self::to_header_value`].
@@ -253,6 +277,20 @@ mod tests {
         let t = TunTimeline::default();
         let parsed = TunTimeline::parse(&t.to_header_value()).unwrap();
         assert_eq!(parsed.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn write_header_value_reuses_scratch() {
+        let t = TunTimeline {
+            dns: SimDuration::from_millis_f64(1.25),
+            connect: SimDuration::from_millis_f64(2.5),
+        };
+        let mut scratch = String::from("stale contents");
+        t.write_header_value(&mut scratch);
+        assert_eq!(scratch, t.to_header_value());
+        let p = ProxyTimeline::default();
+        p.write_header_value(&mut scratch);
+        assert_eq!(scratch, p.to_header_value());
     }
 
     #[test]

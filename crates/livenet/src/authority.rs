@@ -206,7 +206,7 @@ mx1 IN A 203.0.113.25
 
     fn ask(server: &AuthorityServer, name: &str, rtype: RecordType) -> Message {
         let client = Do53Client::new(server.addr());
-        let q = Message::query(9, &DnsName::parse(name).unwrap(), rtype);
+        let q = Message::query(9, DnsName::parse(name).unwrap(), rtype);
         client.resolve(&q).unwrap()
     }
 

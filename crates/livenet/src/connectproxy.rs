@@ -263,7 +263,7 @@ mod tests {
         assert!(proxy_tl.total().as_nanos() > 0);
 
         // Speak DoH through the tunnel.
-        let query = Message::query(9, &DnsName::parse("tun.a.com").unwrap(), RecordType::A);
+        let query = Message::query(9, DnsName::parse("tun.a.com").unwrap(), RecordType::A);
         let doh = DohRequest::get(&query).unwrap();
         let mut http = dohperf_http::codec::Request::new(Method::Get, doh.path);
         http.headers.set("Connection", "close");
@@ -327,7 +327,7 @@ mod tests {
             let (mut tunnel, _, _) = open_tunnel(proxy.addr(), backend.addr()).unwrap();
             let query = Message::query(
                 i,
-                &DnsName::parse(&format!("seq{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("seq{i}.a.com")).unwrap(),
                 RecordType::A,
             );
             let doh = DohRequest::post(&query).unwrap();

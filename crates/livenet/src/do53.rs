@@ -156,7 +156,7 @@ mod tests {
         let client = Do53Client::new(server.addr());
         let q = Message::query(
             0x1111,
-            &DnsName::parse("uuid42.a.com").unwrap(),
+            DnsName::parse("uuid42.a.com").unwrap(),
             RecordType::A,
         );
         let resp = client.resolve(&q).unwrap();
@@ -170,7 +170,7 @@ mod tests {
     fn nxdomain_round_trips() {
         let server = Do53Server::start(serving_zone()).unwrap();
         let client = Do53Client::new(server.addr());
-        let q = Message::query(2, &DnsName::parse("other.example").unwrap(), RecordType::A);
+        let q = Message::query(2, DnsName::parse("other.example").unwrap(), RecordType::A);
         let resp = client.resolve(&q).unwrap();
         assert_eq!(resp.header.rcode, RCode::NxDomain);
     }
@@ -185,7 +185,7 @@ mod tests {
                     let client = Do53Client::new(addr);
                     let q = Message::query(
                         i,
-                        &DnsName::parse(&format!("c{i}.a.com")).unwrap(),
+                        DnsName::parse(&format!("c{i}.a.com")).unwrap(),
                         RecordType::A,
                     );
                     client.resolve(&q).unwrap().header.id
@@ -206,7 +206,7 @@ mod tests {
         let mut client = Do53Client::new(addr);
         client.timeout = Duration::from_millis(30);
         client.retries = 1;
-        let q = Message::query(3, &DnsName::parse("x.a.com").unwrap(), RecordType::A);
+        let q = Message::query(3, DnsName::parse("x.a.com").unwrap(), RecordType::A);
         let err = client.resolve(&q);
         assert!(err.is_err());
     }
@@ -218,7 +218,7 @@ mod tests {
         sock.send_to(b"\xff\x00garbage", server.addr()).unwrap();
         // The server must still answer a proper query afterwards.
         let client = Do53Client::new(server.addr());
-        let q = Message::query(4, &DnsName::parse("ok.a.com").unwrap(), RecordType::A);
+        let q = Message::query(4, DnsName::parse("ok.a.com").unwrap(), RecordType::A);
         assert!(client.resolve(&q).is_ok());
     }
 }

@@ -245,7 +245,7 @@ mod tests {
     fn get_resolution_over_real_tcp() {
         let server = DohServer::start(serving_zone()).unwrap();
         let client = DohClient::new(server.addr());
-        let q = Message::query(5, &DnsName::parse("u1.a.com").unwrap(), RecordType::A);
+        let q = Message::query(5, DnsName::parse("u1.a.com").unwrap(), RecordType::A);
         let resp = client.resolve_get(&q).unwrap();
         assert_eq!(resp.first_a(), Some(Ipv4Addr::new(203, 0, 113, 77)));
         server.shutdown();
@@ -255,7 +255,7 @@ mod tests {
     fn post_resolution_preserves_id() {
         let server = DohServer::start(serving_zone()).unwrap();
         let client = DohClient::new(server.addr());
-        let q = Message::query(0xBEEF, &DnsName::parse("u2.a.com").unwrap(), RecordType::A);
+        let q = Message::query(0xBEEF, DnsName::parse("u2.a.com").unwrap(), RecordType::A);
         let resp = client.resolve_post(&q).unwrap();
         assert_eq!(resp.header.id, 0xBEEF);
         assert_eq!(resp.header.rcode, RCode::NoError);
@@ -269,7 +269,7 @@ mod tests {
             .map(|i| {
                 Message::query(
                     i,
-                    &DnsName::parse(&format!("r{i}.a.com")).unwrap(),
+                    DnsName::parse(&format!("r{i}.a.com")).unwrap(),
                     RecordType::A,
                 )
             })
@@ -285,7 +285,7 @@ mod tests {
     fn nxdomain_over_doh() {
         let server = DohServer::start(serving_zone()).unwrap();
         let client = DohClient::new(server.addr());
-        let q = Message::query(6, &DnsName::parse("nope.example").unwrap(), RecordType::A);
+        let q = Message::query(6, DnsName::parse("nope.example").unwrap(), RecordType::A);
         let resp = client.resolve_get(&q).unwrap();
         assert_eq!(resp.header.rcode, RCode::NxDomain);
     }

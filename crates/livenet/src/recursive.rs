@@ -60,7 +60,7 @@ impl RecursiveResolver {
                         )
                     })?;
                     txid = txid.wrapping_add(1);
-                    let query = Message::query(txid, &question.qname, question.qtype);
+                    let query = Message::query(txid, question.qname.clone(), question.qtype);
                     socket.send_to(&query.encode().map_err(to_io)?, target)?;
                     let mut buf = [0u8; 1500];
                     let (len, _) = socket.recv_from(&mut buf)?;

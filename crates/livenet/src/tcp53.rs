@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn tcp_query_roundtrips() {
         let server = Tcp53Server::start(zone()).unwrap();
-        let q = Message::query(1, &DnsName::parse("t1.a.com").unwrap(), RecordType::A);
+        let q = Message::query(1, DnsName::parse("t1.a.com").unwrap(), RecordType::A);
         let resp = query_tcp(server.addr(), &q, Duration::from_millis(1000)).unwrap();
         assert_eq!(resp.header.rcode, RCode::NoError);
         assert_eq!(resp.first_a(), Some(Ipv4Addr::new(203, 0, 113, 8)));
@@ -278,7 +278,7 @@ mod tests {
         for i in 0..5u16 {
             let q = Message::query(
                 i,
-                &DnsName::parse(&format!("m{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("m{i}.a.com")).unwrap(),
                 RecordType::A,
             );
             write_framed(&mut stream, &q.encode().unwrap()).unwrap();
@@ -293,7 +293,7 @@ mod tests {
         let udp = Do53Server::start(zone()).unwrap();
         let tcp = Tcp53Server::start(zone()).unwrap();
         let client = FallbackClient::new(udp.addr(), tcp.addr());
-        let q = Message::query(2, &DnsName::parse("s.a.com").unwrap(), RecordType::A);
+        let q = Message::query(2, DnsName::parse("s.a.com").unwrap(), RecordType::A);
         let resp = client.resolve(&q).unwrap();
         assert!(!resp.header.flags.tc);
         assert_eq!(client.tcp_fallbacks.get(), 0);
@@ -340,7 +340,7 @@ mod tests {
 
         let tcp = Tcp53Server::start(fat_zone()).unwrap();
         let client = FallbackClient::new(udp_addr, tcp.addr());
-        let q = Message::query(3, &DnsName::parse("big.a.com").unwrap(), RecordType::A);
+        let q = Message::query(3, DnsName::parse("big.a.com").unwrap(), RecordType::A);
         let resp = client.resolve(&q).unwrap();
         assert!(!resp.header.flags.tc, "TCP answer must be complete");
         assert_eq!(resp.first_a(), Some(Ipv4Addr::new(203, 0, 113, 8)));
@@ -355,7 +355,7 @@ mod tests {
     fn bounded_udp_server_truncates_nothing_for_small_zones() {
         let (server, addr) = BoundedUdpServer::start(zone()).unwrap();
         let client = Do53Client::new(addr);
-        let q = Message::query(4, &DnsName::parse("b.a.com").unwrap(), RecordType::A);
+        let q = Message::query(4, DnsName::parse("b.a.com").unwrap(), RecordType::A);
         let resp = client.resolve(&q).unwrap();
         assert!(!resp.header.flags.tc);
         server.shutdown();

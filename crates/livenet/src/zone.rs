@@ -106,7 +106,7 @@ mod tests {
     fn answers_are_authoritative() {
         let zone = Zone::new();
         zone.insert_wildcard("a.com", Ipv4Addr::new(203, 0, 113, 5));
-        let q = Message::query(7, &DnsName::parse("x1.a.com").unwrap(), RecordType::A);
+        let q = Message::query(7, DnsName::parse("x1.a.com").unwrap(), RecordType::A);
         let resp = zone.answer(&q);
         assert_eq!(resp.header.rcode, RCode::NoError);
         assert!(resp.header.flags.aa);
@@ -117,14 +117,14 @@ mod tests {
     #[test]
     fn unknown_name_is_nxdomain() {
         let zone = Zone::new();
-        let q = Message::query(8, &DnsName::parse("nope.example").unwrap(), RecordType::A);
+        let q = Message::query(8, DnsName::parse("nope.example").unwrap(), RecordType::A);
         assert_eq!(zone.answer(&q).header.rcode, RCode::NxDomain);
     }
 
     #[test]
     fn unsupported_type_is_notimp() {
         let zone = Zone::new();
-        let q = Message::query(9, &DnsName::parse("a.com").unwrap(), RecordType::Mx);
+        let q = Message::query(9, DnsName::parse("a.com").unwrap(), RecordType::Mx);
         assert_eq!(zone.answer(&q).header.rcode, RCode::NotImp);
     }
 
@@ -132,7 +132,7 @@ mod tests {
     fn aaaa_gets_empty_noerror() {
         let zone = Zone::new();
         zone.insert_wildcard("a.com", Ipv4Addr::new(1, 2, 3, 4));
-        let q = Message::query(10, &DnsName::parse("x.a.com").unwrap(), RecordType::Aaaa);
+        let q = Message::query(10, DnsName::parse("x.a.com").unwrap(), RecordType::Aaaa);
         let resp = zone.answer(&q);
         assert_eq!(resp.header.rcode, RCode::NoError);
         assert!(resp.answers.is_empty());

@@ -105,6 +105,12 @@ impl Simulator {
         proto: &'static str,
         note: impl Into<String>,
     ) {
+        // Materialize the note only when someone is listening: with the
+        // trace log off and no flight recorder attached (the steady-state
+        // campaign), this returns before `note.into()` can allocate.
+        if !self.trace.is_enabled() && !flight::active() {
+            return;
+        }
         let at = self.now;
         let note = note.into();
         if flight::active() {

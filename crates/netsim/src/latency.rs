@@ -160,6 +160,9 @@ impl PathModel {
         if let Some(&d) = self.base_cache.get(&key) {
             return d;
         }
+        // Cache fill: one-time work per node pair, exempt from the
+        // steady-state allocation gate (the map may rehash on insert).
+        let _cold = dohperf_telemetry::alloc::exempt_scope();
         let na = topo.node(a);
         let nb = topo.node(b);
         let dist_km = na.spec.position.distance_km(&nb.spec.position);

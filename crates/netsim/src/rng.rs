@@ -54,6 +54,23 @@ impl SimRng {
         SimRng::new(child)
     }
 
+    /// [`fork`](Self::fork) keyed by the *concatenation* of `parts`,
+    /// without building the string. FNV-1a runs byte-by-byte, so
+    /// `fork_parts(&["doh-", name])` is bit-identical to
+    /// `fork(&format!("doh-{name}"))` — the allocation-free spelling the
+    /// campaign hot path uses.
+    pub fn fork_parts(&self, parts: &[&str]) -> SimRng {
+        let child = splitmix64(self.seed ^ fnv1a_parts(parts));
+        SimRng::new(child)
+    }
+
+    /// [`fork_indexed`](Self::fork_indexed) with a concatenated label,
+    /// matching `fork_indexed(&format!(...), index)` bit-for-bit.
+    pub fn fork_indexed_parts(&self, parts: &[&str], index: u64) -> SimRng {
+        let child = splitmix64(self.seed ^ fnv1a_parts(parts) ^ splitmix64(index));
+        SimRng::new(child)
+    }
+
     /// Uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
         self.inner.gen::<f64>()
@@ -153,7 +170,20 @@ impl SimRng {
 
 /// FNV-1a hash of a byte string; stable across platforms and versions.
 fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// FNV-1a over the concatenation of `parts` — identical to hashing the
+/// joined string, with no intermediate allocation.
+fn fnv1a_parts(parts: &[&str]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        hash = fnv1a_continue(hash, part.as_bytes());
+    }
+    hash
+}
+
+fn fnv1a_continue(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x1000_0000_01b3);
@@ -368,6 +398,38 @@ mod tests {
                 let mut b = advanced.fork_indexed("client", index);
                 for _ in 0..16 {
                     prop_assert_eq!(a.next_u64(), b.next_u64());
+                }
+            }
+
+            #[test]
+            fn fork_parts_matches_formatted_label(
+                seed in any::<u64>(),
+                a in "[a-z-]{0,8}",
+                b in "[a-zA-Z0-9.]{0,8}",
+                c in "[a-z-]{0,8}",
+            ) {
+                let root = SimRng::new(seed);
+                let joined = format!("{a}{b}{c}");
+                let mut via_string = root.fork(&joined);
+                let mut via_parts = root.fork_parts(&[&a, &b, &c]);
+                for _ in 0..8 {
+                    prop_assert_eq!(via_string.next_u64(), via_parts.next_u64());
+                }
+            }
+
+            #[test]
+            fn fork_indexed_parts_matches_formatted_label(
+                seed in any::<u64>(),
+                prefix in "[a-z-]{0,8}",
+                name in "[a-zA-Z0-9]{0,8}",
+                index in any::<u64>(),
+            ) {
+                let root = SimRng::new(seed);
+                let joined = format!("{prefix}{name}");
+                let mut via_string = root.fork_indexed(&joined, index);
+                let mut via_parts = root.fork_indexed_parts(&[&prefix, &name], index);
+                for _ in 0..8 {
+                    prop_assert_eq!(via_string.next_u64(), via_parts.next_u64());
                 }
             }
 

@@ -151,9 +151,9 @@ impl ExitNode {
         qname: &str,
         rng: &mut SimRng,
     ) -> SimDuration {
-        sim.trace_packet(self.node, self.resolver, "dns/udp", qname.to_string());
+        sim.trace_packet(self.node, self.resolver, "dns/udp", qname);
         let stub_leg = sim.rtt(self.node, self.resolver);
-        sim.trace_packet(self.resolver, auth, "dns/udp", qname.to_string());
+        sim.trace_packet(self.resolver, auth, "dns/udp", qname);
         let recursion = sim.rtt(self.resolver, auth);
         let processing = self.resolver_model.processing_time(rng);
         stub_leg + recursion + processing
@@ -170,18 +170,13 @@ impl ExitNode {
         cache_hit_probability: f64,
         rng: &mut SimRng,
     ) -> SimDuration {
-        sim.trace_packet(self.node, self.resolver, "dns/udp", hostname.to_string());
+        sim.trace_packet(self.node, self.resolver, "dns/udp", hostname);
         let stub_leg = sim.rtt(self.node, self.resolver);
         let small_processing = SimDuration::from_millis_f64(rng.lognormal_median(1.0, 0.3));
         if rng.chance(cache_hit_probability) {
             stub_leg + small_processing
         } else {
-            sim.trace_packet(
-                self.resolver,
-                provider_auth,
-                "dns/udp",
-                hostname.to_string(),
-            );
+            sim.trace_packet(self.resolver, provider_auth, "dns/udp", hostname);
             let recursion = sim.rtt(self.resolver, provider_auth);
             let processing = self.resolver_model.processing_time(rng);
             stub_leg + recursion + processing

@@ -61,6 +61,7 @@
 //! [`phases`] is the wall-clock (per-run) hierarchical phase profiler
 //! that rides along in the metrics snapshot.
 
+pub mod alloc;
 pub mod flight;
 mod json;
 mod metrics;

@@ -35,7 +35,7 @@ fn main() -> std::io::Result<()> {
     for i in 0..runs {
         // Fresh UUID-style subdomains defeat caching, as in the paper.
         let name = DnsName::parse(&format!("run{i:04x}.a.com")).unwrap();
-        let query = Message::query(i, &name, RecordType::A);
+        let query = Message::query(i, name, RecordType::A);
 
         let start = Instant::now();
         let resp = do53_client.resolve(&query)?;
@@ -53,7 +53,7 @@ fn main() -> std::io::Result<()> {
         .map(|i| {
             Message::query(
                 1000 + i,
-                &DnsName::parse(&format!("reuse{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("reuse{i}.a.com")).unwrap(),
                 RecordType::A,
             )
         })

@@ -23,7 +23,7 @@ fn do53_and_doh_agree_on_every_answer() {
     let https = DohClient::new(doh.addr());
     for i in 0..20u16 {
         let name = DnsName::parse(&format!("agree{i}.a.com")).unwrap();
-        let q = Message::query(i, &name, RecordType::A);
+        let q = Message::query(i, name, RecordType::A);
         let a = udp.resolve(&q).unwrap();
         let b = https.resolve_post(&q).unwrap();
         assert_eq!(a.first_a(), b.first_a(), "query {i}");
@@ -43,7 +43,7 @@ fn fresh_subdomains_always_reach_the_authoritative() {
     for i in 0..10u16 {
         let q = Message::query(
             i,
-            &DnsName::parse(&format!("uuid-{i:08x}.a.com")).unwrap(),
+            DnsName::parse(&format!("uuid-{i:08x}.a.com")).unwrap(),
             RecordType::A,
         );
         client.resolve(&q).unwrap();
@@ -60,7 +60,7 @@ fn doh_connection_reuse_matches_single_shot_answers() {
         .map(|i| {
             Message::query(
                 i,
-                &DnsName::parse(&format!("reuse{i}.a.com")).unwrap(),
+                DnsName::parse(&format!("reuse{i}.a.com")).unwrap(),
                 RecordType::A,
             )
         })
@@ -77,16 +77,12 @@ fn exact_records_beat_wildcards_and_nxdomain_works() {
     let zone = zone();
     let server = Do53Server::start(zone).unwrap();
     let client = Do53Client::new(server.addr());
-    let q = Message::query(1, &DnsName::parse("fixed.example").unwrap(), RecordType::A);
+    let q = Message::query(1, DnsName::parse("fixed.example").unwrap(), RecordType::A);
     assert_eq!(
         client.resolve(&q).unwrap().first_a(),
         Some(Ipv4Addr::new(192, 0, 2, 2))
     );
-    let q2 = Message::query(
-        2,
-        &DnsName::parse("missing.example").unwrap(),
-        RecordType::A,
-    );
+    let q2 = Message::query(2, DnsName::parse("missing.example").unwrap(), RecordType::A);
     assert_eq!(client.resolve(&q2).unwrap().header.rcode, RCode::NxDomain);
 }
 
@@ -98,7 +94,7 @@ fn servers_survive_many_sequential_clients() {
         let client = DohClient::new(doh.addr());
         let q = Message::query(
             i,
-            &DnsName::parse(&format!("seq{i}.a.com")).unwrap(),
+            DnsName::parse(&format!("seq{i}.a.com")).unwrap(),
             RecordType::A,
         );
         assert!(client.resolve_get(&q).is_ok(), "client {i}");
