@@ -2,7 +2,8 @@
 
 .PHONY: build test bench doc repro repro-full examples verify clean \
         ci fmt-check clippy perf-smoke baseline store-roundtrip \
-        trace-smoke golden-trace alloc-smoke
+        trace-smoke golden-trace alloc-smoke protocol-matrix \
+        protocol-baseline
 
 build:
 	cargo build --workspace --release
@@ -31,6 +32,7 @@ verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
 	$(MAKE) store-roundtrip
 	$(MAKE) trace-smoke
+	$(MAKE) protocol-matrix
 	$(MAKE) alloc-smoke
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
@@ -55,6 +57,36 @@ perf-smoke:
 	    --metrics target/ci/metrics.json --baseline ci/baseline-metrics.json
 	rm -rf target/ci/store
 
+# One perf-smoke per transport: each protocol's connection-lifecycle
+# campaign (scale 0.05, streamed through the store so the FLAG_TRANSPORTS
+# column group is exercised) is gated against its own checked-in baseline.
+# Deterministic counters are exact functions of (seed, scale, protocol),
+# so tolerance stays 0.
+PROTOCOLS := do53 doh dot doq
+
+protocol-matrix:
+	@for p in $(PROTOCOLS); do \
+	    echo "== protocol-matrix: $$p =="; \
+	    cargo run --release -p dohperf-bench --bin repro -- \
+	        --seed 2021 --scale 0.05 --protocols $$p \
+	        --out-format store --store-dir target/ci/store-$$p transports \
+	        --metrics target/ci/metrics-$$p.json \
+	        --baseline ci/baseline-metrics-$$p.json > /dev/null || exit 1; \
+	    rm -rf target/ci/store-$$p; \
+	done
+	@echo "protocol matrix OK: do53/doh/dot/doq metrics match their baselines"
+
+# Regenerate the per-protocol baselines after an intentional change to
+# the lifecycle model.
+protocol-baseline:
+	@for p in $(PROTOCOLS); do \
+	    cargo run --release -p dohperf-bench --bin repro -- \
+	        --seed 2021 --scale 0.05 --protocols $$p \
+	        --out-format store --store-dir target/ci/store-$$p transports \
+	        --metrics ci/baseline-metrics-$$p.json > /dev/null || exit 1; \
+	    rm -rf target/ci/store-$$p; \
+	done
+
 # Regenerate the perf-smoke baseline after an intentional behaviour change.
 baseline:
 	cargo run --release -p dohperf-bench --bin repro -- \
@@ -72,7 +104,12 @@ trace-smoke:
 	    --trace-out target/ci/trace.json --trace-sample 128 headline > /dev/null
 	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace.json
 	cmp target/ci/trace.json ci/golden-trace.json
-	@echo "trace smoke OK: deterministic bytes match ci/golden-trace.json"
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 --protocols do53,doh,dot,doq \
+	    --trace-out target/ci/trace-protocols.json --trace-sample 128 headline > /dev/null
+	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace-protocols.json
+	cmp target/ci/trace-protocols.json ci/golden-trace-protocols.json
+	@echo "trace smoke OK: deterministic bytes match both golden traces"
 
 # Zero-allocation gate (DESIGN.md §12). Rebuilds with the counting
 # global allocator, runs the perf-smoke campaign twice in one process,
@@ -87,11 +124,14 @@ alloc-smoke:
 	    --bin alloc_check -- --out target/ci/alloc.json
 	cargo test --release -p dohperf --features alloc-count --test integration_alloc
 
-# Regenerate the golden trace after an intentional instrumentation change.
+# Regenerate the golden traces after an intentional instrumentation change.
 golden-trace:
 	cargo run --release -p dohperf-bench --bin repro -- \
 	    --seed 2021 --scale 0.02 --threads 2 \
 	    --trace-out ci/golden-trace.json --trace-sample 128 headline > /dev/null
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 --protocols do53,doh,dot,doq \
+	    --trace-out ci/golden-trace-protocols.json --trace-sample 128 headline > /dev/null
 
 # Write a quick-scale campaign to a store, re-derive the headline from it
 # with --from-store, and require the two outputs to be identical.

@@ -15,7 +15,7 @@ pub struct CdfSeries {
 }
 
 impl CdfSeries {
-    fn of(samples: &[f64]) -> CdfSeries {
+    pub(crate) fn of(samples: &[f64]) -> CdfSeries {
         let (values, probs) = ecdf(samples);
         CdfSeries { values, probs }
     }

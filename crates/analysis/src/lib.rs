@@ -19,6 +19,8 @@
 //! * [`render`] — plain-text table rendering for the `repro` binary.
 //! * [`streaming`] — memory-bounded headline/CDF analyses over a
 //!   columnar store directory, via mergeable quantile sketches.
+//! * [`transports`] — per-protocol (Do53/DoH/DoT/DoQ) lifecycle headline
+//!   tables and cold/warm/resumed CDFs for extended-transport campaigns.
 
 pub mod cdfs;
 pub mod covariates;
@@ -35,6 +37,7 @@ pub mod render;
 pub mod report;
 pub mod robustness;
 pub mod streaming;
+pub mod transports;
 pub mod vantage;
 
 pub use cdfs::{provider_cdfs, CdfSeries, ProviderCdfs};
@@ -50,6 +53,10 @@ pub use regions::{region_summaries, regional_variation, RegionSummary};
 pub use report::full_report;
 pub use robustness::{covariate_correlations, headline_cis, CovariateCorrelations, HeadlineCis};
 pub use streaming::{cdfs_from_store, headline_from_store, StreamingCdfs, StreamingHeadline};
+pub use transports::{
+    transport_cdfs, transport_headlines, transport_provider_grid, TransportCdfs, TransportHeadline,
+    TransportProviderCell,
+};
 pub use vantage::{vantage_comparison, VantageComparison};
 
 /// Convenience re-exports.
@@ -64,6 +71,10 @@ pub mod prelude {
     pub use crate::logistic_model::{fit_logistic_models, LogisticModelReport};
     pub use crate::pop_improvement::{pop_improvement, PopImprovementStats};
     pub use crate::render;
+    pub use crate::transports::{
+        transport_cdfs, transport_headlines, transport_provider_grid, TransportCdfs,
+        TransportHeadline, TransportProviderCell,
+    };
 }
 
 #[cfg(test)]

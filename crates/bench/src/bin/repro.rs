@@ -3,13 +3,21 @@
 //!
 //! ```text
 //! repro [--seed N] [--scale F] [--threads N] [--metrics PATH]
-//!       [--baseline PATH] [--tolerance F]
+//!       [--baseline PATH] [--tolerance F] [--protocols LIST]
 //!       [--out-format both|csv|jsonl|store] [--store-dir DIR]
 //!       [--from-store DIR] [--trace-out PATH] [--trace-sample N]
 //!       <experiment>...
 //! repro all                    # everything, in paper order
 //! repro explain --query ID     # replay one client, annotated timeline
 //! ```
+//!
+//! `--protocols do53,doh,dot,doq` (any non-empty subset) additionally
+//! measures each listed transport with the full connection-lifecycle
+//! model — cold establishment, warm reuse, idle timeout, session-ticket /
+//! QUIC 0-RTT resumption — per (client, provider) pair; the `transports`
+//! experiment renders the per-protocol headline tables and CDFs. Unknown
+//! protocol names exit 2 listing the accepted values. The lifecycle
+//! measurements never perturb the legacy DoH/Do53 draws (DESIGN.md §13).
 //!
 //! `--trace-out PATH` exports the flight recorder's sampled query traces
 //! as Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
@@ -46,7 +54,7 @@
 
 use dohperf_bench::{OutFormat, ReproConfig, ReproContext};
 
-const EXPERIMENTS: [&str; 27] = [
+const EXPERIMENTS: [&str; 28] = [
     "table1",
     "table2",
     "sec4-3",
@@ -71,6 +79,7 @@ const EXPERIMENTS: [&str; 27] = [
     "ablation-loss",
     "ablation-vantage",
     "compare-dot",
+    "transports",
     "export",
     "figdata",
     "report",
@@ -157,6 +166,13 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--store-dir needs a path"))
                     .into();
+            }
+            "--protocols" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--protocols needs a comma-separated list"));
+                config.protocols = dohperf_core::campaign::ProtocolSet::parse_list(&list)
+                    .unwrap_or_else(|e| usage(&e));
             }
             "--from-store" => {
                 config.from_store = Some(
@@ -256,6 +272,7 @@ fn main() {
             "ablation-loss" => ctx.ablation_loss(),
             "ablation-vantage" => ctx.ablation_vantage(),
             "compare-dot" => ctx.compare_dot(),
+            "transports" => ctx.transports(),
             _ => unreachable!("validated above"),
         };
         println!("{}", "=".repeat(100));
@@ -318,7 +335,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--seed N] [--scale F] [--threads N] [--metrics PATH] \
-         [--baseline PATH] [--tolerance F] [--out-format both|csv|jsonl|store] \
+         [--baseline PATH] [--tolerance F] [--protocols do53,doh,dot,doq] \
+         [--out-format both|csv|jsonl|store] \
          [--store-dir DIR] [--from-store DIR] [--trace-out PATH] [--trace-sample N] \
          <experiment>...\n       repro all\n       repro explain --query ID\nexperiments: {}",
         EXPERIMENTS.join(" ")

@@ -11,9 +11,10 @@ use dohperf_analysis::geography::country_median_for;
 use dohperf_analysis::pop_improvement::stats_for;
 use dohperf_analysis::prelude::*;
 use dohperf_analysis::render::{f, pct, pval, table};
-use dohperf_core::campaign::{Campaign, CampaignConfig, ClientExplain};
+use dohperf_core::campaign::{Campaign, CampaignConfig, ClientExplain, ProtocolSet};
 use dohperf_core::records::Dataset;
 use dohperf_core::validation;
+use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::transport::TlsVersion;
 use dohperf_providers::provider::{ProviderKind, ALL_PROVIDERS};
 use dohperf_stats::desc::median;
@@ -76,6 +77,12 @@ pub struct ReproConfig {
     /// Flight-record 1 in N clients (0 = tracing off). Sampling is keyed
     /// off each client's RNG stream and never perturbs the simulation.
     pub trace_sample: u64,
+    /// Extra transports to measure with the full connection-lifecycle
+    /// model (`--protocols do53,doh,dot,doq`). Empty (the default) keeps
+    /// the campaign byte-identical to the legacy pipeline; non-empty
+    /// additionally records cold/warm/resumed samples per (client,
+    /// provider) pair without perturbing the legacy draws (DESIGN.md §13).
+    pub protocols: ProtocolSet,
 }
 
 impl Default for ReproConfig {
@@ -89,6 +96,7 @@ impl Default for ReproConfig {
             store_dir: std::path::PathBuf::from("target/store"),
             trace_out: None,
             trace_sample: 0,
+            protocols: ProtocolSet::EMPTY,
         }
     }
 }
@@ -130,6 +138,7 @@ impl ReproContext {
             seed: self.config.seed,
             scale: self.config.scale,
             threads: self.config.threads,
+            protocols: self.config.protocols,
             ..CampaignConfig::default()
         }
     }
@@ -1057,6 +1066,96 @@ DoT trades lighter framing for port-853 middlebox exposure)
         );
         out
     }
+
+    /// Per-protocol lifecycle comparison: Do53/DoH/DoT/DoQ headline
+    /// medians, the (transport × provider) grid, and cold/warm/resumed
+    /// CDFs. Requires a `--protocols` campaign; legacy datasets carry no
+    /// transport samples.
+    pub fn transports(&mut self) -> String {
+        let requested = self.config.protocols;
+        let ds = self.dataset();
+        let rows = transport_headlines(ds);
+        if rows.is_empty() {
+            return format!(
+                "Transport comparison: no lifecycle samples in this dataset.\n\
+                 Run with --protocols {} (or any subset) to measure them.\n",
+                DnsTransport::ALL
+                    .iter()
+                    .map(|t| t.name())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+        let mut out = String::from(
+            "Transport comparison: full connection-lifecycle model \
+             (RFC 1035 Do53 / RFC 8484 DoH / RFC 7858 DoT / RFC 9250 DoQ)\n",
+        );
+        let _ = writeln!(
+            out,
+            "protocols requested: {}   samples per transport: {}",
+            requested
+                .iter()
+                .map(|t| t.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            rows[0].samples,
+        );
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.transport.name().to_string(),
+                    f(r.median_handshake_ms, 1),
+                    f(r.median_cold_ms, 1),
+                    f(r.median_warm_ms, 1),
+                    f(r.median_resumed_ms, 1),
+                    f(r.median_amortized10_ms, 1),
+                ]
+            })
+            .collect();
+        out += &table(
+            &[
+                "Transport",
+                "Handshake",
+                "Cold",
+                "Warm",
+                "Resumed",
+                "Amortized-10",
+            ],
+            &body,
+        );
+        out += "(median ms; Cold = first request incl. connection establishment, Warm = reuse,\n\
+                 Resumed = first request after idle timeout via session ticket / QUIC 0-RTT)\n\n";
+
+        let grid = transport_provider_grid(ds);
+        out += "cold / warm medians per (transport, provider):\n";
+        let grid_body: Vec<Vec<String>> = grid
+            .iter()
+            .map(|c| {
+                vec![
+                    c.transport.name().to_string(),
+                    c.provider.name().to_string(),
+                    f(c.median_cold_ms, 1),
+                    f(c.median_warm_ms, 1),
+                ]
+            })
+            .collect();
+        out += &table(&["Transport", "Provider", "Cold", "Warm"], &grid_body);
+
+        for panel in transport_cdfs(ds) {
+            let _ = writeln!(
+                out,
+                "\n{} cold CDF (p50 {:.0}ms, p90 {:.0}ms; warm p50 {:.0}ms, resumed p50 {:.0}ms):",
+                panel.transport.name(),
+                panel.cold.median(),
+                panel.cold.quantile(0.9),
+                panel.warm.median(),
+                panel.resumed.median(),
+            );
+            out += &dohperf_analysis::render::ascii_cdf(&panel.cold.values, &panel.cold.probs, 50);
+        }
+        out
+    }
 }
 
 /// Render one replayed client's annotated timeline: the span tree with
@@ -1267,6 +1366,32 @@ mod tests {
         assert!(ctx.table2().contains("Table 2"));
         assert!(ctx.sec4_3().contains("CONFIRMED"));
         assert!(ctx.sec4_4().contains("mean |diff|"));
+    }
+
+    #[test]
+    fn transports_experiment_renders_per_protocol_tables() {
+        let mut ctx = ReproContext::new(ReproConfig {
+            seed: 7,
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            ..ReproConfig::default()
+        });
+        let text = ctx.transports();
+        for needle in [
+            "RFC 9250",
+            "Resumed",
+            "Amortized-10",
+            "cold CDF",
+            "doq",
+            "dot",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("NaN"), "transports output contains NaN");
+        // A legacy campaign has no lifecycle samples; the experiment
+        // says so instead of rendering an empty table.
+        let mut legacy = quick_context();
+        assert!(legacy.transports().contains("no lifecycle samples"));
     }
 
     #[test]

@@ -20,10 +20,14 @@
 //! [`CampaignConfig::threads`] value — thread count is a throughput knob,
 //! never an output knob.
 
-use crate::equations::record_derivation;
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+use crate::equations::{
+    derive_transport_cold_ms, derive_transport_handshake_ms, derive_transport_resumed_ms,
+    derive_transport_warm_ms, record_derivation, record_transport_derivation,
+};
+use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
 use crate::store_io;
 use crate::testbed::{format_subdomain, Testbed, SUBDOMAIN_BUF_LEN};
+use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::rng::SimRng;
 use dohperf_providers::anycast::AnycastPolicy;
 use dohperf_providers::provider::ALL_PROVIDERS;
@@ -44,6 +48,86 @@ use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Which transports the campaign measures through the
+/// connection-lifecycle model, as a bitset over [`DnsTransport::ALL`].
+///
+/// The legacy DoH/Do53 measurements always run; this set *adds* the
+/// per-(transport, provider) cold/warm/resumed lifecycle samples
+/// (DESIGN.md §13). The default is the empty set, which keeps legacy
+/// campaigns byte-identical — no extra RNG forks are taken, no extra
+/// simulation time elapses, and [`ClientRecord::transports`] stays
+/// empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolSet(u8);
+
+impl ProtocolSet {
+    /// The legacy-only campaign: no lifecycle measurements.
+    pub const EMPTY: ProtocolSet = ProtocolSet(0);
+
+    fn bit(t: DnsTransport) -> u8 {
+        1 << (t as u8)
+    }
+
+    /// All four transports (`do53,doh,dot,doq`).
+    pub fn all() -> ProtocolSet {
+        DnsTransport::ALL
+            .iter()
+            .fold(ProtocolSet::EMPTY, |set, &t| set.with(t))
+    }
+
+    /// This set plus one transport.
+    #[must_use]
+    pub fn with(self, t: DnsTransport) -> ProtocolSet {
+        ProtocolSet(self.0 | Self::bit(t))
+    }
+
+    /// Whether the set includes `t`.
+    pub fn contains(self, t: DnsTransport) -> bool {
+        self.0 & Self::bit(t) != 0
+    }
+
+    /// Whether no lifecycle measurements are requested (the legacy
+    /// default).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of transports in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate the members in canonical [`DnsTransport::ALL`] order —
+    /// the measurement (and therefore record) order.
+    pub fn iter(self) -> impl Iterator<Item = DnsTransport> {
+        DnsTransport::ALL
+            .into_iter()
+            .filter(move |&t| self.contains(t))
+    }
+
+    /// Parse a comma-separated protocol list (`"do53,doh,dot,doq"`).
+    /// Unknown names are an error carrying the accepted list, so CLI
+    /// typos fail loudly instead of silently measuring nothing.
+    pub fn parse_list(s: &str) -> Result<ProtocolSet, String> {
+        let mut set = ProtocolSet::EMPTY;
+        for token in s.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            match DnsTransport::parse(token) {
+                Some(t) => set = set.with(t),
+                None => {
+                    return Err(format!(
+                        "unknown protocol {token:?} (accepted: do53, doh, dot, doq)"
+                    ))
+                }
+            }
+        }
+        Ok(set)
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,6 +157,9 @@ pub struct CampaignConfig {
     /// Any value yields a byte-identical [`Dataset`]; see the module-level
     /// determinism contract.
     pub threads: usize,
+    /// Extra transports measured through the connection-lifecycle model
+    /// (empty = legacy DoH/Do53 only; see [`ProtocolSet`]).
+    pub protocols: ProtocolSet,
 }
 
 impl Default for CampaignConfig {
@@ -87,6 +174,7 @@ impl Default for CampaignConfig {
             measurement: MeasurementOptions::default(),
             perfect_anycast: false,
             threads: 0,
+            protocols: ProtocolSet::EMPTY,
         }
     }
 }
@@ -771,6 +859,68 @@ impl Campaign {
             flight::end_span(span, now);
         }
 
+        // Extended transports (DESIGN.md §13): one connection-lifecycle
+        // measurement per (transport, provider) pair. This block runs
+        // strictly after the legacy loops, draws its measurement noise
+        // only from fresh protocol-keyed forks (forks never advance
+        // `client_rng`), and checkpoints the simulator's internal
+        // streams so its per-sample jitter draws roll back afterwards.
+        // An empty set therefore reproduces the legacy dataset
+        // byte-for-byte, and a non-empty set never perturbs the legacy
+        // samples — not for this client and not for any later one.
+        let mut transports = Vec::new();
+        transports.reserve_exact(self.config.protocols.len() * ALL_PROVIDERS.len());
+        if !self.config.protocols.is_empty() {
+            let auth_ns = tb.auth_ns;
+            let Testbed {
+                sim,
+                network,
+                deployments,
+                ..
+            } = tb;
+            sim.with_rng_checkpoint(|sim| {
+                for transport in self.config.protocols.iter() {
+                    for (pi, &provider) in ALL_PROVIDERS.iter().enumerate() {
+                        let deployment = &deployments[pi];
+                        // Same sticky anycast PoP the legacy DoH loop
+                        // used for this (client, provider) pair.
+                        let pop_index = doh[pi].pop_index;
+                        let mut t_rng = client_rng.fork_parts(&[
+                            "transport-",
+                            transport.name(),
+                            "-",
+                            provider.name(),
+                        ]);
+                        let obs = {
+                            let _hot = dohperf_telemetry::alloc::hot_scope();
+                            network.transport_measurement(
+                                sim,
+                                exit,
+                                provider,
+                                deployment,
+                                pop_index,
+                                auth_ns,
+                                transport,
+                                self.config.measurement.extra_loss_p,
+                                self.config.measurement.doh_cache_hit_p,
+                                &mut t_rng,
+                            )
+                        };
+                        dohperf_telemetry::counter!("campaign.transport_queries").inc();
+                        record_transport_derivation(&obs);
+                        transports.push(TransportSample {
+                            transport,
+                            provider,
+                            cold_ms: derive_transport_cold_ms(&obs),
+                            warm_ms: derive_transport_warm_ms(&obs),
+                            resumed_ms: derive_transport_resumed_ms(&obs),
+                            handshake_ms: derive_transport_handshake_ms(&obs),
+                        });
+                    }
+                }
+            });
+        }
+
         let ns_pos = tb.sim.topology().node(tb.auth_ns).spec.position;
         ClientRecord {
             client_id: exit.id,
@@ -783,6 +933,7 @@ impl Campaign {
             doh,
             do53_ms,
             do53_source,
+            transports,
         }
     }
 }
@@ -1061,6 +1212,108 @@ mod tests {
         );
         // Out-of-range ids are rejected, not mis-attributed.
         assert!(Campaign::explain_client(config, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn protocol_set_parses_and_iterates_canonically() {
+        let set = ProtocolSet::parse_list("doq,dot").unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(DnsTransport::DoT));
+        assert!(set.contains(DnsTransport::DoQ));
+        assert!(!set.contains(DnsTransport::Do53));
+        // Iteration order is canonical regardless of parse order.
+        let order: Vec<_> = set.iter().collect();
+        assert_eq!(order, vec![DnsTransport::DoT, DnsTransport::DoQ]);
+        assert_eq!(ProtocolSet::all().len(), 4);
+        assert!(ProtocolSet::parse_list("").unwrap().is_empty());
+        let err = ProtocolSet::parse_list("do53,dohh").unwrap_err();
+        assert!(err.contains("unknown protocol \"dohh\""), "{err}");
+        assert!(err.contains("do53, doh, dot, doq"), "{err}");
+    }
+
+    #[test]
+    fn extended_campaign_measures_every_transport_provider_pair() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            ..CampaignConfig::quick(13)
+        };
+        let ds = Campaign::new(config).run();
+        assert!(!ds.records.is_empty());
+        for r in &ds.records {
+            assert_eq!(r.transports.len(), 4 * ALL_PROVIDERS.len());
+            for transport in DnsTransport::ALL {
+                for provider in ALL_PROVIDERS {
+                    let s = r.transport_sample(transport, provider).unwrap();
+                    assert!(s.cold_ms > 0.0, "{transport:?} {provider:?}");
+                    assert!(s.warm_ms > 0.0);
+                    assert!(s.resumed_ms > 0.0);
+                    // The cold path pays at least the handshake on top of
+                    // a warm-equivalent query.
+                    assert!(
+                        s.cold_ms >= s.handshake_ms,
+                        "cold {} < handshake {}",
+                        s.cold_ms,
+                        s.handshake_ms
+                    );
+                    if transport == DnsTransport::Do53 {
+                        assert_eq!(s.handshake_ms, 0.0, "Do53 is connectionless");
+                    } else {
+                        assert!(s.handshake_ms > 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extended_protocols_never_perturb_the_legacy_samples() {
+        // The DESIGN.md §13 fork-discipline contract: adding lifecycle
+        // measurements must leave every legacy field bit-identical,
+        // because the new draws come only from fresh protocol-keyed
+        // forks taken after the legacy loops.
+        let legacy = Campaign::new(CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(7)
+        })
+        .run();
+        let extended = Campaign::new(CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            ..CampaignConfig::quick(7)
+        })
+        .run();
+        assert_eq!(legacy.records.len(), extended.records.len());
+        for (l, e) in legacy.records.iter().zip(&extended.records) {
+            assert_eq!(l.client_id, e.client_id);
+            assert_eq!(l.doh, e.doh, "client {}", l.client_id);
+            assert_eq!(l.do53_ms, e.do53_ms);
+            assert_eq!(l.do53_source, e.do53_source);
+            assert!(l.transports.is_empty());
+            assert_eq!(e.transports.len(), 4 * ALL_PROVIDERS.len());
+        }
+        assert_eq!(legacy.atlas_do53_ms, extended.atlas_do53_ms);
+        assert_eq!(legacy.discarded_mismatches, extended.discarded_mismatches);
+    }
+
+    #[test]
+    fn extended_campaign_round_trips_through_the_store() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            ..CampaignConfig::quick(11)
+        };
+        let direct = Campaign::new(config).run();
+        let dir = std::env::temp_dir().join(format!(
+            "dohperf-campaign-transports-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = Campaign::new(config).run_to_store(&dir, 64).unwrap();
+        assert_eq!(summary.stats.records as usize, direct.records.len());
+        let back = crate::store_io::read_dataset(&dir).unwrap();
+        assert_eq!(back.records, direct.records);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! measurement corrupted by jitter can legitimately come out slightly
 //! negative — the methodology must surface that rather than clamp it away.
 
+use dohperf_proxy::lifecycle::TransportObservation;
 use dohperf_proxy::observation::DohObservation;
 use dohperf_telemetry as telemetry;
 
@@ -226,6 +227,116 @@ impl DerivationExplain {
             ),
         );
     }
+}
+
+// --- Per-protocol derivations (Eq 1–8 analogues for DoT/DoQ) ---------
+//
+// The extended transports are measured at the exit node itself, so no
+// header algebra is required: the analogues are direct timestamp
+// differences over the connection-lifecycle phases, labelled Eq T1–T6
+// to mirror the paper's numbering.
+//
+// ```text
+// Eq T1  t_bootstrap = T_BS − T_A          (t3+t4 analogue)
+// Eq T2  t_handshake = T_HS − T_BS         (t5+t6 + t11+t12 analogue)
+// Eq T3  t_cold      = T_COLD − T_A        (Eq 7 analogue)
+// Eq T4  t_warm      = T_WARM' − T_WARM    (Eq 8 analogue)
+// Eq T5  t_resumed   = T_RES' − T_RES      (no legacy analogue)
+// Eq T6  saving      = t_handshake − (T_RES_HS − T_RES)
+// ```
+
+/// Eq T1: the bootstrap resolution time of the provider hostname, ms
+/// (the `t3+t4` analogue; zero for plain Do53).
+pub fn derive_transport_bootstrap_ms(obs: &TransportObservation) -> f64 {
+    obs.t_bs.saturating_since(obs.t_a).as_millis_f64()
+}
+
+/// Eq T2: the cold connection-establishment time, ms (the
+/// `t5+t6 + t11+t12` analogue — TCP+TLS for DoT/DoH, the QUIC Initial
+/// flight for DoQ).
+pub fn derive_transport_handshake_ms(obs: &TransportObservation) -> f64 {
+    obs.t_hs.saturating_since(obs.t_bs).as_millis_f64()
+}
+
+/// Eq T3: the cold (first-request) transport time, ms — the Equation 7
+/// analogue: bootstrap + handshake + first query.
+pub fn derive_transport_cold_ms(obs: &TransportObservation) -> f64 {
+    obs.t_cold_done.saturating_since(obs.t_a).as_millis_f64()
+}
+
+/// Eq T4: the warm (connection-reuse) query time, ms — the Equation 8
+/// analogue, measured directly on the established connection instead
+/// of via the paper's `(t11+t12) ≈ (t5+t6)` approximation.
+pub fn derive_transport_warm_ms(obs: &TransportObservation) -> f64 {
+    obs.t_warm_done
+        .saturating_since(obs.t_warm_start)
+        .as_millis_f64()
+}
+
+/// Eq T5: the resumed query time after idle timeout, ms (TLS 1.3
+/// session-ticket resumption over a fresh TCP handshake; QUIC 0-RTT).
+pub fn derive_transport_resumed_ms(obs: &TransportObservation) -> f64 {
+    obs.t_resumed_done
+        .saturating_since(obs.t_resumed_start)
+        .as_millis_f64()
+}
+
+/// Eq T6: how much of the cold handshake the resumption machinery
+/// saved, ms (the 0-RTT advantage Kosek et al. identify for DoQ).
+pub fn derive_transport_resumption_saving_ms(obs: &TransportObservation) -> f64 {
+    derive_transport_handshake_ms(obs)
+        - obs
+            .t_resumed_hs
+            .saturating_since(obs.t_resumed_start)
+            .as_millis_f64()
+}
+
+/// Record the Eq T1–T6 per-protocol derivation of `obs` as a zero-width
+/// flight span at the lifecycle's last timestamp. No-op when no
+/// recording is armed on this thread.
+pub fn record_transport_derivation(obs: &TransportObservation) {
+    if !telemetry::flight::active() {
+        return;
+    }
+    let at = obs.t_resumed_done.as_nanos();
+    let span = telemetry::flight::start_span(
+        "equations",
+        format!("derive {} Eq T1-T6", obs.transport.name()),
+        at,
+    );
+    use telemetry::flight::attr;
+    attr(span, "transport", obs.transport.name());
+    attr(
+        span,
+        "eqT1.bootstrap_ms",
+        format!("{}", derive_transport_bootstrap_ms(obs)),
+    );
+    attr(
+        span,
+        "eqT2.handshake_ms",
+        format!("{}", derive_transport_handshake_ms(obs)),
+    );
+    attr(
+        span,
+        "eqT3.t_cold_ms",
+        format!("{}", derive_transport_cold_ms(obs)),
+    );
+    attr(
+        span,
+        "eqT4.t_warm_ms",
+        format!("{}", derive_transport_warm_ms(obs)),
+    );
+    attr(
+        span,
+        "eqT5.t_resumed_ms",
+        format!("{}", derive_transport_resumed_ms(obs)),
+    );
+    attr(
+        span,
+        "eqT6.resumption_saving_ms",
+        format!("{}", derive_transport_resumption_saving_ms(obs)),
+    );
+    telemetry::flight::end_span(span, at);
 }
 
 /// Record the Eq 1–8 derivation of `obs` as a zero-width flight span at
@@ -514,6 +625,84 @@ mod tests {
             .parse()
             .unwrap();
         assert_eq!(parsed.to_bits(), derive_t_doh_ms(&obs).to_bits());
+    }
+
+    /// Golden hand-computed lifecycle for the Eq T1–T6 analogues:
+    /// a DoQ lifecycle with bootstrap 12ms, cold handshake 45ms
+    /// (one QUIC flight + crypto), cold query 80ms, warm query 70ms,
+    /// 0-RTT re-establishment (free) and a 75ms resumed query.
+    /// T_A=0, T_BS=12, T_HS=57, T_COLD=137; warm 137→207; idle gap to
+    /// 30_208; T_RES=30_208, T_RES_HS=30_208 (0-RTT), T_RES'=30_283.
+    #[test]
+    fn golden_transport_lifecycle_hand_computed() {
+        use dohperf_netsim::connection::DnsTransport;
+        let ms = |v: u64| SimTime::from_nanos(v * 1_000_000);
+        let obs = TransportObservation {
+            transport: DnsTransport::DoQ,
+            t_a: ms(0),
+            t_bs: ms(12),
+            t_hs: ms(57),
+            t_cold_done: ms(137),
+            t_warm_start: ms(137),
+            t_warm_done: ms(207),
+            t_resumed_start: ms(30_208),
+            t_resumed_hs: ms(30_208),
+            t_resumed_done: ms(30_283),
+            cold_framing: SimDuration::from_millis(4),
+            warm_framing: SimDuration::from_millis(4),
+            resumed_framing: SimDuration::from_millis(4),
+            cold_generation: 1,
+            resumed_generation: 2,
+        };
+        assert!((derive_transport_bootstrap_ms(&obs) - 12.0).abs() < 1e-9);
+        assert!((derive_transport_handshake_ms(&obs) - 45.0).abs() < 1e-9);
+        assert!((derive_transport_cold_ms(&obs) - 137.0).abs() < 1e-9);
+        assert!((derive_transport_warm_ms(&obs) - 70.0).abs() < 1e-9);
+        assert!((derive_transport_resumed_ms(&obs) - 75.0).abs() < 1e-9);
+        // Eq T6: the 0-RTT resumption saves the entire 45ms handshake.
+        assert!((derive_transport_resumption_saving_ms(&obs) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_transport_derivation_annotates_flight_span() {
+        use dohperf_netsim::connection::DnsTransport;
+        use dohperf_telemetry::flight;
+        let ms = |v: u64| SimTime::from_nanos(v * 1_000_000);
+        let obs = TransportObservation {
+            transport: DnsTransport::DoT,
+            t_a: ms(0),
+            t_bs: ms(10),
+            t_hs: ms(90),
+            t_cold_done: ms(170),
+            t_warm_start: ms(170),
+            t_warm_done: ms(240),
+            t_resumed_start: ms(10_241),
+            t_resumed_hs: ms(10_281),
+            t_resumed_done: ms(10_351),
+            cold_framing: SimDuration::from_millis(3),
+            warm_framing: SimDuration::from_millis(3),
+            resumed_framing: SimDuration::from_millis(3),
+            cold_generation: 1,
+            resumed_generation: 2,
+        };
+        flight::begin(flight::derive_trace_id(2021, "US", 2), 2, "US");
+        let root = flight::start_span("test", "lifecycle", 0);
+        record_transport_derivation(&obs);
+        flight::end_span(root, obs.t_resumed_done.as_nanos());
+        let trace = flight::take().unwrap();
+        let eq_span = trace
+            .spans
+            .iter()
+            .find(|s| s.target == "equations")
+            .expect("transport derivation span recorded");
+        assert_eq!(eq_span.name, "derive dot Eq T1-T6");
+        assert_eq!(eq_span.attrs.len(), 7, "transport + six equations");
+        let (_, cold) = eq_span
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "eqT3.t_cold_ms")
+            .expect("Eq T3 attribute");
+        assert_eq!(cold, "170");
     }
 
     #[test]

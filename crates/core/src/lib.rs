@@ -34,18 +34,21 @@ pub mod store_io;
 pub mod testbed;
 pub mod validation;
 
-pub use campaign::{Campaign, CampaignConfig, StoreRunSummary};
-pub use equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
+pub use campaign::{Campaign, CampaignConfig, ProtocolSet, StoreRunSummary};
+pub use equations::{
+    derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, derive_transport_cold_ms,
+    derive_transport_handshake_ms, derive_transport_resumed_ms, derive_transport_warm_ms, doh_n_ms,
+};
 pub use export::{to_csv, to_jsonl};
-pub use records::{ClientRecord, Dataset, Do53Source, DohSample};
+pub use records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
 pub use store_io::{read_dataset, read_records, write_dataset};
 pub use testbed::Testbed;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::campaign::{Campaign, CampaignConfig};
+    pub use crate::campaign::{Campaign, CampaignConfig, ProtocolSet};
     pub use crate::equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
-    pub use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+    pub use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
     pub use crate::testbed::Testbed;
     pub use crate::validation;
 }

@@ -4,6 +4,7 @@
 //! measurements the analyses consume. Raw client IPs are never stored —
 //! only the /24 prefix — matching the paper's ethics posture.
 
+use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::topology::GeoPoint;
 use dohperf_providers::provider::ProviderKind;
 use dohperf_world::geoloc::Prefix24;
@@ -48,6 +49,35 @@ impl DohSample {
     }
 }
 
+/// One transport's connection-lifecycle measurement for one
+/// (client, provider) pair — the extended campaign's cold/warm/resumed
+/// dimension (DESIGN.md §13). Present only when the campaign enables
+/// transports beyond the legacy DoH/Do53 pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransportSample {
+    /// Which transport carried the queries.
+    pub transport: DnsTransport,
+    /// Which provider PoP was queried.
+    pub provider: ProviderKind,
+    /// Cold (first-request) time: bootstrap + full handshake + query
+    /// (Eq T3), ms.
+    pub cold_ms: f64,
+    /// Warm (connection-reuse) query time (Eq T4), ms.
+    pub warm_ms: f64,
+    /// Resumed query time after idle timeout (Eq T5), ms.
+    pub resumed_ms: f64,
+    /// Cold connection-establishment time alone (Eq T2), ms.
+    pub handshake_ms: f64,
+}
+
+impl TransportSample {
+    /// Amortised per-request time over `n` requests on one connection —
+    /// the DoH-N analogue for any transport.
+    pub fn amortized_ms(&self, n: u32) -> f64 {
+        crate::equations::doh_n_ms(self.cold_ms, self.warm_ms, n)
+    }
+}
+
 /// One client's full record.
 ///
 /// `Serialize`-only: records reference the `'static` country table, so
@@ -75,6 +105,9 @@ pub struct ClientRecord {
     pub do53_ms: Option<f64>,
     /// Provenance of the Do53 number.
     pub do53_source: Do53Source,
+    /// Extended-transport lifecycle samples, in (transport, provider)
+    /// measurement order. Empty for legacy DoH/Do53-only campaigns.
+    pub transports: Vec<TransportSample>,
 }
 
 impl ClientRecord {
@@ -87,6 +120,17 @@ impl ClientRecord {
     /// filter keeps only agreeing records.
     pub fn countries_agree(&self) -> bool {
         self.country_iso == self.maxmind_country
+    }
+
+    /// The lifecycle sample for one (transport, provider), if measured.
+    pub fn transport_sample(
+        &self,
+        transport: DnsTransport,
+        provider: ProviderKind,
+    ) -> Option<&TransportSample> {
+        self.transports
+            .iter()
+            .find(|s| s.transport == transport && s.provider == provider)
     }
 }
 
@@ -190,6 +234,7 @@ mod tests {
             doh: vec![sample(ProviderKind::Google, 10.0, 5.0)],
             do53_ms: Some(250.0),
             do53_source: Do53Source::BrightDataHeader,
+            transports: Vec::new(),
         };
         assert!(rec.countries_agree());
         assert!(rec.sample(ProviderKind::Google).is_some());
@@ -209,6 +254,7 @@ mod tests {
             doh: Vec::new(),
             do53_ms: None,
             do53_source: Do53Source::RipeAtlasRemedy,
+            transports: Vec::new(),
         };
         let ds = Dataset {
             records: vec![rec],

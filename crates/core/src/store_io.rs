@@ -17,12 +17,13 @@
 //! [`crate::campaign::Campaign::run_to_store`] uses the same conversion
 //! while streaming records straight off the measurement loop.
 
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample};
+use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
+use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::topology::GeoPoint;
 use dohperf_providers::provider::ALL_PROVIDERS;
 use dohperf_store::{
     ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StoreRecord,
-    WriterStats, MANIFEST_FILE, RECORDS_FILE,
+    StoreTransportSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
 };
 use dohperf_world::geoloc::Prefix24;
 use std::fs::File;
@@ -60,6 +61,25 @@ pub fn record_to_store(r: &ClientRecord) -> StoreRecord {
             Do53Source::BrightDataHeader => 0,
             Do53Source::RipeAtlasRemedy => 1,
         },
+        transports: r
+            .transports
+            .iter()
+            .map(|s| StoreTransportSample {
+                transport: DnsTransport::ALL
+                    .iter()
+                    .position(|&t| t == s.transport)
+                    .expect("every transport is in DnsTransport::ALL")
+                    as u8,
+                provider: ALL_PROVIDERS
+                    .iter()
+                    .position(|&p| p == s.provider)
+                    .expect("every provider is in ALL_PROVIDERS") as u8,
+                cold_ms: s.cold_ms,
+                warm_ms: s.warm_ms,
+                resumed_ms: s.resumed_ms,
+                handshake_ms: s.handshake_ms,
+            })
+            .collect(),
     }
 }
 
@@ -87,6 +107,36 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    let transports = r
+        .transports
+        .iter()
+        .map(|s| {
+            let transport = *DnsTransport::ALL.get(s.transport as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: transport ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.transport,
+                    DnsTransport::ALL.len()
+                ))
+            })?;
+            let provider = *ALL_PROVIDERS.get(s.provider as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: transport provider ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.provider,
+                    ALL_PROVIDERS.len()
+                ))
+            })?;
+            Ok(TransportSample {
+                transport,
+                provider,
+                cold_ms: s.cold_ms,
+                warm_ms: s.warm_ms,
+                resumed_ms: s.resumed_ms,
+                handshake_ms: s.handshake_ms,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(ClientRecord {
         client_id: r.client_id,
         country_iso: intern_iso(r.country_iso, r.client_id)?,
@@ -107,6 +157,7 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
                 )))
             }
         },
+        transports,
     })
 }
 
@@ -327,6 +378,27 @@ mod tests {
         store.doh[0].provider = 200;
         let err = record_from_store(&store).unwrap_err().to_string();
         assert!(err.contains("provider ordinal 200"), "{err}");
+    }
+
+    #[test]
+    fn bad_transport_ordinals_are_rejected() {
+        let bad_sample = |transport: u8, provider: u8| StoreTransportSample {
+            transport,
+            provider,
+            cold_ms: 1.0,
+            warm_ms: 1.0,
+            resumed_ms: 1.0,
+            handshake_ms: 1.0,
+        };
+        let mut store = record_to_store(&dataset().records[0]);
+        store.transports.push(bad_sample(9, 0));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("transport ordinal 9"), "{err}");
+
+        let mut store = record_to_store(&dataset().records[0]);
+        store.transports.push(bad_sample(0, 77));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("transport provider ordinal 77"), "{err}");
     }
 
     #[test]

@@ -80,6 +80,27 @@ impl Simulator {
         &mut self.rng
     }
 
+    /// Run `f` with the simulator's internal random streams
+    /// checkpointed: every sim-internal draw `f` makes (per-sample RTT
+    /// jitter, engine loss draws) is rolled back when it returns, so
+    /// code after the call sees exactly the stream positions it would
+    /// have seen had `f` never run. The clock and latency caches are
+    /// *not* rolled back — virtual time still advances and base-RTT
+    /// cache fills are draw-free, so keeping them is observationally
+    /// neutral for duration measurements.
+    ///
+    /// This is what lets the extended-transport lifecycle measurements
+    /// share a shard's simulator without perturbing the legacy DoH/Do53
+    /// draw sequence (DESIGN.md §13).
+    pub fn with_rng_checkpoint<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let path_rng = self.path.rng_snapshot();
+        let engine_rng = self.rng.clone();
+        let out = f(self);
+        self.path.rng_restore(path_rng);
+        self.rng = engine_rng;
+        out
+    }
+
     /// Add a node to the topology.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         self.topology.add(spec)

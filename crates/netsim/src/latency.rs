@@ -146,6 +146,18 @@ impl PathModel {
         }
     }
 
+    /// Snapshot the jitter stream (for [`crate::Simulator`]'s RNG
+    /// checkpointing; base-cache fills are fork-based and draw-free, so
+    /// the stream is the model's only mutable draw state).
+    pub(crate) fn rng_snapshot(&self) -> SimRng {
+        self.rng.clone()
+    }
+
+    /// Restore a snapshot taken by [`PathModel::rng_snapshot`].
+    pub(crate) fn rng_restore(&mut self, rng: SimRng) {
+        self.rng = rng;
+    }
+
     fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
         if a <= b {
             (a, b)

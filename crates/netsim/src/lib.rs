@@ -32,6 +32,11 @@
 //! * [`transport`] — cost models for UDP datagrams, TCP handshakes and TLS
 //!   session establishment, plus a sequential "session" facade used by the
 //!   protocol layers.
+//! * [`connection`] — the per-(client, provider) connection lifecycle for
+//!   encrypted DNS transports (DoH/DoT/DoQ): cold, resumed and warm
+//!   handshake costs, keep-alive reuse with deterministic idle timeout,
+//!   generation-tagged re-establishment, and the H2-vs-QUIC loss-stall
+//!   asymmetry.
 //! * [`fault`] — packet loss / jitter injection.
 //! * [`trace`] — a pcap-like event log used by the §4.3 experiment.
 //!
@@ -47,6 +52,7 @@
 //! assert!(rtt.as_millis_f64() > 0.0);
 //! ```
 
+pub mod connection;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -59,6 +65,7 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 
+pub use connection::{Acquired, ConnState, Connection, DnsTransport, Warmth};
 pub use engine::Simulator;
 pub use event::{EventId, EventQueue};
 pub use fault::FaultInjector;
@@ -73,6 +80,7 @@ pub use transport::{Session, TlsVersion, TransportCost};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::connection::{Acquired, ConnState, Connection, DnsTransport, Warmth};
     pub use crate::engine::Simulator;
     pub use crate::fault::FaultInjector;
     pub use crate::latency::{InfraProfile, LatencyModel, PathModel};

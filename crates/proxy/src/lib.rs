@@ -21,12 +21,14 @@
 
 pub mod atlas;
 pub mod exitnode;
+pub mod lifecycle;
 pub mod network;
 pub mod observation;
 pub mod superproxy;
 
 pub use atlas::{AtlasNetwork, AtlasProbe};
 pub use exitnode::ExitNode;
+pub use lifecycle::TransportObservation;
 pub use network::BrightDataNetwork;
 pub use observation::{Do53Observation, DohObservation};
 pub use superproxy::SuperProxy;
@@ -35,6 +37,7 @@ pub use superproxy::SuperProxy;
 pub mod prelude {
     pub use crate::atlas::{AtlasNetwork, AtlasProbe};
     pub use crate::exitnode::ExitNode;
+    pub use crate::lifecycle::TransportObservation;
     pub use crate::network::BrightDataNetwork;
     pub use crate::observation::{Do53Observation, DohObservation};
     pub use crate::superproxy::SuperProxy;

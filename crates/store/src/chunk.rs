@@ -3,14 +3,21 @@
 //! ## Byte layout
 //!
 //! ```text
-//! chunk   := magic(u32 LE = "DPSC") version(u16 LE) flags(u16 LE = 0)
+//! chunk   := magic(u32 LE = "DPSC") version(u16 LE) flags(u16 LE)
 //!            record_count(u32 LE) payload_len(u32 LE)
 //!            crc32(u32 LE, over payload) payload
-//! payload := group+              (4 groups, in fixed order)
+//! payload := group+              (4 groups, plus flag-gated extensions)
 //! group   := varint(byte len) bytes
 //! ```
 //!
-//! The four column groups mirror the record's field families:
+//! `flags` gates optional trailing groups: bit 0
+//! ([`FLAG_TRANSPORTS`]) marks a fifth **transports** column group.
+//! A chunk whose records all have empty transport vectors writes
+//! `flags = 0` and no fifth group, so legacy chunks are byte-identical
+//! to format version 1 output. Unknown flag bits are rejected.
+//!
+//! The four always-present column groups mirror the record's field
+//! families:
 //!
 //! 1. **identity** — `client_id` (first absolute, then zigzag varint
 //!    deltas: ids are near-monotone so deltas are tiny), `country_index`
@@ -26,12 +33,19 @@
 //! 4. **do53** — a presence bitmap, the present values as f64, and the
 //!    source ordinals (RLE).
 //!
+//! The flag-gated fifth group:
+//!
+//! 5. **transports** — per-record sample counts, then the flattened
+//!    lifecycle samples in structure-of-arrays form: transport ordinals
+//!    (RLE), provider ordinals (RLE), cold/warm/resumed/handshake f64
+//!    columns.
+//!
 //! Floats are raw little-endian IEEE-754 bits: encode∘decode is the
 //! identity on every finite value, which is what lets `--from-store`
 //! reproduce the direct pipeline byte for byte.
 
 use crate::checksum::crc32;
-use crate::record::{StoreDohSample, StoreRecord};
+use crate::record::{StoreDohSample, StoreRecord, StoreTransportSample};
 use crate::varint::{put_f64, put_i64, put_u64, Cursor};
 use crate::{Result, StoreError};
 
@@ -40,6 +54,12 @@ pub const CHUNK_MAGIC: u32 = u32::from_le_bytes(*b"DPSC");
 
 /// Current format version; readers reject anything newer.
 pub const FORMAT_VERSION: u16 = 1;
+
+/// Header flag bit: the payload carries a fifth (transports) group.
+pub const FLAG_TRANSPORTS: u16 = 0x1;
+
+/// All flag bits this reader understands; anything else is rejected.
+const KNOWN_FLAGS: u16 = FLAG_TRANSPORTS;
 
 /// Fixed header length in bytes (magic, version, flags, count, len, crc).
 pub const CHUNK_HEADER_LEN: usize = 4 + 2 + 2 + 4 + 4 + 4;
@@ -64,11 +84,18 @@ pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
     put_group(&mut payload, encode_geoloc(records));
     put_group(&mut payload, encode_doh(records));
     put_group(&mut payload, encode_do53(records));
+    // The transports group is flag-gated so that legacy (transport-free)
+    // chunks stay byte-identical to format version 1 output.
+    let mut flags = 0u16;
+    if records.iter().any(|r| !r.transports.is_empty()) {
+        flags |= FLAG_TRANSPORTS;
+        put_group(&mut payload, encode_transports(records));
+    }
 
     let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
     out.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&(records.len() as u32).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -77,8 +104,15 @@ pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
 }
 
 /// Decode one chunk from `header` + `payload` bytes (already split by the
-/// reader). `index` labels errors with the chunk's ordinal in the stream.
-pub fn decode_chunk(record_count: u32, payload: &[u8], index: u64) -> Result<Vec<StoreRecord>> {
+/// reader). `flags` comes from [`parse_header`] and gates the optional
+/// trailing groups. `index` labels errors with the chunk's ordinal in the
+/// stream.
+pub fn decode_chunk(
+    record_count: u32,
+    flags: u16,
+    payload: &[u8],
+    index: u64,
+) -> Result<Vec<StoreRecord>> {
     let context = format!("chunk {index}");
     let n = record_count as usize;
     if n == 0 || n > MAX_RECORDS_PER_CHUNK {
@@ -92,12 +126,21 @@ pub fn decode_chunk(record_count: u32, payload: &[u8], index: u64) -> Result<Vec
     let geoloc = take_group(&mut cursor, "geoloc")?;
     let doh = take_group(&mut cursor, "doh")?;
     let do53 = take_group(&mut cursor, "do53")?;
+    let transports = if flags & FLAG_TRANSPORTS != 0 {
+        Some(take_group(&mut cursor, "transports")?)
+    } else {
+        None
+    };
     cursor.expect_empty()?;
 
     let ids = decode_identity(identity, n, &context)?;
     let geo = decode_geoloc(geoloc, n, &context)?;
     let samples = decode_doh(doh, n, &context)?;
     let baselines = decode_do53(do53, n, &context)?;
+    let mut lifecycle = match transports {
+        Some(bytes) => decode_transports(bytes, n, &context)?,
+        None => vec![Vec::new(); n],
+    };
 
     let mut records = Vec::with_capacity(n);
     for (i, doh) in samples.into_iter().enumerate() {
@@ -113,14 +156,15 @@ pub fn decode_chunk(record_count: u32, payload: &[u8], index: u64) -> Result<Vec
             doh,
             do53_ms: baselines.values[i],
             do53_source: baselines.source[i],
+            transports: std::mem::take(&mut lifecycle[i]),
         });
     }
     Ok(records)
 }
 
 /// Validate and split a chunk header, returning (record_count, payload_len,
-/// crc). `index` labels errors.
-pub fn parse_header(header: &[u8; CHUNK_HEADER_LEN], index: u64) -> Result<(u32, usize, u32)> {
+/// crc, flags). `index` labels errors.
+pub fn parse_header(header: &[u8; CHUNK_HEADER_LEN], index: u64) -> Result<(u32, usize, u32, u16)> {
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != CHUNK_MAGIC {
         return Err(StoreError::Corrupt(format!(
@@ -133,6 +177,13 @@ pub fn parse_header(header: &[u8; CHUNK_HEADER_LEN], index: u64) -> Result<(u32,
             "chunk {index}: format version {version} is newer than supported {FORMAT_VERSION}"
         )));
     }
+    let flags = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "chunk {index}: unknown flag bits {:#06x} (understood: {KNOWN_FLAGS:#06x})",
+            flags & !KNOWN_FLAGS
+        )));
+    }
     let record_count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
     let payload_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
     if payload_len > MAX_PAYLOAD_LEN {
@@ -141,7 +192,7 @@ pub fn parse_header(header: &[u8; CHUNK_HEADER_LEN], index: u64) -> Result<(u32,
         )));
     }
     let crc = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
-    Ok((record_count, payload_len, crc))
+    Ok((record_count, payload_len, crc, flags))
 }
 
 /// Verify a payload against its header checksum.
@@ -408,6 +459,88 @@ fn decode_do53(bytes: &[u8], n: usize, context: &str) -> Result<Do53Columns> {
     Ok(Do53Columns { values, source })
 }
 
+// ------------------------------------------------------------- transports
+
+fn encode_transports(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        put_u64(&mut out, r.transports.len() as u64);
+    }
+    let flat = || records.iter().flat_map(|r| r.transports.iter());
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+    for s in flat() {
+        put_f64(&mut out, s.cold_ms);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.warm_ms);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.resumed_ms);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.handshake_ms);
+    }
+    out
+}
+
+fn decode_transports(
+    bytes: &[u8],
+    n: usize,
+    context: &str,
+) -> Result<Vec<Vec<StoreTransportSample>>> {
+    let mut c = Cursor::new(bytes, context);
+    let mut counts = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for _ in 0..n {
+        let k = c.len(MAX_SAMPLES_PER_RECORD, "transport sample count")?;
+        counts.push(k);
+        total += k;
+    }
+    let ordinal_u8 = |v: u32, what: &str| {
+        u8::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: {what} ordinal {v} overflows u8")))
+    };
+    let transports = decode_rle_u32(&mut c, total, "transport")?;
+    let providers = decode_rle_u32(&mut c, total, "transport provider")?;
+    let mut cold = Vec::with_capacity(total);
+    for _ in 0..total {
+        cold.push(c.f64()?);
+    }
+    let mut warm = Vec::with_capacity(total);
+    for _ in 0..total {
+        warm.push(c.f64()?);
+    }
+    let mut resumed = Vec::with_capacity(total);
+    for _ in 0..total {
+        resumed.push(c.f64()?);
+    }
+    let mut handshake = Vec::with_capacity(total);
+    for _ in 0..total {
+        handshake.push(c.f64()?);
+    }
+    c.expect_empty()?;
+
+    let mut samples = Vec::with_capacity(n);
+    let mut offset = 0usize;
+    for &k in &counts {
+        let mut per_record = Vec::with_capacity(k);
+        for j in offset..offset + k {
+            per_record.push(StoreTransportSample {
+                transport: ordinal_u8(transports[j], "transport")?,
+                provider: ordinal_u8(providers[j], "transport provider")?,
+                cold_ms: cold[j],
+                warm_ms: warm[j],
+                resumed_ms: resumed[j],
+                handshake_ms: handshake[j],
+            });
+        }
+        samples.push(per_record);
+        offset += k;
+    }
+    Ok(samples)
+}
+
 // ------------------------------------------------------------ RLE helpers
 
 /// Run-length encode a u32 column as (varint value, varint run) pairs,
@@ -493,12 +626,13 @@ mod tests {
         let records = batch(17);
         let bytes = encode_chunk(&records);
         let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
-        let (count, len, crc) = parse_header(&header, 0).unwrap();
+        let (count, len, crc, flags) = parse_header(&header, 0).unwrap();
         assert_eq!(count as usize, records.len());
+        assert_eq!(flags, 0, "transport-free chunks set no flags");
         let payload = &bytes[CHUNK_HEADER_LEN..];
         assert_eq!(payload.len(), len);
         verify_checksum(payload, crc, 0).unwrap();
-        let back = decode_chunk(count, payload, 0).unwrap();
+        let back = decode_chunk(count, flags, payload, 0).unwrap();
         assert_eq!(back, records);
     }
 
@@ -510,9 +644,56 @@ mod tests {
         records[2].doh.clear();
         let bytes = encode_chunk(&records);
         let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
-        let (count, _, _) = parse_header(&header, 0).unwrap();
-        let back = decode_chunk(count, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn transports_round_trip_behind_the_flag() {
+        // A mixed batch: some records carry lifecycle samples, some do
+        // not. One non-empty vector is enough to set the flag.
+        let mut records = batch(5);
+        records[1] = StoreRecord::test_record_with_transports(2);
+        records[3] = StoreRecord::test_record_with_transports(4);
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        assert_eq!(flags, FLAG_TRANSPORTS);
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(back[1].transports.len(), 2);
+        assert!(back[0].transports.is_empty());
+    }
+
+    #[test]
+    fn transport_free_chunks_are_byte_identical_to_version_1() {
+        // The legacy byte-identity contract: a chunk whose records all
+        // have empty transport vectors must encode exactly as the
+        // pre-extension format did — flags 0 and four groups only.
+        let records = batch(6);
+        let with_empty_vecs = encode_chunk(&records);
+        assert_eq!(with_empty_vecs[6], 0, "flags low byte");
+        assert_eq!(with_empty_vecs[7], 0, "flags high byte");
+        // Dropping the transports field entirely (simulated by the same
+        // records) yields the same payload length as four groups.
+        let header: [u8; CHUNK_HEADER_LEN] =
+            with_empty_vecs[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        let back = decode_chunk(count, flags, &with_empty_vecs[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let records = batch(2);
+        let mut bytes = encode_chunk(&records);
+        bytes[6] |= 0x80;
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let err = parse_header(&header, 5).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("chunk 5"), "{msg}");
+        assert!(msg.contains("unknown flag bits"), "{msg}");
     }
 
     #[test]
@@ -564,7 +745,7 @@ mod tests {
         let records = batch(4);
         let bytes = encode_chunk(&records);
         let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
-        let (_, _, crc) = parse_header(&header, 0).unwrap();
+        let (_, _, crc, _) = parse_header(&header, 0).unwrap();
         let mut payload = bytes[CHUNK_HEADER_LEN..].to_vec();
         payload[5] ^= 0x01;
         let err = verify_checksum(&payload, crc, 3).unwrap_err();

@@ -53,7 +53,7 @@ impl<R: Read> ChunkReader<R> {
                 )))
             }
         }
-        let (record_count, payload_len, crc) = parse_header(&header, self.next_chunk)?;
+        let (record_count, payload_len, crc, flags) = parse_header(&header, self.next_chunk)?;
         let mut payload = vec![0u8; payload_len];
         self.source.read_exact(&mut payload).map_err(|e| {
             StoreError::Corrupt(format!(
@@ -62,7 +62,7 @@ impl<R: Read> ChunkReader<R> {
             ))
         })?;
         verify_checksum(&payload, crc, self.next_chunk)?;
-        let records = decode_chunk(record_count, &payload, self.next_chunk)?;
+        let records = decode_chunk(record_count, flags, &payload, self.next_chunk)?;
         self.pending.extend(records);
         self.next_chunk += 1;
         Ok(true)

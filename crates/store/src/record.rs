@@ -24,6 +24,24 @@ pub struct StoreDohSample {
     pub nearest_pop_distance_miles: f64,
 }
 
+/// One transport's connection-lifecycle measurement, primitive form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreTransportSample {
+    /// Transport ordinal (index into the canonical transport table:
+    /// 0 = Do53, 1 = DoH, 2 = DoT, 3 = DoQ).
+    pub transport: u8,
+    /// Provider ordinal (index into the campaign's provider table).
+    pub provider: u8,
+    /// Cold (first-request) time (Eq T3), ms.
+    pub cold_ms: f64,
+    /// Warm (connection-reuse) query time (Eq T4), ms.
+    pub warm_ms: f64,
+    /// Resumed query time after idle timeout (Eq T5), ms.
+    pub resumed_ms: f64,
+    /// Cold connection-establishment time alone (Eq T2), ms.
+    pub handshake_ms: f64,
+}
+
 /// One client's full record, primitive form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreRecord {
@@ -49,6 +67,11 @@ pub struct StoreRecord {
     pub do53_ms: Option<f64>,
     /// Do53 provenance ordinal (0 = header, 1 = Atlas remedy).
     pub do53_source: u8,
+    /// Extended-transport lifecycle samples, in (transport, provider)
+    /// measurement order. Empty for legacy campaigns — and an all-empty
+    /// chunk omits the column group entirely, so legacy chunk bytes are
+    /// unchanged.
+    pub transports: Vec<StoreTransportSample>,
 }
 
 impl StoreRecord {
@@ -83,6 +106,32 @@ impl StoreRecord {
             ],
             do53_ms: Some(240.25),
             do53_source: 0,
+            transports: Vec::new(),
         }
+    }
+
+    /// [`StoreRecord::test_record`] plus two lifecycle samples, for
+    /// exercising the flag-gated transports column group.
+    pub fn test_record_with_transports(client_id: u64) -> StoreRecord {
+        let mut record = StoreRecord::test_record(client_id);
+        record.transports = vec![
+            StoreTransportSample {
+                transport: 2,
+                provider: 0,
+                cold_ms: 520.0 + client_id as f64,
+                warm_ms: 250.0,
+                resumed_ms: 330.0,
+                handshake_ms: 160.0,
+            },
+            StoreTransportSample {
+                transport: 3,
+                provider: 0,
+                cold_ms: 440.0,
+                warm_ms: 250.0,
+                resumed_ms: 255.5,
+                handshake_ms: 80.0,
+            },
+        ];
+        record
     }
 }

@@ -6,7 +6,9 @@
 //! prefix is caught by the CRC with a descriptive error rather than
 //! decoding into silently different records.
 
-use dohperf_store::{encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StoreRecord};
+use dohperf_store::{
+    encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StoreRecord, StoreTransportSample,
+};
 use proptest::prelude::*;
 
 /// Splitmix-style step: decorrelates the fields drawn from one seed.
@@ -52,6 +54,18 @@ fn arb_record(s: &mut u64) -> StoreRecord {
             nearest_pop_distance_miles: arb_f64(s),
         })
         .collect();
+    // Variable-length lifecycle vectors (mostly empty, matching legacy
+    // campaigns) exercise both sides of the flag-gated transports group.
+    let transports = (0..(next(s) % 3) as usize)
+        .map(|i| StoreTransportSample {
+            transport: (i as u8) % 4,
+            provider: (next(s) % 4) as u8,
+            cold_ms: arb_f64(s),
+            warm_ms: arb_f64(s),
+            resumed_ms: arb_f64(s),
+            handshake_ms: arb_f64(s),
+        })
+        .collect();
     StoreRecord {
         client_id: next(s),
         country_iso: arb_iso(s),
@@ -68,6 +82,7 @@ fn arb_record(s: &mut u64) -> StoreRecord {
             Some(arb_f64(s))
         },
         do53_source: (next(s) % 2) as u8,
+        transports,
     }
 }
 

@@ -1,0 +1,82 @@
+//! CLI contract of the `repro` binary.
+//!
+//! The exit-code surface is part of the CI interface (0 ok, 2 usage,
+//! 3 baseline drift, 4 I/O), so argument validation is locked down at
+//! the process level: unknown `--protocols` values must exit 2 and name
+//! the accepted list, and a valid list must run the `transports`
+//! experiment end to end.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_protocol_exits_2_and_lists_accepted_values() {
+    let out = repro()
+        .args(["--protocols", "do53,dohh", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "unknown protocol must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown protocol \"dohh\""),
+        "stderr must name the bad token:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("do53, doh, dot, doq"),
+        "stderr must list the accepted protocols:\n{stderr}"
+    );
+}
+
+#[test]
+fn missing_protocols_value_exits_2() {
+    let out = repro()
+        .args(["headline", "--protocols"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--protocols"), "{stderr}");
+}
+
+#[test]
+fn valid_protocol_list_runs_the_transports_experiment() {
+    let out = repro()
+        .args([
+            "--seed",
+            "7",
+            "--scale",
+            "0.02",
+            "--protocols",
+            "do53,doh,dot,doq",
+            "transports",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["Transport comparison", "RFC 9250", "Resumed", "cold CDF"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn transports_without_protocols_points_at_the_flag() {
+    let out = repro()
+        .args(["--seed", "7", "--scale", "0.02", "transports"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no lifecycle samples"),
+        "legacy run must explain how to enable transports:\n{stdout}"
+    );
+}

@@ -8,13 +8,23 @@
 //! ordering, client-ID assignment, prefix allocation, or RNG lineage
 //! fails loudly.
 
-use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::campaign::{Campaign, CampaignConfig, ProtocolSet};
 use dohperf_core::export::{to_csv, to_jsonl};
 use dohperf_core::records::Dataset;
 
 fn run_with_threads(seed: u64, threads: usize) -> Dataset {
     let config = CampaignConfig {
         threads,
+        ..CampaignConfig::quick(seed)
+    };
+    Campaign::new(config).run()
+}
+
+fn run_protocols_with_threads(seed: u64, threads: usize) -> Dataset {
+    let config = CampaignConfig {
+        threads,
+        scale: 0.05,
+        protocols: ProtocolSet::all(),
         ..CampaignConfig::quick(seed)
     };
     Campaign::new(config).run()
@@ -54,6 +64,26 @@ fn thread_count_is_invisible_in_full_dataset() {
         );
         assert_eq!(sequential.observed_ases, parallel.observed_ases);
         assert_eq!(sequential.observed_resolvers, parallel.observed_resolvers);
+    }
+}
+
+#[test]
+fn four_protocol_campaign_is_thread_invariant() {
+    // The extended-transport lifecycle measurements (DoT/DoQ plus the
+    // lifecycle view of Do53/DoH) must obey the same determinism
+    // contract as the legacy pipeline: thread count is a throughput
+    // knob only, down to every transport sample's f64 bits.
+    let sequential = run_protocols_with_threads(2021, 1);
+    assert!(
+        sequential.records.iter().all(|r| r.transports.len() == 16),
+        "expected 4 transports x 4 providers per record"
+    );
+    for threads in [2, 8] {
+        let parallel = run_protocols_with_threads(2021, threads);
+        assert_eq!(
+            sequential.records, parallel.records,
+            "records (incl. transport samples) diverged at {threads} threads"
+        );
     }
 }
 

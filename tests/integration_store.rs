@@ -11,7 +11,7 @@
 //!   exactly, because the codec round-trips every f64 bit-for-bit.
 
 use dohperf_analysis::headline::headline_stats;
-use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_core::campaign::{Campaign, CampaignConfig, ProtocolSet};
 use dohperf_core::read_dataset;
 use dohperf_store::{MANIFEST_FILE, RECORDS_FILE};
 use std::fs;
@@ -95,6 +95,46 @@ fn from_store_reproduces_the_direct_headline() {
     );
     assert_eq!(expected.tripled_fraction, actual.tripled_fraction);
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn four_protocol_store_round_trips_and_stays_thread_invariant() {
+    // The FLAG_TRANSPORTS column group must round-trip every lifecycle
+    // sample bit-for-bit and keep the on-disk bytes thread-invariant.
+    let config = |threads| CampaignConfig {
+        threads,
+        scale: 0.05,
+        protocols: ProtocolSet::all(),
+        ..CampaignConfig::quick(2021)
+    };
+    let dir = temp_store("protocols");
+    Campaign::new(config(1))
+        .run_to_store(&dir, 0)
+        .unwrap_or_else(|e| panic!("streaming 4-protocol campaign: {e}"));
+    let chunks_1 = fs::read(dir.join(RECORDS_FILE)).expect("read chunks");
+
+    let direct = Campaign::new(config(1)).run();
+    assert!(
+        direct.records.iter().all(|r| r.transports.len() == 16),
+        "expected 4 transports x 4 providers per record"
+    );
+    let restored = read_dataset(&dir).expect("read 4-protocol dataset back");
+    assert_eq!(
+        direct.records, restored.records,
+        "transport samples diverged across the store round trip"
+    );
+    let _ = fs::remove_dir_all(&dir);
+
+    let dir8 = temp_store("protocols-t8");
+    Campaign::new(config(8))
+        .run_to_store(&dir8, 0)
+        .unwrap_or_else(|e| panic!("streaming 4-protocol campaign at 8 threads: {e}"));
+    let chunks_8 = fs::read(dir8.join(RECORDS_FILE)).expect("read t8 chunks");
+    assert!(
+        chunks_1 == chunks_8,
+        "4-protocol records.chunks diverged at 8 threads"
+    );
+    let _ = fs::remove_dir_all(&dir8);
 }
 
 #[test]
