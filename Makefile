@@ -3,7 +3,7 @@
 .PHONY: build test bench doc repro repro-full examples verify clean \
         ci fmt-check clippy perf-smoke baseline store-roundtrip \
         trace-smoke golden-trace alloc-smoke protocol-matrix \
-        protocol-baseline
+        protocol-baseline scale-smoke scale-baseline
 
 build:
 	cargo build --workspace --release
@@ -34,6 +34,7 @@ verify: ci
 	$(MAKE) trace-smoke
 	$(MAKE) protocol-matrix
 	$(MAKE) alloc-smoke
+	$(MAKE) scale-smoke
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
 ci: fmt-check clippy
@@ -52,10 +53,30 @@ clippy:
 # checked-in baseline.
 perf-smoke:
 	cargo run --release -p dohperf-bench --bin repro -- \
-	    --seed 2021 --scale 0.05 --out-format store --store-dir target/ci/store \
+	    --seed 2021 --scale 0.05 --shard-size 64 \
+	    --out-format store --store-dir target/ci/store \
 	    headline \
 	    --metrics target/ci/metrics.json --baseline ci/baseline-metrics.json
 	rm -rf target/ci/store
+
+# Scaling gate (DESIGN.md §14): time the scale-0.25 campaign serial,
+# with the old per-country work units, and with sub-country sharding +
+# work stealing, then gate the speedup ratios and queries_per_sec
+# against ci/baseline-scale.json (exit 3 on drift). Wall clock varies
+# across machines, so the band is wide and one-sided: only a regression
+# below baseline*(1-tolerance) fails. The measured report lands in
+# target/ci/scale.json; the committed trajectory is BENCH_scale.json.
+scale-smoke:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin scale_check -- \
+	    --seed 2021 --scale 0.25 \
+	    --baseline ci/baseline-scale.json --tolerance 0.5 \
+	    --out target/ci/scale.json
+
+# Regenerate the scaling baseline after an intentional perf change.
+scale-baseline:
+	cargo run --release -p dohperf-bench --bin scale_check -- \
+	    --seed 2021 --scale 0.25 --out ci/baseline-scale.json
 
 # One perf-smoke per transport: each protocol's connection-lifecycle
 # campaign (scale 0.05, streamed through the store so the FLAG_TRANSPORTS

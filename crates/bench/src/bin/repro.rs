@@ -2,11 +2,11 @@
 //! DNS-over-HTTPS Performance Around the World* (IMC 2021).
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--threads N] [--metrics PATH]
-//!       [--baseline PATH] [--tolerance F] [--protocols LIST]
-//!       [--out-format both|csv|jsonl|store] [--store-dir DIR]
-//!       [--from-store DIR] [--trace-out PATH] [--trace-sample N]
-//!       <experiment>...
+//! repro [--seed N] [--scale F] [--threads N] [--shard-size N]
+//!       [--metrics PATH] [--baseline PATH] [--tolerance F]
+//!       [--protocols LIST] [--out-format both|csv|jsonl|store]
+//!       [--store-dir DIR] [--from-store DIR] [--trace-out PATH]
+//!       [--trace-sample N] <experiment>...
 //! repro all                    # everything, in paper order
 //! repro explain --query ID     # replay one client, annotated timeline
 //! ```
@@ -33,6 +33,13 @@
 //!
 //! `--threads 0` (the default) uses all available cores. Any thread count
 //! produces a byte-identical dataset — see DESIGN.md §2.
+//!
+//! `--shard-size N` sets the clients-per-work-unit granularity of the
+//! campaign's sub-country sharding (DESIGN.md §14). Smaller shards give
+//! the work-stealing pool more to balance; larger shards amortise per-unit
+//! setup. It must be >= 1 — unlike `--threads` there is no auto value;
+//! omit the flag for the crate default. Any shard size produces a
+//! byte-identical dataset.
 //!
 //! `--out-format store` streams the campaign's records to `--store-dir`
 //! (default `target/store`) with memory bounded by the chunk budget, and
@@ -154,6 +161,15 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs an integer (0 = all cores)"));
+            }
+            "--shard-size" => {
+                config.shard_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        usage("--shard-size needs an integer >= 1 (clients per work unit)")
+                    });
             }
             "--out-format" => {
                 config.out_format = args
@@ -334,7 +350,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--seed N] [--scale F] [--threads N] [--metrics PATH] \
+        "usage: repro [--seed N] [--scale F] [--threads N] [--shard-size N] [--metrics PATH] \
          [--baseline PATH] [--tolerance F] [--protocols do53,doh,dot,doq] \
          [--out-format both|csv|jsonl|store] \
          [--store-dir DIR] [--from-store DIR] [--trace-out PATH] [--trace-sample N] \

@@ -1,0 +1,279 @@
+//! Scaling-regression gate for the sub-country sharded campaign.
+//!
+//! Runs the same campaign three ways in one process and times each:
+//!
+//! 1. `serial`  — one worker thread, default shard size.
+//! 2. `country` — all workers, `shard_size = usize::MAX`, i.e. the old
+//!    per-country work units (every country is a single indivisible unit).
+//! 3. `sharded` — all workers, the default sub-country shard size, with
+//!    work stealing balancing the tail.
+//!
+//! The interesting numbers are the wall-clock speedup of `sharded` over
+//! `serial` (does parallelism pay at all?) and over `country` (does
+//! sub-country sharding beat the old distribution?), plus absolute
+//! `queries_per_sec`. With `--baseline` those are gated against
+//! `ci/baseline-scale.json` inside a relative tolerance band — wall
+//! clock is machine-dependent, so the band is wide by default (50%) and
+//! the gate is on *regression only* (measured below baseline − band
+//! fails; faster never fails). Exit 3 on drift, mirroring `repro`'s
+//! baseline gate.
+//!
+//! `--out` writes the measured numbers as JSON (`target/ci/scale.json`
+//! in CI); `make scale-smoke` archives the before/after trajectory in
+//! `BENCH_scale.json`.
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    threads: usize,
+    baseline: Option<std::path::PathBuf>,
+    tolerance: f64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2021,
+        scale: 0.25,
+        threads: 0,
+        baseline: None,
+        tolerance: 0.5,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--baseline" => args.baseline = Some(value("--baseline")?.into()),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--help" | "-h" => {
+                return Err("usage: scale_check [--seed N] [--scale F] [--threads N] \
+                     [--baseline FILE] [--tolerance F] [--out FILE]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(args.scale > 0.0 && args.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    if !args.tolerance.is_finite() || args.tolerance < 0.0 {
+        return Err("--tolerance must be a float >= 0".into());
+    }
+    Ok(args)
+}
+
+struct RunStats {
+    queries: u64,
+    records: usize,
+    wall_ms: f64,
+}
+
+impl RunStats {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+}
+
+/// Run one campaign variant and report query count (from the telemetry
+/// counter delta) and wall time.
+fn run_once(config: CampaignConfig) -> RunStats {
+    let registry = dohperf_telemetry::global();
+    let doh = registry.counter("campaign.doh_queries");
+    let do53 = registry.counter("campaign.do53_queries");
+    let queries_before = doh.get() + do53.get();
+    let start = Instant::now();
+    let dataset = Campaign::new(config).run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    RunStats {
+        queries: doh.get() + do53.get() - queries_before,
+        records: dataset.records.len(),
+        wall_ms,
+    }
+}
+
+fn report(label: &str, s: &RunStats) {
+    eprintln!(
+        "{label:>7}: {} queries ({} records) in {:>6.0} ms = {:>7.0} queries/sec",
+        s.queries,
+        s.records,
+        s.wall_ms,
+        s.qps()
+    );
+}
+
+/// Pull `"key": <number>` out of a hand-rolled JSON file. The baseline
+/// is written by this binary in a fixed flat format, so a scan is all
+/// the parsing it needs (the offline serde shim has no deserializer for
+/// ad-hoc documents).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn render_json(args: &Args, serial: &RunStats, country: &RunStats, sharded: &RunStats) -> String {
+    format!(
+        "{{\n  \"bench\": \"scale_check\",\n  \"seed\": {},\n  \"scale\": {},\n  \
+         \"threads\": {},\n  \"queries\": {},\n  \
+         \"serial_wall_ms\": {:.1},\n  \"country_wall_ms\": {:.1},\n  \
+         \"sharded_wall_ms\": {:.1},\n  \"queries_per_sec\": {:.0},\n  \
+         \"speedup_vs_serial\": {:.3},\n  \"speedup_vs_country\": {:.3}\n}}\n",
+        args.seed,
+        args.scale,
+        if args.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            args.threads
+        },
+        sharded.queries,
+        serial.wall_ms,
+        country.wall_ms,
+        sharded.wall_ms,
+        sharded.qps(),
+        serial.wall_ms / sharded.wall_ms.max(1e-9),
+        country.wall_ms / sharded.wall_ms.max(1e-9),
+    )
+}
+
+/// Gate one measured value against its baseline: only a shortfall past
+/// the tolerance band fails ("faster than baseline" is never a drift).
+fn gate(name: &str, measured: f64, baseline: f64, tolerance: f64) -> bool {
+    let floor = baseline * (1.0 - tolerance);
+    if measured < floor {
+        eprintln!(
+            "DRIFT {name}: measured {measured:.2} < floor {floor:.2} \
+             (baseline {baseline:.2}, tolerance {tolerance})"
+        );
+        false
+    } else {
+        eprintln!("ok    {name}: measured {measured:.2} within band (baseline {baseline:.2})");
+        true
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let base = CampaignConfig {
+        seed: args.seed,
+        scale: args.scale,
+        ..CampaignConfig::default()
+    };
+
+    // Cold warmup at a small scale so the process-wide caches (label
+    // arena, path-latency cache, metric handles) don't bill to the
+    // serial run and inflate the speedup ratios.
+    run_once(CampaignConfig {
+        scale: (args.scale / 4.0).clamp(0.01, 0.05),
+        threads: 1,
+        ..base
+    });
+
+    let serial = run_once(CampaignConfig { threads: 1, ..base });
+    report("serial", &serial);
+    let country = run_once(CampaignConfig {
+        threads: args.threads,
+        shard_size: usize::MAX,
+        ..base
+    });
+    report("country", &country);
+    let sharded = run_once(CampaignConfig {
+        threads: args.threads,
+        ..base
+    });
+    report("sharded", &sharded);
+
+    assert_eq!(
+        serial.queries, sharded.queries,
+        "query count must not depend on threads or shard size"
+    );
+    assert_eq!(
+        country.queries, sharded.queries,
+        "query count must not depend on work-unit granularity"
+    );
+
+    let speedup_serial = serial.wall_ms / sharded.wall_ms.max(1e-9);
+    let speedup_country = country.wall_ms / sharded.wall_ms.max(1e-9);
+    eprintln!(
+        "sharded vs serial: {speedup_serial:.2}x   sharded vs per-country units: \
+         {speedup_country:.2}x"
+    );
+
+    let json = render_json(&args, &serial, &country, &sharded);
+    if let Some(path) = &args.out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: creating {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let want = |key: &str| {
+            json_number(&text, key).unwrap_or_else(|| {
+                eprintln!("error: baseline {} missing \"{key}\"", path.display());
+                std::process::exit(2);
+            })
+        };
+        let mut ok = true;
+        ok &= gate(
+            "speedup_vs_serial",
+            speedup_serial,
+            want("speedup_vs_serial"),
+            args.tolerance,
+        );
+        ok &= gate(
+            "speedup_vs_country",
+            speedup_country,
+            want("speedup_vs_country"),
+            args.tolerance,
+        );
+        ok &= gate(
+            "queries_per_sec",
+            sharded.qps(),
+            want("queries_per_sec"),
+            args.tolerance,
+        );
+        if !ok {
+            eprintln!("FAIL: scaling drifted below the baseline tolerance band");
+            std::process::exit(3);
+        }
+        eprintln!("OK: scaling within the baseline tolerance band");
+    }
+}

@@ -83,6 +83,10 @@ pub struct ReproConfig {
     /// additionally records cold/warm/resumed samples per (client,
     /// provider) pair without perturbing the legacy draws (DESIGN.md §13).
     pub protocols: ProtocolSet,
+    /// Clients per campaign work unit (0 = crate default). Like
+    /// `threads`, a throughput knob only: output is byte-identical for
+    /// every shard size (DESIGN.md §14).
+    pub shard_size: usize,
 }
 
 impl Default for ReproConfig {
@@ -97,6 +101,7 @@ impl Default for ReproConfig {
             trace_out: None,
             trace_sample: 0,
             protocols: ProtocolSet::EMPTY,
+            shard_size: 0,
         }
     }
 }
@@ -139,6 +144,7 @@ impl ReproContext {
             scale: self.config.scale,
             threads: self.config.threads,
             protocols: self.config.protocols,
+            shard_size: self.config.shard_size,
             ..CampaignConfig::default()
         }
     }
@@ -1017,6 +1023,7 @@ DoT trades lighter framing for port-853 middlebox exposure)
             atlas_probes_per_country: 4,
             atlas_samples_per_country: 25,
             threads: self.config.threads,
+            shard_size: self.config.shard_size,
             ..CampaignConfig::default()
         };
         tweak(&mut cfg);

@@ -11,22 +11,30 @@
 //! # Determinism contract
 //!
 //! `seed -> Dataset` is a pure function. The campaign is sharded at
-//! country granularity: every country is a self-contained work unit that
-//! forks its own [`SimRng`] lineage from the master seed (testbed, geoloc,
-//! clients, Atlas) and owns a deterministic client-ID range computed by
-//! prefix-summing the per-country client counts. Workers pull shards from
-//! a shared queue, but shard results are merged back in canonical country
-//! order, so the resulting [`Dataset`] is byte-identical for any
-//! [`CampaignConfig::threads`] value — thread count is a throughput knob,
-//! never an output knob.
+//! sub-country granularity: each work unit is a contiguous client-ID
+//! *range* of one country (`[start, end)` in-country offsets), computed
+//! by prefix-summing the per-country client counts and slicing each
+//! country every [`CampaignConfig::shard_size`] clients. Every client is
+//! simulated inside its own *epoch* — the simulator clock rewinds to
+//! zero and the jitter/engine RNG streams are re-seeded from a fork keyed
+//! by the globally stable client ID — and every per-client node id is
+//! anchored at `base_nodes + 2 * offset`, so a client's measurement is a
+//! pure function of `(seed, country, client_id)` no matter which range,
+//! worker, or split boundary it lands behind. Workers own contiguous
+//! blocks of ranges in work-stealing deques (idle workers drain the tail
+//! of large countries), and range results merge back in canonical order,
+//! so the resulting [`Dataset`] is byte-identical for any
+//! [`CampaignConfig::threads`] *and* any [`CampaignConfig::shard_size`]
+//! value — both are throughput knobs, never output knobs.
 
 use crate::equations::{
     derive_transport_cold_ms, derive_transport_handshake_ms, derive_transport_resumed_ms,
-    derive_transport_warm_ms, record_derivation, record_transport_derivation,
+    derive_transport_warm_ms, record_derivation, record_transport_derivation, DerivationBatch,
 };
 use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
 use crate::store_io;
 use crate::testbed::{format_subdomain, Testbed, SUBDOMAIN_BUF_LEN};
+use crossbeam::deque;
 use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::rng::SimRng;
 use dohperf_providers::anycast::AnycastPolicy;
@@ -35,7 +43,9 @@ use dohperf_proxy::atlas::AtlasNetwork;
 use dohperf_proxy::exitnode::ExitNode;
 use dohperf_proxy::network::MeasurementOptions;
 use dohperf_proxy::superproxy::SuperProxy;
-use dohperf_store::{ChunkWriter, Manifest, WriterStats, MANIFEST_FILE, RECORDS_FILE};
+use dohperf_store::{
+    ChunkWriter, Manifest, WriterStats, DEFAULT_CHUNK_BUDGET, MANIFEST_FILE, RECORDS_FILE,
+};
 use dohperf_telemetry::flight::{self, QueryTrace};
 use dohperf_telemetry::phases;
 use dohperf_world::countries::Country;
@@ -46,7 +56,6 @@ use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Which transports the campaign measures through the
@@ -129,6 +138,14 @@ impl ProtocolSet {
     }
 }
 
+/// Default clients per work unit when [`CampaignConfig::shard_size`] is 0.
+///
+/// Small enough that the largest countries split into dozens of
+/// stealable ranges (the US alone holds thousands of clients at scale
+/// 1.0), large enough that per-range setup (testbed assembly, geoloc
+/// service) stays well under a percent of the range's simulation work.
+pub const DEFAULT_SHARD_SIZE: usize = 256;
+
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -157,6 +174,12 @@ pub struct CampaignConfig {
     /// Any value yields a byte-identical [`Dataset`]; see the module-level
     /// determinism contract.
     pub threads: usize,
+    /// Maximum clients per work unit (0 = [`DEFAULT_SHARD_SIZE`]).
+    /// Countries larger than this split into multiple client-ID ranges
+    /// that idle workers can steal. Like `threads`, any value yields a
+    /// byte-identical [`Dataset`]; see the module-level determinism
+    /// contract.
+    pub shard_size: usize,
     /// Extra transports measured through the connection-lifecycle model
     /// (empty = legacy DoH/Do53 only; see [`ProtocolSet`]).
     pub protocols: ProtocolSet,
@@ -174,12 +197,23 @@ impl Default for CampaignConfig {
             measurement: MeasurementOptions::default(),
             perfect_anycast: false,
             threads: 0,
+            shard_size: 0,
             protocols: ProtocolSet::EMPTY,
         }
     }
 }
 
 impl CampaignConfig {
+    /// The clients-per-work-unit granularity actually used (resolves the
+    /// `0 = default` convention of [`CampaignConfig::shard_size`]).
+    pub fn effective_shard_size(&self) -> usize {
+        if self.shard_size == 0 {
+            DEFAULT_SHARD_SIZE
+        } else {
+            self.shard_size
+        }
+    }
+
     /// A reduced-scale config for tests and examples (~10% of clients,
     /// one run each, fewer Atlas samples).
     pub fn quick(seed: u64) -> Self {
@@ -295,19 +329,25 @@ impl Campaign {
 
     /// Replay exactly one client and return its record plus span tree.
     ///
-    /// Runs only the shard that owns `client_id` — the per-country RNG
-    /// lineage makes that shard self-contained, so the replayed record is
+    /// Runs a single-client range — per-client simulation epochs make
+    /// every client self-contained, so the replayed record is
     /// bit-identical to the one a full campaign at the same config
     /// produces. Returns `None` if the id is outside the campaign's
     /// client range.
     pub fn explain_client(config: CampaignConfig, client_id: u64) -> Option<ClientExplain> {
         let campaign = Campaign::new(config).with_trace_client(client_id);
         let plan = campaign.plan();
-        let shard = (0..plan.counts.len()).find(|&i| {
+        let country = (0..plan.counts.len()).find(|&i| {
             client_id > plan.bases[i] && client_id <= plan.bases[i] + plan.counts[i] as u64
         })?;
+        let offset = (client_id - plan.bases[country] - 1) as usize;
+        let spec = ShardSpec {
+            country,
+            start: offset,
+            end: offset + 1,
+        };
         campaign
-            .run_country_shard(&plan, shard, &mut |_record| Ok(()))
+            .run_range(&plan, spec, &mut DiscardSink)
             .expect("the discarding sink never fails");
         let flight = campaign.flight.as_ref().expect("armed above");
         let (record, retained) = flight.explained.lock().take()?;
@@ -321,44 +361,51 @@ impl Campaign {
 
     /// Run the full campaign, returning the dataset.
     ///
-    /// The dataset is a pure function of the seed: work is sharded per
-    /// country across [`CampaignConfig::threads`] workers, every shard
-    /// derives its own RNG lineage and client-ID range from the master
-    /// seed, and results merge in canonical country order, so any thread
-    /// count produces byte-identical output.
+    /// The dataset is a pure function of the seed: work is sharded into
+    /// per-country client-ID ranges across [`CampaignConfig::threads`]
+    /// work-stealing workers, every client derives its own RNG lineage
+    /// from the master seed, and results merge in canonical order, so any
+    /// thread count and any shard size produce byte-identical output.
     pub fn run(&self) -> Dataset {
         let plan = {
             let _phase = phases::phase("topology-build");
             self.plan()
         };
-        let shards = {
+        let shards = shard_ranges(&plan, self.config.effective_shard_size());
+        let results = {
             let _phase = phases::phase("simulate");
-            self.run_sharded(&plan, |i| {
-                let mut records = Vec::with_capacity(plan.counts[i]);
+            self.run_sharded(&plan, &shards, |i| {
+                let spec = shards[i];
+                let mut records = Vec::with_capacity(spec.end - spec.start);
                 let outcome = self
-                    .run_country_shard(&plan, i, &mut |record| {
-                        records.push(record);
-                        Ok(())
-                    })
+                    .run_range(
+                        &plan,
+                        spec,
+                        &mut VecSink {
+                            records: &mut records,
+                        },
+                    )
                     .expect("the in-memory sink never fails");
-                let clients = records.len() + outcome.discarded;
-                ((records, outcome), clients)
+                ((records, outcome), spec.end - spec.start)
             })
         };
 
-        // Merge in canonical country order; workers finished in arbitrary
-        // order but each slot holds exactly its country's shard.
+        // Merge in canonical range order; workers finished in arbitrary
+        // order but each slot holds exactly its range's records.
         let _phase = phases::phase("merge");
         let mut records = Vec::new();
         let mut discarded = 0usize;
         let mut atlas_do53_ms = Vec::new();
-        for (country_index, (shard_records, outcome)) in shards.into_iter().enumerate() {
-            records.extend(shard_records);
+        let mut metrics = CountryMetrics::new(&plan);
+        for (spec, (range_records, outcome)) in shards.iter().zip(results) {
+            metrics.push(spec, &outcome);
+            records.extend(range_records);
             discarded += outcome.discarded;
             if let Some(samples) = outcome.atlas_do53_ms {
-                atlas_do53_ms.push((country_index, samples));
+                atlas_do53_ms.push((spec.country, samples));
             }
         }
+        metrics.flush();
 
         let (observed_ases, observed_resolvers) =
             observed_infrastructure(records.len(), plan.country_list.len());
@@ -377,16 +424,22 @@ impl Campaign {
     /// Run the full campaign, streaming records to a store directory
     /// instead of accumulating them in memory.
     ///
-    /// Each country shard spills its records through a [`ChunkWriter`]
+    /// Each client-ID range spills its records through a [`ChunkWriter`]
     /// into `dir/shards/shard-{index:05}.chunks` as clients are
     /// measured, so a worker's peak resident record count is the chunk
-    /// budget (`chunk_budget` 0 means the crate default), not the shard
-    /// size. When all shards finish, the spill files are concatenated
-    /// into `records.chunks` in canonical country order and the
-    /// manifest is written. Because chunk bytes are a pure function of
-    /// the shard's record sequence and the budget, the merged store is
-    /// byte-identical for any [`CampaignConfig::threads`] value — the
-    /// same contract [`Campaign::run`] gives for the in-memory dataset.
+    /// budget (`chunk_budget` 0 means the crate default), not the range
+    /// size. When all ranges finish, the spill files are concatenated
+    /// into `records.chunks` in canonical order and the manifest is
+    /// written.
+    ///
+    /// Chunk boundaries are anchored at in-country client *offsets* that
+    /// are multiples of the budget (not at retained-record counts, which
+    /// would shift with the discard pattern ahead of a split), and the
+    /// range granularity is rounded up to a multiple of the budget, so
+    /// every range boundary is also a chunk boundary. The merged store is
+    /// therefore byte-identical for any [`CampaignConfig::threads`] *and*
+    /// any [`CampaignConfig::shard_size`] value — the same contract
+    /// [`Campaign::run`] gives for the in-memory dataset.
     pub fn run_to_store(
         &self,
         dir: &Path,
@@ -396,33 +449,42 @@ impl Campaign {
             let _phase = phases::phase("topology-build");
             self.plan()
         };
+        let budget = if chunk_budget == 0 {
+            DEFAULT_CHUNK_BUDGET
+        } else {
+            chunk_budget
+        };
+        // Round the range granularity up to a multiple of the chunk
+        // budget so every range starts exactly on a chunk boundary.
+        let granularity = self
+            .config
+            .effective_shard_size()
+            .div_ceil(budget)
+            .saturating_mul(budget);
+        let shards = shard_ranges(&plan, granularity);
         let shards_dir = dir.join("shards");
         std::fs::create_dir_all(&shards_dir)?;
 
         let _simulate_phase = phases::phase("simulate");
         let spill_path =
             |i: usize| -> std::path::PathBuf { shards_dir.join(format!("shard-{i:05}.chunks")) };
-        let results = self.run_sharded(&plan, |i| {
+        let results = self.run_sharded(&plan, &shards, |i| {
+            let spec = shards[i];
             let result: dohperf_store::Result<StoreShard> = (|| {
                 let file = BufWriter::new(File::create(spill_path(i))?);
-                let mut writer = ChunkWriter::new(file, chunk_budget);
-                let outcome = self.run_country_shard(&plan, i, &mut |record| {
-                    writer
-                        .push(store_io::record_to_store(&record))
-                        .map_err(std::io::Error::from)
-                })?;
-                let stats = writer.finish()?;
+                let mut sink = StoreSink {
+                    writer: ChunkWriter::new(file, budget),
+                    every: budget,
+                };
+                let outcome = self.run_range(&plan, spec, &mut sink)?;
+                let stats = sink.writer.finish()?;
                 Ok(StoreShard { outcome, stats })
             })();
-            let clients = match &result {
-                Ok(shard) => shard.outcome.retained + shard.outcome.discarded,
-                Err(_) => 0,
-            };
-            (result, clients)
+            (result, spec.end - spec.start)
         });
         drop(_simulate_phase);
 
-        // Concatenate spill files in canonical country order: chunks are
+        // Concatenate spill files in canonical range order: chunks are
         // self-contained, so concatenation is the merge.
         let _store_phase = phases::phase("store-merge");
         let mut out = BufWriter::new(File::create(dir.join(RECORDS_FILE))?);
@@ -430,9 +492,11 @@ impl Campaign {
         let mut retained = 0usize;
         let mut discarded = 0usize;
         let mut atlas_do53_ms: Vec<(u32, Vec<f64>)> = Vec::new();
-        for (country_index, result) in results.into_iter().enumerate() {
+        let mut metrics = CountryMetrics::new(&plan);
+        for (range_index, (spec, result)) in shards.iter().zip(results).enumerate() {
             let shard = result?;
-            let path = spill_path(country_index);
+            metrics.push(spec, &shard.outcome);
+            let path = spill_path(range_index);
             let mut spill = File::open(&path)?;
             std::io::copy(&mut spill, &mut out)?;
             std::fs::remove_file(&path)?;
@@ -440,9 +504,10 @@ impl Campaign {
             retained += shard.outcome.retained;
             discarded += shard.outcome.discarded;
             if let Some(samples) = shard.outcome.atlas_do53_ms {
-                atlas_do53_ms.push((country_index as u32, samples));
+                atlas_do53_ms.push((spec.country as u32, samples));
             }
         }
+        metrics.flush();
         out.flush()?;
         drop(out);
         let _ = std::fs::remove_dir(&shards_dir);
@@ -515,10 +580,8 @@ impl Campaign {
                 .map(|n| n.get())
                 .unwrap_or(1),
             n => n,
-        }
-        .min(country_list.len().max(1));
+        };
 
-        dohperf_telemetry::gauge!("campaign.workers", per_run).set(threads as i64);
         dohperf_telemetry::trace::event(
             "campaign",
             format!(
@@ -540,44 +603,54 @@ impl Campaign {
         }
     }
 
-    /// Pull country shards off a shared queue across the plan's worker
-    /// threads. `shard_fn` returns the shard result plus its client
-    /// count (for throughput accounting); results come back in canonical
-    /// country order regardless of completion order.
-    fn run_sharded<T, F>(&self, plan: &Plan, shard_fn: F) -> Vec<T>
+    /// Execute every client-ID range across the plan's worker threads
+    /// with work stealing. Each worker starts owning a contiguous block
+    /// of ranges in a FIFO deque (so it walks its own block in canonical
+    /// order, which keeps per-country state like latency caches warm);
+    /// when its deque runs dry it steals from the back of its peers'
+    /// deques, draining the tail of large countries instead of idling.
+    /// `shard_fn` receives a range index into `shards` and returns the
+    /// range result plus its client count (for throughput accounting);
+    /// results come back indexed in canonical range order regardless of
+    /// which worker ran what.
+    fn run_sharded<T, F>(&self, plan: &Plan, shards: &[ShardSpec], shard_fn: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> (T, usize) + Sync,
     {
-        let n = plan.country_list.len();
-        let threads = plan.threads;
-        let next = AtomicUsize::new(0);
+        let n = shards.len();
+        let threads = plan.threads.min(n.max(1));
+        dohperf_telemetry::gauge!("campaign.workers", per_run).set(threads as i64);
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let queues: Vec<deque::Worker<usize>> =
+            (0..threads).map(|_| deque::Worker::new_fifo()).collect();
+        for (w, queue) in queues.iter().enumerate() {
+            for i in (w * n / threads)..((w + 1) * n / threads) {
+                queue.push(i);
+            }
+        }
+        let stealers: Vec<deque::Stealer<usize>> = queues.iter().map(|q| q.stealer()).collect();
         crossbeam::thread::scope(|scope| {
-            for worker in 0..threads {
-                let (next, slots, shard_fn) = (&next, &slots, &shard_fn);
+            for (worker, queue) in queues.into_iter().enumerate() {
+                let (slots, shard_fn, stealers) = (&slots, &shard_fn, &stealers);
                 scope.spawn(move |_| {
                     let started = Instant::now();
-                    let mut shard_count = 0usize;
+                    let mut range_count = 0usize;
                     let mut client_count = 0usize;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
+                    while let Some(i) = queue.pop().or_else(|| steal_range(worker, stealers)) {
                         let (result, clients) = shard_fn(i);
-                        shard_count += 1;
+                        range_count += 1;
                         client_count += clients;
                         *slots[i].lock() = Some(result);
                     }
-                    if shard_count > 0 {
+                    if range_count > 0 {
                         let secs = started.elapsed().as_secs_f64().max(1e-9);
                         dohperf_telemetry::histogram!("campaign.worker_wall_ms", per_run)
                             .record_ms(secs * 1_000.0);
                         dohperf_telemetry::trace::event_ms(
                             "campaign",
                             format!(
-                                "worker {worker}: {shard_count} countries, \
+                                "worker {worker}: {range_count} ranges, \
                                  {client_count} clients ({:.0} clients/s)",
                                 client_count as f64 / secs
                             ),
@@ -585,7 +658,7 @@ impl Campaign {
                         );
                         if threads > 1 {
                             eprintln!(
-                                "[campaign] worker {worker}: {shard_count} countries, \
+                                "[campaign] worker {worker}: {range_count} ranges, \
                                  {client_count} clients in {secs:.2}s ({:.0} clients/s)",
                                 client_count as f64 / secs
                             );
@@ -598,58 +671,84 @@ impl Campaign {
 
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("every country shard was processed")
-            })
+            .map(|slot| slot.into_inner().expect("every range was processed"))
             .collect()
     }
 
-    /// Execute one country's self-contained work unit, handing each
-    /// retained record to `emit` as it is measured.
+    /// Execute one client-ID range of one country, handing each retained
+    /// record to the sink as it is measured.
     ///
-    /// Everything stochastic inside the shard descends from forks of the
+    /// Everything stochastic inside the range descends from forks of the
     /// shared (never-advanced) campaign root stream, keyed by the country's
     /// ISO code or by globally stable client IDs — never from worker-local
-    /// state — so the shard's output does not depend on which worker runs
-    /// it or in what order shards complete. The sink decides what a record
-    /// costs to hold: the in-memory path pushes into a `Vec`, the store
-    /// path pushes into a [`ChunkWriter`] whose budget bounds residency.
-    fn run_country_shard(
+    /// or range-local state. On top of that, each client is simulated in
+    /// its own epoch: the clock rewinds to zero, the jitter/engine RNG
+    /// streams re-seed from a `("client-sim", client_id)` fork, and the
+    /// client's node ids are anchored at `base_nodes + 2 * offset`. A
+    /// client's measurement is therefore a pure function of
+    /// `(seed, country, client_id)`, and any split of a country into
+    /// ranges concatenates to the unsplit result. The sink decides what a
+    /// record costs to hold: the in-memory path pushes into a `Vec`, the
+    /// store path pushes into a [`ChunkWriter`] whose budget bounds
+    /// residency.
+    fn run_range(
         &self,
         plan: &Plan,
-        country_index: usize,
-        emit: &mut dyn FnMut(ClientRecord) -> std::io::Result<()>,
-    ) -> std::io::Result<ShardOutcome> {
+        spec: ShardSpec,
+        sink: &mut dyn RangeSink,
+    ) -> std::io::Result<RangeOutcome> {
         let root_rng = &plan.root_rng;
-        let country = plan.country_list[country_index];
-        let count = plan.counts[country_index];
-        let client_id_base = plan.bases[country_index];
+        let country = plan.country_list[spec.country];
+        let count = plan.counts[spec.country];
+        let client_id_base = plan.bases[spec.country];
         let iso = country.iso;
         let mut tb = Testbed::new(root_rng.fork_parts(&["testbed-", iso]).seed());
-        // The prefix base equals the shard's client-ID base, so the /24s
-        // handed out match the layout of a single sequential allocator.
+        // The prefix base equals the range's first global client index, so
+        // the /24s handed out (and their per-prefix mislabel draws) match
+        // the layout of a single sequential allocator.
         let mut geoloc = GeolocationService::with_prefix_base(
             root_rng.fork_parts(&["geoloc-", iso]),
             self.config.geoloc_error_rate,
             plan.countries.clone(),
-            client_id_base as u32,
+            (client_id_base + spec.start as u64) as u32,
         );
 
         // client_sites only forks from the rng it is handed, so a clone of
-        // the root stream yields the same sites the sequential walk saw.
+        // the root stream yields the same sites the sequential walk saw;
+        // enumerate before skipping so offsets stay country-absolute.
         let sites = plan
             .population
-            .client_sites(country_index, &mut root_rng.clone());
+            .client_sites(spec.country, &mut root_rng.clone());
+        let mut batch = DerivationBatch::with_capacity(self.config.runs_per_client as usize);
+        let chunk_every = sink.chunk_every();
         let mut retained = 0usize;
         let mut discarded = 0usize;
-        for (offset, site) in sites.into_iter().take(count).enumerate() {
-            // The shard's first client walks every cold path (latency
+        let mut sim_nanos = 0u64;
+        for (offset, site) in sites
+            .into_iter()
+            .enumerate()
+            .skip(spec.start)
+            .take(spec.end - spec.start)
+        {
+            // The range's first client walks every cold path (latency
             // cache fills, label interning, pool priming); it is warmup
             // for the steady-state allocation gate, the rest are not.
-            dohperf_telemetry::alloc::set_warmup(offset == 0);
+            dohperf_telemetry::alloc::set_warmup(offset == spec.start);
+            // Chunk boundaries anchor at country-absolute offsets that are
+            // multiples of the budget, so the store's chunk layout is
+            // independent of where ranges split.
+            if chunk_every > 0 && offset > spec.start && offset % chunk_every == 0 {
+                sink.chunk_boundary()?;
+            }
             let client_id = client_id_base + offset as u64 + 1;
             let mut client_rng = root_rng.fork_indexed("client", client_id);
+            // Per-client simulation epoch: rewind the clock and re-seed
+            // the simulator's internal streams from a client-keyed fork,
+            // then anchor this client's two node ids (exit host +
+            // resolver) at their offset-determined slots.
+            tb.sim
+                .begin_epoch(&root_rng.fork_indexed("client-sim", client_id));
+            tb.sim.anchor_next_node(tb.base_nodes + 2 * offset);
             // The sampling draw is a fork (forks never advance the parent
             // stream), so arming the recorder cannot perturb the
             // simulation — only which clients leave a trace behind.
@@ -674,12 +773,12 @@ impl Campaign {
                 &mut tb.sim,
                 &mut geoloc,
                 country,
-                country_index,
+                spec.country,
                 site.position,
                 client_id,
                 &mut client_rng,
             );
-            let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng);
+            let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng, &mut batch);
             let agrees = record.countries_agree();
             if let Some(span) = root_span {
                 flight::attr(span, "maxmind_country", record.maxmind_country.to_string());
@@ -695,15 +794,26 @@ impl Campaign {
                 }
             }
             if agrees {
-                emit(record)?;
+                sink.emit(record)?;
                 retained += 1;
             } else {
                 discarded += 1;
             }
+            // Summed as integer nanoseconds so any grouping of ranges
+            // adds up to the same per-country total bit-for-bit (f64
+            // addition is not associative; u64 addition is).
+            sim_nanos += tb.sim.now().as_nanos();
         }
 
-        // RIPE Atlas remedy for the Super Proxy countries (§3.5).
-        let atlas_do53_ms = if SuperProxy::resolves_dns_for(iso) {
+        // RIPE Atlas remedy for the Super Proxy countries (§3.5). It runs
+        // exactly once per country, in the range that owns the country's
+        // final client, inside its own epoch with the probe node ids
+        // anchored after the last client's slots — so its samples are
+        // identical no matter how the country was split.
+        let atlas_do53_ms = if spec.end == count && SuperProxy::resolves_dns_for(iso) {
+            tb.sim
+                .begin_epoch(&root_rng.fork_parts(&["atlas-sim-", iso]));
+            tb.sim.anchor_next_node(tb.base_nodes + 2 * count);
             let mut atlas = AtlasNetwork::new();
             let mut atlas_rng = root_rng.fork_parts(&["atlas-", iso]);
             let probe_indices = atlas.deploy_probes(
@@ -718,25 +828,16 @@ impl Campaign {
                 let d = atlas.measure_do53(&mut tb.sim, probe, tb.auth_ns, &mut atlas_rng);
                 samples.push(d.as_millis_f64());
             }
+            sim_nanos += tb.sim.now().as_nanos();
             Some(samples)
         } else {
             None
         };
 
-        let shard_sim_ms = tb.sim.now().as_millis_f64();
-        dohperf_telemetry::histogram!("campaign.shard_sim_ms").record_ms(shard_sim_ms);
-        dohperf_telemetry::counter!("campaign.countries_measured").inc();
-        dohperf_telemetry::counter!("campaign.clients_measured").add(retained as u64);
-        dohperf_telemetry::counter!("campaign.clients_discarded").add(discarded as u64);
-        dohperf_telemetry::trace::event_ms(
-            "campaign",
-            format!("shard {iso}: {retained} clients"),
-            shard_sim_ms,
-        );
-
-        Ok(ShardOutcome {
+        Ok(RangeOutcome {
             retained,
             discarded,
+            sim_nanos,
             atlas_do53_ms,
         })
     }
@@ -750,6 +851,7 @@ impl Campaign {
         exit: &ExitNode,
         geoloc: &GeolocationService,
         client_rng: &mut SimRng,
+        batch: &mut DerivationBatch,
     ) -> ClientRecord {
         let mut doh = Vec::with_capacity(ALL_PROVIDERS.len());
         for (pi, &provider) in ALL_PROVIDERS.iter().enumerate() {
@@ -762,8 +864,7 @@ impl Campaign {
                 provider.anycast_policy()
             };
             let pop_index = policy.assign(deployment, &exit.position, &mut anycast_rng);
-            let mut t_doh_runs = Vec::with_capacity(self.config.runs_per_client as usize);
-            let mut t_dohr_runs = Vec::with_capacity(self.config.runs_per_client as usize);
+            batch.clear();
             for run in 0..self.config.runs_per_client {
                 let mut run_rng =
                     client_rng.fork_indexed_parts(&["doh-", provider.name()], run.into());
@@ -787,17 +888,19 @@ impl Campaign {
                 dohperf_telemetry::counter!("campaign.doh_queries").inc();
                 if flight::active() {
                     record_wire_phase(&format!("c{}-r{run}.{}", exit.id, provider.hostname()));
+                    // record_derivation calls the same derive_* functions
+                    // the batch mirrors op-for-op, so the traced spans
+                    // carry exactly the values the batch will derive.
+                    record_derivation(&obs);
                 }
-                // record_derivation calls the same derive_* functions the
-                // untraced path used, so the pushed values are bit-identical
-                // whether or not a recording is armed.
-                let explain = record_derivation(&obs);
-                t_doh_runs.push(explain.t_doh_ms);
-                t_dohr_runs.push(explain.t_dohr_ms);
+                batch.push(&obs);
             }
+            // Batched Eq 1-8 over the run block: two column-wise loops the
+            // compiler can vectorize, bit-identical to the scalar path.
+            batch.derive();
             let nearest = deployment.nearest_index(&exit.position);
-            let t_doh_ms = median(&mut t_doh_runs);
-            let t_dohr_ms = median(&mut t_dohr_runs);
+            let t_doh_ms = median(batch.t_doh_ms_mut());
+            let t_dohr_ms = median(batch.t_dohr_ms_mut());
             if flight::active() {
                 let now = tb.sim.now().as_nanos();
                 let span = flight::start_span("campaign", format!("summary {provider}"), now);
@@ -951,18 +1054,191 @@ struct Plan {
     threads: usize,
 }
 
-/// What a country shard reports after its records have gone to the sink.
-struct ShardOutcome {
+/// One work unit: a contiguous in-country client-offset range
+/// `[start, end)` of one country.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardSpec {
+    /// Canonical country index into the plan's country list.
+    country: usize,
+    /// First in-country client offset (inclusive).
+    start: usize,
+    /// One past the last in-country client offset.
+    end: usize,
+}
+
+/// Slice every country into ranges of at most `granularity` clients, in
+/// canonical (country, offset) order. Concatenating the ranges' clients
+/// in this order is exactly the sequential walk, for any granularity.
+fn shard_ranges(plan: &Plan, granularity: usize) -> Vec<ShardSpec> {
+    let granularity = granularity.max(1);
+    let mut shards = Vec::new();
+    for (country, &count) in plan.counts.iter().enumerate() {
+        let mut start = 0usize;
+        while start < count {
+            let end = count.min(start.saturating_add(granularity));
+            shards.push(ShardSpec {
+                country,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    shards
+}
+
+/// Steal one range index for worker `me`, scanning peers round-robin
+/// starting just past itself so contention spreads instead of piling
+/// onto worker 0. Thieves take from the *back* of a victim's FIFO deque
+/// — the victim's farthest-away work.
+fn steal_range(me: usize, stealers: &[deque::Stealer<usize>]) -> Option<usize> {
+    let n = stealers.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        loop {
+            match stealers[victim].steal() {
+                deque::Steal::Success(i) => return Some(i),
+                deque::Steal::Empty => break,
+                deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+/// Where a range's retained records go, plus the chunk-boundary protocol
+/// the store path uses to keep chunk layout split-invariant.
+trait RangeSink {
+    /// Accept one retained record.
+    fn emit(&mut self, record: ClientRecord) -> std::io::Result<()>;
+    /// Chunk boundary interval in clients (0 = no boundaries).
+    fn chunk_every(&self) -> usize {
+        0
+    }
+    /// Called when the walk crosses a country-absolute offset that is a
+    /// multiple of [`RangeSink::chunk_every`].
+    fn chunk_boundary(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The in-memory path: records accumulate in a `Vec`.
+struct VecSink<'a> {
+    records: &'a mut Vec<ClientRecord>,
+}
+
+impl RangeSink for VecSink<'_> {
+    fn emit(&mut self, record: ClientRecord) -> std::io::Result<()> {
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+/// The explain path: the targeted record is captured via the flight
+/// plan, everything else is dropped.
+struct DiscardSink;
+
+impl RangeSink for DiscardSink {
+    fn emit(&mut self, _record: ClientRecord) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The store path: records spill through a [`ChunkWriter`], with chunks
+/// cut at offset-anchored boundaries.
+struct StoreSink<W: std::io::Write> {
+    writer: ChunkWriter<W>,
+    every: usize,
+}
+
+impl<W: std::io::Write> RangeSink for StoreSink<W> {
+    fn emit(&mut self, record: ClientRecord) -> std::io::Result<()> {
+        self.writer
+            .push(store_io::record_to_store(&record))
+            .map_err(std::io::Error::from)
+    }
+
+    fn chunk_every(&self) -> usize {
+        self.every
+    }
+
+    fn chunk_boundary(&mut self) -> std::io::Result<()> {
+        self.writer.flush_boundary().map_err(std::io::Error::from)
+    }
+}
+
+/// What a client-ID range reports after its records have gone to the sink.
+struct RangeOutcome {
     retained: usize,
     discarded: usize,
-    /// Atlas Do53 samples, present only for Super-Proxy remedy countries.
+    /// Simulated time spent in this range, in integer nanoseconds so any
+    /// grouping of ranges sums to the same per-country total.
+    sim_nanos: u64,
+    /// Atlas Do53 samples, present only in the country-final range of
+    /// Super-Proxy remedy countries.
     atlas_do53_ms: Option<Vec<f64>>,
 }
 
-/// A store-mode shard: its outcome plus the spill file's chunk totals.
+/// A store-mode range: its outcome plus the spill file's chunk totals.
 struct StoreShard {
-    outcome: ShardOutcome,
+    outcome: RangeOutcome,
     stats: WriterStats,
+}
+
+/// Merge-time aggregation of range outcomes back into the per-country
+/// telemetry the per-country sharding used to publish from workers.
+/// Publishing from the merge walk (canonical order, one thread) makes
+/// metric totals and trace-event order independent of worker scheduling.
+struct CountryMetrics<'a> {
+    plan: &'a Plan,
+    current: Option<usize>,
+    retained: usize,
+    discarded: usize,
+    sim_nanos: u64,
+}
+
+impl<'a> CountryMetrics<'a> {
+    fn new(plan: &'a Plan) -> Self {
+        CountryMetrics {
+            plan,
+            current: None,
+            retained: 0,
+            discarded: 0,
+            sim_nanos: 0,
+        }
+    }
+
+    /// Fold in one range outcome; ranges must arrive in canonical order.
+    fn push(&mut self, spec: &ShardSpec, outcome: &RangeOutcome) {
+        if self.current != Some(spec.country) {
+            self.flush();
+            self.current = Some(spec.country);
+        }
+        self.retained += outcome.retained;
+        self.discarded += outcome.discarded;
+        self.sim_nanos += outcome.sim_nanos;
+    }
+
+    /// Publish the current country's totals, if any.
+    fn flush(&mut self) {
+        let Some(country) = self.current.take() else {
+            return;
+        };
+        let iso = self.plan.country_list[country].iso;
+        let sim_ms = self.sim_nanos as f64 / 1e6;
+        dohperf_telemetry::histogram!("campaign.shard_sim_ms").record_ms(sim_ms);
+        dohperf_telemetry::counter!("campaign.countries_measured").inc();
+        dohperf_telemetry::counter!("campaign.clients_measured").add(self.retained as u64);
+        dohperf_telemetry::counter!("campaign.clients_discarded").add(self.discarded as u64);
+        dohperf_telemetry::trace::event_ms(
+            "campaign",
+            format!("shard {iso}: {} clients", self.retained),
+            sim_ms,
+        );
+        self.retained = 0;
+        self.discarded = 0;
+        self.sim_nanos = 0;
+    }
 }
 
 /// Totals from a [`Campaign::run_to_store`] run.
@@ -1314,6 +1590,110 @@ mod tests {
         let back = crate::store_io::read_dataset(&dir).unwrap();
         assert_eq!(back.records, direct.records);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_country_in_order() {
+        let campaign = Campaign::new(CampaignConfig::quick(5));
+        let plan = campaign.plan();
+        for granularity in [1, 7, 256, usize::MAX] {
+            let shards = shard_ranges(&plan, granularity);
+            let mut expected_country = 0usize;
+            let mut expected_start = 0usize;
+            for spec in &shards {
+                if spec.country != expected_country {
+                    assert_eq!(expected_start, plan.counts[expected_country]);
+                    expected_country = spec.country;
+                    expected_start = 0;
+                }
+                assert_eq!(spec.start, expected_start, "granularity {granularity}");
+                assert!(spec.end > spec.start);
+                assert!(spec.end - spec.start <= granularity);
+                assert!(spec.end <= plan.counts[spec.country]);
+                expected_start = spec.end;
+            }
+            assert_eq!(expected_country, plan.counts.len() - 1);
+            assert_eq!(expected_start, plan.counts[expected_country]);
+        }
+    }
+
+    #[test]
+    fn shard_size_zero_means_default() {
+        assert_eq!(
+            CampaignConfig::default().effective_shard_size(),
+            DEFAULT_SHARD_SIZE
+        );
+        let cfg = CampaignConfig {
+            shard_size: 7,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.effective_shard_size(), 7);
+    }
+
+    #[test]
+    fn shard_size_is_invisible_to_the_dataset() {
+        // The tentpole contract: shard size (like thread count) is a
+        // throughput knob, never an output knob. A per-country reference
+        // (shard_size large enough that no country splits) must match any
+        // split granularity bit-for-bit, traces and Atlas included.
+        let base = CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(7)
+        };
+        let reference = Campaign::new(CampaignConfig {
+            shard_size: usize::MAX,
+            threads: 1,
+            ..base
+        })
+        .run();
+        for shard_size in [1usize, 3, 256] {
+            let ds = Campaign::new(CampaignConfig {
+                shard_size,
+                threads: 3,
+                ..base
+            })
+            .run();
+            assert_eq!(reference.records, ds.records, "shard_size {shard_size}");
+            assert_eq!(reference.atlas_do53_ms, ds.atlas_do53_ms);
+            assert_eq!(reference.discarded_mismatches, ds.discarded_mismatches);
+        }
+    }
+
+    #[test]
+    fn store_bytes_are_invariant_across_threads_and_shard_sizes() {
+        // Offset-anchored chunk boundaries plus budget-aligned range
+        // granularity make the merged store a pure function of the seed:
+        // identical bytes for any (threads, shard_size).
+        let base = CampaignConfig {
+            scale: 0.02,
+            ..CampaignConfig::quick(11)
+        };
+        let run = |shard_size: usize, threads: usize, tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "dohperf-campaign-shardstore-{}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let config = CampaignConfig {
+                shard_size,
+                threads,
+                ..base
+            };
+            Campaign::new(config).run_to_store(&dir, 16).unwrap();
+            let records = std::fs::read(dir.join(RECORDS_FILE)).unwrap();
+            let manifest = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            (records, manifest)
+        };
+        let reference = run(usize::MAX, 1, "ref");
+        for (shard_size, threads, tag) in [(8usize, 3usize, "s8t3"), (1, 2, "s1t2")] {
+            let got = run(shard_size, threads, tag);
+            assert_eq!(reference.0, got.0, "records bytes, shard_size {shard_size}");
+            assert_eq!(
+                reference.1, got.1,
+                "manifest bytes, shard_size {shard_size}"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,118 @@ pub fn doh_n_ms(t_doh_ms: f64, t_dohr_ms: f64, n: u32) -> f64 {
     (t_doh_ms + f64::from(n - 1) * t_dohr_ms) / f64::from(n)
 }
 
+/// Struct-of-arrays accumulator for batched Eq 6–8 derivation.
+///
+/// The campaign's hot loop pushes one row of derivation inputs per
+/// observation and derives a whole block at once: [`DerivationBatch::derive`]
+/// walks plain `f64` slices in two tight passes the compiler can
+/// vectorise, with the element-wise operation order of
+/// [`derive_t_doh_ms`] / [`derive_t_dohr_ms`] preserved exactly — batched
+/// outputs are **bit-identical** to the scalar path (IEEE 754 operations
+/// are deterministic and Rust never contracts `a*b+c` into an FMA), which
+/// the `batch_matches_scalar_bit_for_bit` test pins.
+///
+/// All columns are preallocated via [`DerivationBatch::with_capacity`] and
+/// recycled with [`DerivationBatch::clear`], so steady-state use never
+/// allocates (the alloc-smoke gate covers this through the campaign).
+#[derive(Debug, Default)]
+pub struct DerivationBatch {
+    tb_ta_ms: Vec<f64>,
+    td_tc_ms: Vec<f64>,
+    tun_total_ms: Vec<f64>,
+    tun_connect_ms: Vec<f64>,
+    proxy_total_ms: Vec<f64>,
+    t_doh_ms: Vec<f64>,
+    t_dohr_ms: Vec<f64>,
+}
+
+impl DerivationBatch {
+    /// A batch with room for `n` observations in every column.
+    pub fn with_capacity(n: usize) -> Self {
+        DerivationBatch {
+            tb_ta_ms: Vec::with_capacity(n),
+            td_tc_ms: Vec::with_capacity(n),
+            tun_total_ms: Vec::with_capacity(n),
+            tun_connect_ms: Vec::with_capacity(n),
+            proxy_total_ms: Vec::with_capacity(n),
+            t_doh_ms: Vec::with_capacity(n),
+            t_dohr_ms: Vec::with_capacity(n),
+        }
+    }
+
+    /// Forget all rows, keeping the column allocations.
+    pub fn clear(&mut self) {
+        self.tb_ta_ms.clear();
+        self.td_tc_ms.clear();
+        self.tun_total_ms.clear();
+        self.tun_connect_ms.clear();
+        self.proxy_total_ms.clear();
+        self.t_doh_ms.clear();
+        self.t_dohr_ms.clear();
+    }
+
+    /// Rows currently accumulated.
+    pub fn len(&self) -> usize {
+        self.tb_ta_ms.len()
+    }
+
+    /// True when no rows are accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.tb_ta_ms.is_empty()
+    }
+
+    /// Append one observation's derivation inputs.
+    pub fn push(&mut self, obs: &DohObservation) {
+        self.tb_ta_ms
+            .push(obs.t_b.saturating_since(obs.t_a).as_millis_f64());
+        self.td_tc_ms
+            .push(obs.t_d.saturating_since(obs.t_c).as_millis_f64());
+        self.tun_total_ms.push(obs.tun.total().as_millis_f64());
+        self.tun_connect_ms.push(obs.tun.connect.as_millis_f64());
+        self.proxy_total_ms.push(obs.proxy.total().as_millis_f64());
+    }
+
+    /// Derive Eq 7 and Eq 8 for every accumulated row.
+    pub fn derive(&mut self) {
+        let n = self.len();
+        self.t_doh_ms.clear();
+        self.t_doh_ms.resize(n, 0.0);
+        self.t_dohr_ms.clear();
+        self.t_dohr_ms.resize(n, 0.0);
+        // Element-wise op order matches derive_t_doh_ms exactly:
+        // ((td_tc - 2*tb_ta) + 3*tun) + 2*proxy.
+        for i in 0..n {
+            self.t_doh_ms[i] = self.td_tc_ms[i] - 2.0 * self.tb_ta_ms[i]
+                + 3.0 * self.tun_total_ms[i]
+                + 2.0 * self.proxy_total_ms[i];
+        }
+        // ... and derive_t_dohr_ms: (t_doh - tun_total) - tun_connect.
+        for i in 0..n {
+            self.t_dohr_ms[i] = self.t_doh_ms[i] - self.tun_total_ms[i] - self.tun_connect_ms[i];
+        }
+    }
+
+    /// The derived Eq 7 column (valid after [`DerivationBatch::derive`]).
+    pub fn t_doh_ms(&self) -> &[f64] {
+        &self.t_doh_ms
+    }
+
+    /// The derived Eq 8 column (valid after [`DerivationBatch::derive`]).
+    pub fn t_dohr_ms(&self) -> &[f64] {
+        &self.t_dohr_ms
+    }
+
+    /// Mutable Eq 7 column, for in-place median extraction.
+    pub fn t_doh_ms_mut(&mut self) -> &mut [f64] {
+        &mut self.t_doh_ms
+    }
+
+    /// Mutable Eq 8 column, for in-place median extraction.
+    pub fn t_dohr_ms_mut(&mut self) -> &mut [f64] {
+        &mut self.t_dohr_ms
+    }
+}
+
 /// The Eq 1–8 derivation of one observation, with every input and
 /// intermediate pinned, for the flight recorder and `repro explain`.
 ///
@@ -703,6 +815,42 @@ mod tests {
             .find(|(k, _)| *k == "eqT3.t_cold_ms")
             .expect("Eq T3 attribute");
         assert_eq!(cold, "170");
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        // Awkward, non-round values so any op-reordering in the batched
+        // path shows up as a bit difference.
+        let fixtures = [
+            synthetic(80.3, 20.7, 30.11, 10.13, 30.17, 90.19),
+            synthetic(123.456, 7.89, 0.123, 45.6, 78.9, 12.3),
+            synthetic(0.001, 0.002, 0.003, 0.004, 0.005, 0.006),
+            synthetic(999.9, 88.8, 77.7, 66.6, 55.5, 44.4),
+        ];
+        let mut batch = DerivationBatch::with_capacity(2);
+        // Two fills through the same batch proves clear() recycles fully.
+        for chunk in fixtures.chunks(2) {
+            batch.clear();
+            for obs in chunk {
+                batch.push(obs);
+            }
+            batch.derive();
+            assert_eq!(batch.len(), chunk.len());
+            for (i, obs) in chunk.iter().enumerate() {
+                assert_eq!(
+                    batch.t_doh_ms()[i].to_bits(),
+                    derive_t_doh_ms(obs).to_bits(),
+                    "Eq 7 row {i}"
+                );
+                assert_eq!(
+                    batch.t_dohr_ms()[i].to_bits(),
+                    derive_t_dohr_ms(obs).to_bits(),
+                    "Eq 8 row {i}"
+                );
+            }
+        }
+        batch.clear();
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct Testbed {
     pub web_server: NodeId,
     /// The authoritative name server for `a.com`.
     pub auth_ns: NodeId,
+    /// Node count after assembly — the first id available to per-client
+    /// nodes. Campaign shards anchor client node ids at
+    /// `base_nodes + 2 * in_country_offset` (each client adds exactly two
+    /// nodes: exit host + resolver), so node ids are a pure function of
+    /// the client's offset, not of which shard measured it.
+    pub base_nodes: usize,
 }
 
 impl Testbed {
@@ -66,6 +72,7 @@ impl Testbed {
             .iter()
             .map(|&kind| PopDeployment::deploy(kind, &mut sim))
             .collect();
+        let base_nodes = sim.next_node_index();
         Testbed {
             sim,
             network,
@@ -73,6 +80,7 @@ impl Testbed {
             client,
             web_server,
             auth_ns,
+            base_nodes,
         }
     }
 

@@ -101,6 +101,45 @@ impl Simulator {
         out
     }
 
+    /// Begin a fresh measurement epoch: rewind the clock to zero and
+    /// re-anchor every sim-internal random stream (per-sample RTT jitter,
+    /// engine loss/id draws) onto forks of `epoch`. After this call, every
+    /// draw and timestamp the simulator produces is a pure function of
+    /// `epoch` — not of how many measurements ran before it. Base-RTT
+    /// caches and the topology are deliberately kept: base RTTs are
+    /// fork-derived from the construction seed (position-independent) and
+    /// node ids are anchored separately via
+    /// [`Simulator::anchor_next_node`].
+    ///
+    /// This is the primitive behind sub-country campaign sharding: a
+    /// client measured as the first item of a shard sees bit-identical
+    /// streams to the same client measured mid-shard (DESIGN.md §14).
+    ///
+    /// Panics if events are still pending — an epoch boundary with live
+    /// timers would mean cross-epoch leakage.
+    pub fn begin_epoch(&mut self, epoch: &SimRng) {
+        assert!(
+            self.queue.is_empty(),
+            "begin_epoch with {} events pending",
+            self.queue.len()
+        );
+        self.now = SimTime::ZERO;
+        self.queue.reset_time();
+        self.path.rejitter(epoch.fork("path"));
+        self.rng = epoch.fork("engine");
+    }
+
+    /// Pin the id of the next node added (see
+    /// [`crate::topology::Topology::anchor_next_index`]).
+    pub fn anchor_next_node(&mut self, index: usize) {
+        self.topology.anchor_next_index(index);
+    }
+
+    /// The id the next added node will receive.
+    pub fn next_node_index(&self) -> usize {
+        self.topology.next_index()
+    }
+
     /// Add a node to the topology.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         self.topology.add(spec)
@@ -319,5 +358,57 @@ mod tests {
         let mut r1 = sim.fork_rng("x");
         let mut r2 = sim.fork_rng("x");
         assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn begin_epoch_makes_draws_position_independent() {
+        // A simulator that has done arbitrary prior work produces, after
+        // begin_epoch, exactly the draws of a fresh simulator given the
+        // same epoch stream.
+        let (mut sim1, a, b) = sim_with_pair();
+        for _ in 0..17 {
+            sim1.rtt(a, b); // burn jitter draws
+        }
+        sim1.rng_mut().next_u64(); // burn an engine draw
+        sim1.advance(SimDuration::from_millis(123));
+        sim1.begin_epoch(&SimRng::new(7).fork("client-epoch"));
+        assert_eq!(sim1.now(), SimTime::ZERO);
+        let r1 = sim1.rtt(a, b);
+        let e1 = sim1.rng_mut().next_u64();
+
+        let (mut sim2, c, d) = sim_with_pair();
+        sim2.begin_epoch(&SimRng::new(7).fork("client-epoch"));
+        assert_eq!(sim2.rtt(c, d), r1);
+        assert_eq!(sim2.rng_mut().next_u64(), e1);
+    }
+
+    #[test]
+    fn begin_epoch_keeps_base_rtts_stable() {
+        let (mut sim, a, b) = sim_with_pair();
+        let base = sim.base_rtt(a, b);
+        sim.begin_epoch(&SimRng::new(99).fork("e"));
+        assert_eq!(sim.base_rtt(a, b), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_epoch with")]
+    fn begin_epoch_rejects_pending_events() {
+        let (mut sim, _, _) = sim_with_pair();
+        sim.schedule_in(SimDuration::from_millis(10), |_, _| {});
+        sim.begin_epoch(&SimRng::new(1));
+    }
+
+    #[test]
+    fn epoch_reset_allows_rescheduling_from_time_zero() {
+        let (mut sim, _, _) = sim_with_pair();
+        sim.schedule_in(SimDuration::from_millis(10), |_, _| {});
+        sim.run_to_completion();
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        sim.begin_epoch(&SimRng::new(2));
+        sim.schedule_in(SimDuration::from_millis(5), |s, at| {
+            assert_eq!(at, SimTime::from_millis(5));
+            assert_eq!(s.now(), SimTime::from_millis(5));
+        });
+        assert_eq!(sim.run_to_completion(), 1);
     }
 }

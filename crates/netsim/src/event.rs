@@ -154,6 +154,18 @@ impl<C> EventQueue<C> {
         self.live == 0
     }
 
+    /// Rewind the wheel's notion of "now" to zero so a fresh simulated
+    /// epoch can schedule near time zero without everything landing on the
+    /// due list. Only legal while the queue is empty — with no live slots
+    /// every bucket, the due list and the overflow are empty, so the
+    /// occupancy invariant (no occupied bucket behind the cursor) holds
+    /// trivially at cursor 0. Slot generations are untouched: stale
+    /// [`EventId`]s from before the reset stay dead.
+    pub fn reset_time(&mut self) {
+        assert!(self.is_empty(), "reset_time with {} live events", self.live);
+        self.cursor = 0;
+    }
+
     /// The firing time of the next live event, if any. May cascade wheel
     /// buckets internally (hence `&mut`), which never changes the order.
     pub fn peek_time(&mut self) -> Option<SimTime> {

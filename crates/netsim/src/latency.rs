@@ -133,7 +133,13 @@ pub trait LatencyModel {
 /// between the same endpoints vary only by jitter — the stability property
 /// the paper's Equation 1–8 derivation assumes.
 pub struct PathModel {
-    rng: SimRng,
+    /// Construction-time stream. Never draws — it only forks the per-pair
+    /// last-mile streams, so base RTTs are a pure function of the model's
+    /// construction seed and the node pair, whatever else has happened.
+    base_rng: SimRng,
+    /// Per-sample jitter stream. Re-anchorable via [`PathModel::rejitter`]
+    /// so campaign epochs can make jitter a pure per-client function.
+    jitter_rng: SimRng,
     base_cache: HashMap<(NodeId, NodeId), SimDuration>,
 }
 
@@ -141,21 +147,29 @@ impl PathModel {
     /// Create a model with its own random stream.
     pub fn new(rng: SimRng) -> Self {
         PathModel {
-            rng,
+            base_rng: rng.clone(),
+            jitter_rng: rng,
             base_cache: HashMap::new(),
         }
     }
 
     /// Snapshot the jitter stream (for [`crate::Simulator`]'s RNG
     /// checkpointing; base-cache fills are fork-based and draw-free, so
-    /// the stream is the model's only mutable draw state).
+    /// the jitter stream is the model's only mutable draw state).
     pub(crate) fn rng_snapshot(&self) -> SimRng {
-        self.rng.clone()
+        self.jitter_rng.clone()
     }
 
     /// Restore a snapshot taken by [`PathModel::rng_snapshot`].
     pub(crate) fn rng_restore(&mut self, rng: SimRng) {
-        self.rng = rng;
+        self.jitter_rng = rng;
+    }
+
+    /// Replace the jitter stream wholesale. Base RTTs are untouched — they
+    /// fork from the construction stream — so re-anchoring jitter per
+    /// campaign epoch preserves the paper's pair-stability assumption.
+    pub(crate) fn rejitter(&mut self, rng: SimRng) {
+        self.jitter_rng = rng;
     }
 
     fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -184,7 +198,7 @@ impl PathModel {
         // *one* access network, so its contribution to the base RTT is fixed
         // per pair, not re-rolled per packet.
         let mut pair_rng = self
-            .rng
+            .base_rng
             .fork_indexed("pair", (key.0.index() as u64) << 32 | key.1.index() as u64);
         let lm_a = pair_rng.lognormal_median(
             na.spec.infra.last_mile_median_ms.max(0.05),
@@ -205,7 +219,7 @@ impl LatencyModel for PathModel {
         let base = self.base(topo, a, b);
         let jitter_scale =
             0.5 * (topo.node(a).spec.infra.jitter_ms + topo.node(b).spec.infra.jitter_ms);
-        let jitter = self.rng.exponential(jitter_scale.max(0.0));
+        let jitter = self.jitter_rng.exponential(jitter_scale.max(0.0));
         base + SimDuration::from_millis_f64(jitter)
     }
 

@@ -136,42 +136,75 @@ pub struct Node {
 }
 
 /// The set of all nodes in a simulation.
+///
+/// Storage is sparse: [`Topology::anchor_next_index`] lets a caller pin the
+/// id of the *next* node added, leaving unfilled holes behind. This is what
+/// makes sub-country campaign shards assign the same node ids a sequential
+/// run would — a shard that starts at in-country client offset `k` anchors
+/// the allocator to the id the `k`-th client would have received and never
+/// materialises the earlier clients' nodes.
 #[derive(Debug, Default)]
 pub struct Topology {
-    nodes: Vec<Node>,
+    nodes: Vec<Option<Node>>,
+    live: usize,
 }
 
 impl Topology {
     /// Create an empty topology.
     pub fn new() -> Self {
-        Topology { nodes: Vec::new() }
+        Topology {
+            nodes: Vec::new(),
+            live: 0,
+        }
     }
 
     /// Add a node, returning its id.
     pub fn add(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
-        self.nodes.push(Node { id, spec });
+        self.nodes.push(Some(Node { id, spec }));
+        self.live += 1;
         id
     }
 
-    /// Look up a node. Panics on an id from another topology.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
-    }
-
-    /// All nodes in creation order.
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
-    }
-
-    /// Number of nodes.
-    pub fn len(&self) -> usize {
+    /// The id the next [`Topology::add`] call will return.
+    pub fn next_index(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Pin the id of the next node added to `index`, padding the id space
+    /// with holes. Anchors only move forward: `index` must be at least the
+    /// next natural id.
+    pub fn anchor_next_index(&mut self, index: usize) {
+        assert!(
+            index >= self.nodes.len(),
+            "node-id anchor moves backwards: {} < {}",
+            index,
+            self.nodes.len()
+        );
+        self.nodes.resize_with(index, || None);
+    }
+
+    /// Look up a node. Panics on an id from another topology or on a hole
+    /// left by [`Topology::anchor_next_index`].
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node id points at an anchored hole")
+    }
+
+    /// All live nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(|n| n.as_ref())
+    }
+
+    /// Number of live nodes (holes excluded).
+    pub fn len(&self) -> usize {
+        self.live
     }
 
     /// True if no nodes exist.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
     }
 
     /// Geodesic distance between two nodes in kilometres.
@@ -184,7 +217,7 @@ impl Topology {
 
     /// Nodes filtered by role.
     pub fn by_role(&self, role: NodeRole) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(move |n| n.spec.role == role)
+        self.nodes().filter(move |n| n.spec.role == role)
     }
 }
 
@@ -251,5 +284,44 @@ mod tests {
         assert_eq!(topo.node(s).spec.country, Some(*b"US"));
         assert_eq!(topo.by_role(NodeRole::Client).count(), 1);
         assert!(topo.distance_km(c, s) > 100.0);
+    }
+
+    #[test]
+    fn anchored_adds_skip_ids_and_keep_iteration_dense() {
+        let mut topo = Topology::new();
+        let a = topo.add(NodeSpec::new(
+            "a",
+            GeoPoint::new(0.0, 0.0),
+            NodeRole::Client,
+        ));
+        topo.anchor_next_index(5);
+        assert_eq!(topo.next_index(), 5);
+        let b = topo.add(NodeSpec::new(
+            "b",
+            GeoPoint::new(1.0, 1.0),
+            NodeRole::Server,
+        ));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 5);
+        assert_eq!(topo.len(), 2, "holes are not live nodes");
+        assert!(!topo.is_empty());
+        assert_eq!(topo.nodes().count(), 2);
+        assert_eq!(topo.node(b).spec.label, "b");
+        // Anchoring to the current next id is a no-op.
+        topo.anchor_next_index(6);
+        topo.anchor_next_index(6);
+        assert_eq!(topo.next_index(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor moves backwards")]
+    fn anchor_never_moves_backwards() {
+        let mut topo = Topology::new();
+        topo.add(NodeSpec::new(
+            "a",
+            GeoPoint::new(0.0, 0.0),
+            NodeRole::Client,
+        ));
+        topo.anchor_next_index(0);
     }
 }

@@ -75,6 +75,19 @@ impl<W: Write> ChunkWriter<W> {
         Ok(())
     }
 
+    /// Flush the buffered records as a (possibly short) chunk now; a
+    /// no-op when nothing is buffered. Campaign shards call this at
+    /// client-offset boundaries so chunk breaks land at positions that
+    /// are a pure function of the offset — never of how many records an
+    /// earlier shard retained — making store bytes invariant under any
+    /// shard split (DESIGN.md §14).
+    pub fn flush_boundary(&mut self) -> Result<()> {
+        if !self.buffer.is_empty() {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
     /// Flush any buffered records and return the totals. Consumes the
     /// writer; the underlying sink is flushed but not closed.
     pub fn finish(mut self) -> Result<WriterStats> {

@@ -76,13 +76,19 @@ impl GeolocationService {
     /// location is usually correct, but with probability `error_rate` it is
     /// a uniformly random *other* country — the mislabeling the campaign's
     /// mismatch filter must catch.
+    ///
+    /// The mislabel decision draws from a stream forked per prefix, so the
+    /// reported country is a pure function of (service seed, prefix) —
+    /// shards that allocate disjoint prefix ranges of the same pool agree
+    /// exactly with a sequential allocator, draws included.
     pub fn allocate(&mut self, country: &'static str) -> Prefix24 {
         let prefix = Prefix24(self.next_prefix);
         self.next_prefix += 1;
         self.assignments.insert(prefix, country);
-        let reported = if self.rng.chance(self.error_rate) && self.countries.len() > 1 {
+        let mut draw = self.rng.fork_indexed("mislabel", prefix.0 as u64);
+        let reported = if draw.chance(self.error_rate) && self.countries.len() > 1 {
             loop {
-                let candidate = *self.rng.choose(&self.countries);
+                let candidate = *draw.choose(&self.countries);
                 if candidate != country {
                     break candidate;
                 }
@@ -212,6 +218,42 @@ mod tests {
             .chain((0..2).map(|_| b.allocate("US")))
             .collect();
         assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn sharded_bases_reproduce_sequential_mislabels() {
+        // With a high error rate, the *reported* countries (mislabel draws
+        // included) must also be split-invariant: the draw is a pure
+        // function of (seed, prefix), not of allocation order.
+        let countries = vec!["US", "BR", "DE", "NG", "JP"];
+        let mut seq = GeolocationService::new(SimRng::new(7), 0.5, countries.clone());
+        let sequential: Vec<_> = (0..40)
+            .map(|_| {
+                let p = seq.allocate("US");
+                (p, seq.lookup(p))
+            })
+            .collect();
+        for split in [1usize, 7, 20, 39] {
+            let mut a =
+                GeolocationService::with_prefix_base(SimRng::new(7), 0.5, countries.clone(), 0);
+            let mut b = GeolocationService::with_prefix_base(
+                SimRng::new(7),
+                0.5,
+                countries.clone(),
+                split as u32,
+            );
+            let sharded: Vec<_> = (0..split)
+                .map(|_| {
+                    let p = a.allocate("US");
+                    (p, a.lookup(p))
+                })
+                .chain((split..40).map(|_| {
+                    let p = b.allocate("US");
+                    (p, b.lookup(p))
+                }))
+                .collect();
+            assert_eq!(sequential, sharded, "split at {split}");
+        }
     }
 
     #[test]

@@ -39,6 +39,104 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques, mirroring `crossbeam::deque`.
+///
+/// The real crate uses a lock-free Chase-Lev deque; this offline stand-in
+/// uses a mutex-guarded `VecDeque`, which preserves the API and the
+/// owner-takes-front / thief-takes-back discipline. Contention is cold in
+/// this repo's usage (workers steal only when their own queue runs dry),
+/// so the lock is not on any hot path.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner side of a FIFO work queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle other threads use to steal from a [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Create a FIFO worker queue (owner pops the front, thieves steal
+        /// the back — oldest-first for the owner keeps shard order cheap).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle for this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pop the owner's next task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// True when the queue holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Try to steal one task from the victim's end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the victim's queue holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,5 +177,45 @@ mod tests {
         })
         .unwrap();
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn deque_owner_is_fifo_and_thief_takes_back() {
+        let w = super::deque::Worker::new_fifo();
+        let s = w.stealer();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(w.pop(), Some(0));
+        assert_eq!(s.steal(), super::deque::Steal::Success(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), super::deque::Steal::<i32>::Empty);
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deque_steals_across_threads() {
+        let w = super::deque::Worker::new_fifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        super::thread::scope(|sc| {
+            for _ in 0..4 {
+                let st = w.stealer();
+                let taken = &taken;
+                sc.spawn(move |_| {
+                    while st.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(taken.load(Ordering::SeqCst), 1000);
+        assert!(w.is_empty());
     }
 }

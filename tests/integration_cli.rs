@@ -3,8 +3,9 @@
 //! The exit-code surface is part of the CI interface (0 ok, 2 usage,
 //! 3 baseline drift, 4 I/O), so argument validation is locked down at
 //! the process level: unknown `--protocols` values must exit 2 and name
-//! the accepted list, and a valid list must run the `transports`
-//! experiment end to end.
+//! the accepted list, `--shard-size` must reject 0 and non-numeric
+//! values with a usage hint, and a valid protocol list must run the
+//! `transports` experiment end to end.
 
 use std::process::Command;
 
@@ -39,6 +40,52 @@ fn missing_protocols_value_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--protocols"), "{stderr}");
+}
+
+#[test]
+fn shard_size_zero_exits_2_with_a_usage_hint() {
+    // 0 is not an auto value here (unlike --threads): the work-unit
+    // granularity must be at least one client, and silently accepting 0
+    // would hide a typo'd flag value.
+    let out = repro()
+        .args(["--shard-size", "0", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "--shard-size 0 must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--shard-size needs an integer >= 1"),
+        "stderr must explain the constraint:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage: repro"),
+        "stderr must include the usage block:\n{stderr}"
+    );
+}
+
+#[test]
+fn non_numeric_shard_size_exits_2() {
+    let out = repro()
+        .args(["--shard-size", "many", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--shard-size needs an integer >= 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn missing_shard_size_value_exits_2() {
+    let out = repro()
+        .args(["headline", "--shard-size"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--shard-size"), "{stderr}");
 }
 
 #[test]
