@@ -3,7 +3,8 @@
 .PHONY: build test bench doc repro repro-full examples verify clean \
         ci fmt-check clippy perf-smoke baseline store-roundtrip \
         trace-smoke golden-trace alloc-smoke protocol-matrix \
-        protocol-baseline scale-smoke scale-baseline
+        protocol-baseline scale-smoke scale-baseline \
+        pageload-smoke pageload-baseline pageload-bench
 
 build:
 	cargo build --workspace --release
@@ -33,6 +34,7 @@ verify: ci
 	$(MAKE) store-roundtrip
 	$(MAKE) trace-smoke
 	$(MAKE) protocol-matrix
+	$(MAKE) pageload-smoke
 	$(MAKE) alloc-smoke
 	$(MAKE) scale-smoke
 
@@ -97,6 +99,50 @@ protocol-matrix:
 	done
 	@echo "protocol matrix OK: do53/doh/dot/doq metrics match their baselines"
 
+# Page-load smoke (DESIGN.md §15): the two-visit pageload campaign at
+# scale 0.05 streamed through the columnar store (exercising the
+# FLAG_PAGELOAD column group), gated three ways — deterministic metrics
+# (incl. cache.* and campaign.page_*) against their checked-in baseline
+# at tolerance 0, the rendered PLT report re-derived byte-identically
+# from the store, and the sampled flight-recorder trace byte-identical
+# to its committed golden.
+pageload-smoke:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --pages 2 \
+	    --out-format store --store-dir target/ci/store-pageload pageload \
+	    --metrics target/ci/metrics-pageload.json \
+	    --baseline ci/baseline-metrics-pageload.json \
+	    > target/ci/pageload-direct.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --pages 2 \
+	    --from-store target/ci/store-pageload pageload \
+	    > target/ci/pageload-restored.txt
+	cmp target/ci/pageload-direct.txt target/ci/pageload-restored.txt
+	rm -rf target/ci/store-pageload
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 --pages 2 \
+	    --trace-out target/ci/trace-pageload.json --trace-sample 128 pageload > /dev/null
+	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace-pageload.json
+	cmp target/ci/trace-pageload.json ci/golden-trace-pageload.json
+	@echo "pageload smoke OK: metrics, store round-trip and golden trace all match"
+
+# Regenerate the pageload metrics baseline after an intentional change
+# to the page model.
+pageload-baseline:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --pages 2 \
+	    --out-format store --store-dir target/ci/store-pageload pageload \
+	    --metrics ci/baseline-metrics-pageload.json > /dev/null
+	rm -rf target/ci/store-pageload
+
+# Record the page-load throughput trajectory (pages/sec + queries/sec at
+# scale 0.05 and 0.25) into the committed BENCH_pageload.json.
+pageload-bench:
+	cargo run --release -p dohperf-bench --bin pageload_bench -- \
+	    --seed 2021 --out BENCH_pageload.json
+
 # Regenerate the per-protocol baselines after an intentional change to
 # the lifecycle model.
 protocol-baseline:
@@ -133,8 +179,9 @@ trace-smoke:
 	@echo "trace smoke OK: deterministic bytes match both golden traces"
 
 # Zero-allocation gate (DESIGN.md §12). Rebuilds with the counting
-# global allocator, runs the perf-smoke campaign twice in one process,
-# and fails if the warm run makes any steady-state hot-path allocation.
+# global allocator, runs the perf-smoke campaign twice in one process —
+# with the page-load workload folded into both runs (--pages 2) — and
+# fails if the warm run makes any steady-state hot-path allocation.
 # (`alloc.steady_state_allocs` in ci/baseline-metrics.json pins the same
 # contract on the perf-smoke metrics diff.) The throughput + allocs/query
 # report lands in target/ci/alloc.json; the committed before/after record
@@ -142,7 +189,7 @@ trace-smoke:
 alloc-smoke:
 	mkdir -p target/ci
 	cargo run --release -p dohperf-bench --features alloc-count \
-	    --bin alloc_check -- --out target/ci/alloc.json
+	    --bin alloc_check -- --pages 2 --out target/ci/alloc.json
 	cargo test --release -p dohperf --features alloc-count --test integration_alloc
 
 # Regenerate the golden traces after an intentional instrumentation change.
@@ -153,6 +200,9 @@ golden-trace:
 	cargo run --release -p dohperf-bench --bin repro -- \
 	    --seed 2021 --scale 0.02 --threads 2 --protocols do53,doh,dot,doq \
 	    --trace-out ci/golden-trace-protocols.json --trace-sample 128 headline > /dev/null
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.02 --threads 2 --pages 2 \
+	    --trace-out ci/golden-trace-pageload.json --trace-sample 128 pageload > /dev/null
 
 # Write a quick-scale campaign to a store, re-derive the headline from it
 # with --from-store, and require the two outputs to be identical.

@@ -31,6 +31,7 @@ pub mod geography;
 pub mod headline;
 pub mod linear_model;
 pub mod logistic_model;
+pub mod pageload;
 pub mod pop_improvement;
 pub mod regions;
 pub mod render;
@@ -48,6 +49,10 @@ pub use geography::{country_medians, CountryMedian};
 pub use headline::{headline_stats, HeadlineStats};
 pub use linear_model::{fit_linear_models, LinearModelReport};
 pub use logistic_model::{fit_logistic_models, LogisticModelReport};
+pub use pageload::{
+    page_cdfs, page_headlines, page_plt_deltas, page_shape_summary, PageCdfs, PageHeadline,
+    PagePltDelta, PageShapeSummary,
+};
 pub use pop_improvement::{pop_improvement, PopImprovementStats};
 pub use regions::{region_summaries, regional_variation, RegionSummary};
 pub use report::full_report;
@@ -69,6 +74,10 @@ pub mod prelude {
     pub use crate::headline::{headline_stats, HeadlineStats};
     pub use crate::linear_model::{fit_linear_models, LinearModelReport};
     pub use crate::logistic_model::{fit_logistic_models, LogisticModelReport};
+    pub use crate::pageload::{
+        page_cdfs, page_headlines, page_plt_deltas, page_shape_summary, PageCdfs, PageHeadline,
+        PagePltDelta, PageShapeSummary,
+    };
     pub use crate::pop_improvement::{pop_improvement, PopImprovementStats};
     pub use crate::render;
     pub use crate::transports::{

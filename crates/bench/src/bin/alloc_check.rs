@@ -11,6 +11,9 @@
 //! It also reports throughput (queries/sec over the warm simulate
 //! phase) and allocations per query, and with `--out` writes both as
 //! JSON so `make alloc-smoke` can archive `BENCH_alloc.json`.
+//! `--pages 2` folds the page-load workload into both runs, so the
+//! warm pair gates the DAG scheduler, the page cache and the
+//! multiplexed-connection path under the same zero-allocation contract.
 //!
 //! Build with the counting allocator to get real numbers:
 //!
@@ -35,6 +38,7 @@ static ALLOC: alloc::CountingAllocator = alloc::CountingAllocator;
 struct Args {
     seed: u64,
     scale: f64,
+    pages: u32,
     out: Option<std::path::PathBuf>,
 }
 
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seed: 2021,
         scale: 0.05,
+        pages: 0,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -50,12 +55,18 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--pages" => args.pages = value("--pages")?.parse().map_err(|e| format!("{e}"))?,
             "--out" => args.out = Some(value("--out")?.into()),
             "--help" | "-h" => {
-                return Err("usage: alloc_check [--seed N] [--scale F] [--out FILE]".into())
+                return Err(
+                    "usage: alloc_check [--seed N] [--scale F] [--pages N] [--out FILE]".into(),
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.pages == 1 {
+        return Err("--pages must be 0 (off) or >= 2 (cold visit plus warm revisits)".into());
     }
     if !(args.scale > 0.0 && args.scale <= 1.0) {
         return Err("--scale must be in (0, 1]".into());
@@ -78,14 +89,15 @@ fn run_once(config: CampaignConfig) -> RunStats {
     let registry = dohperf_telemetry::global();
     let doh = registry.counter("campaign.doh_queries");
     let do53 = registry.counter("campaign.do53_queries");
-    let queries_before = doh.get() + do53.get();
+    let pages = registry.counter("campaign.page_queries");
+    let queries_before = doh.get() + do53.get() + pages.get();
     alloc::reset();
     let start = Instant::now();
     let dataset = Campaign::new(config).run();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let totals = alloc::totals();
     RunStats {
-        queries: doh.get() + do53.get() - queries_before,
+        queries: doh.get() + do53.get() + pages.get() - queries_before,
         records: dataset.records.len(),
         wall_ms,
         allocs: totals.allocs,
@@ -110,11 +122,13 @@ fn write_json(path: &std::path::Path, args: &Args, warm: &RunStats) -> std::io::
     let apq = warm.allocs as f64 / warm.queries.max(1) as f64;
     let json = format!(
         "{{\n  \"bench\": \"alloc_check\",\n  \"seed\": {},\n  \"scale\": {},\n  \
+         \"pages\": {},\n  \
          \"counting\": {},\n  \"queries\": {},\n  \"wall_ms\": {:.1},\n  \
          \"queries_per_sec\": {:.0},\n  \"allocs\": {},\n  \"alloc_bytes\": {},\n  \
          \"allocs_per_query\": {:.2},\n  \"steady_state_allocs\": {}\n}}\n",
         args.seed,
         args.scale,
+        args.pages,
         alloc::counting_compiled(),
         warm.queries,
         warm.wall_ms,
@@ -142,6 +156,7 @@ fn main() {
         seed: args.seed,
         scale: args.scale,
         threads: 1,
+        pages_per_client: args.pages,
         ..CampaignConfig::default()
     };
 

@@ -1,0 +1,159 @@
+//! Throughput record for the page-load workload.
+//!
+//! Runs the pageload campaign (two visits per page: one cold, one warm)
+//! at scale 0.05 and scale 0.25 in one warmed process and reports
+//! pages/sec and page-queries/sec for each, taken from the
+//! deterministic `campaign.page_visits` / `campaign.page_queries`
+//! counters. With `--out` the two measurements land as JSON — the
+//! committed trajectory is `BENCH_pageload.json`.
+//!
+//! ```text
+//! cargo run --release -p dohperf-bench --bin pageload_bench -- --out BENCH_pageload.json
+//! ```
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    pages: u32,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2021,
+        pages: 2,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--pages" => args.pages = value("--pages")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--help" | "-h" => {
+                return Err("usage: pageload_bench [--seed N] [--pages N] [--out FILE]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.pages < 2 {
+        return Err("--pages must be >= 2 (one cold visit plus warm revisits)".into());
+    }
+    Ok(args)
+}
+
+struct ScaleStats {
+    scale: f64,
+    records: usize,
+    pages: u64,
+    queries: u64,
+    wall_ms: f64,
+}
+
+impl ScaleStats {
+    fn pages_per_sec(&self) -> f64 {
+        self.pages as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"scale\": {}, \"records\": {}, \"pages\": {}, \"page_queries\": {}, \
+             \"wall_ms\": {:.1}, \"pages_per_sec\": {:.0}, \"queries_per_sec\": {:.0} }}",
+            self.scale,
+            self.records,
+            self.pages,
+            self.queries,
+            self.wall_ms,
+            self.pages_per_sec(),
+            self.queries_per_sec()
+        )
+    }
+}
+
+/// Run one pageload campaign and report its page throughput. The page
+/// counters are cumulative across the process, so each run measures the
+/// delta.
+fn run_scale(args: &Args, scale: f64) -> ScaleStats {
+    let registry = dohperf_telemetry::global();
+    let visits = registry.counter("campaign.page_visits");
+    let queries = registry.counter("campaign.page_queries");
+    let (visits_before, queries_before) = (visits.get(), queries.get());
+    let config = CampaignConfig {
+        seed: args.seed,
+        scale,
+        pages_per_client: args.pages,
+        ..CampaignConfig::default()
+    };
+    let start = Instant::now();
+    let dataset = Campaign::new(config).run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    ScaleStats {
+        scale,
+        records: dataset.records.len(),
+        pages: visits.get() - visits_before,
+        queries: queries.get() - queries_before,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Warmup fills the label arena, latency caches and metric handles so
+    // both measured scales run steady-state.
+    let _ = run_scale(&args, 0.05);
+
+    let mut measured = Vec::new();
+    for scale in [0.05, 0.25] {
+        let s = run_scale(&args, scale);
+        eprintln!(
+            "scale {}: {} pages ({} page queries, {} records) in {:.0} ms = \
+             {:.0} pages/sec, {:.0} queries/sec",
+            s.scale,
+            s.pages,
+            s.queries,
+            s.records,
+            s.wall_ms,
+            s.pages_per_sec(),
+            s.queries_per_sec()
+        );
+        measured.push(s);
+    }
+
+    if let Some(path) = &args.out {
+        // Hand-rolled JSON: the offline serde shim has no serializer.
+        let scales: Vec<String> = measured
+            .iter()
+            .map(|s| format!("    {}", s.json()))
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"pageload_bench\",\n  \"seed\": {},\n  \
+             \"visits_per_page\": {},\n  \
+             \"method\": \"one warmed process runs the two-visit pageload campaign at each \
+             scale; pages/sec and queries/sec come from the deterministic \
+             campaign.page_visits / campaign.page_queries counters over the wall clock of \
+             the run\",\n  \"scales\": [\n{}\n  ]\n}}\n",
+            args.seed,
+            args.pages,
+            scales.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {}", path.display());
+    }
+}

@@ -4,7 +4,8 @@
 //! ```text
 //! repro [--seed N] [--scale F] [--threads N] [--shard-size N]
 //!       [--metrics PATH] [--baseline PATH] [--tolerance F]
-//!       [--protocols LIST] [--out-format both|csv|jsonl|store]
+//!       [--protocols LIST] [--pages N]
+//!       [--out-format both|csv|jsonl|store]
 //!       [--store-dir DIR] [--from-store DIR] [--trace-out PATH]
 //!       [--trace-sample N] <experiment>...
 //! repro all                    # everything, in paper order
@@ -18,6 +19,15 @@
 //! experiment renders the per-protocol headline tables and CDFs. Unknown
 //! protocol names exit 2 listing the accepted values. The lifecycle
 //! measurements never perturb the legacy DoH/Do53 draws (DESIGN.md §13).
+//!
+//! `--pages N` (N >= 2) enables the page-load workload: every client
+//! resolves one synthetic dependency DAG over each (transport, provider)
+//! pair — all queries multiplexed on a single connection with the stub
+//! cache in the loop — once cold and N-1 times warm; the `pageload`
+//! experiment renders the per-transport PLT tables, paired deltas vs
+//! Do53 and cold/warm CDFs. Values below 2 exit 2 (a page needs a cold
+//! visit plus at least one revisit). Like `--protocols`, enabling pages
+//! never perturbs the legacy draws (DESIGN.md §15).
 //!
 //! `--trace-out PATH` exports the flight recorder's sampled query traces
 //! as Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
@@ -61,7 +71,7 @@
 
 use dohperf_bench::{OutFormat, ReproConfig, ReproContext};
 
-const EXPERIMENTS: [&str; 28] = [
+const EXPERIMENTS: [&str; 29] = [
     "table1",
     "table2",
     "sec4-3",
@@ -87,6 +97,7 @@ const EXPERIMENTS: [&str; 28] = [
     "ablation-vantage",
     "compare-dot",
     "transports",
+    "pageload",
     "export",
     "figdata",
     "report",
@@ -182,6 +193,15 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--store-dir needs a path"))
                     .into();
+            }
+            "--pages" => {
+                config.pages = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u32| n >= 2)
+                    .unwrap_or_else(|| {
+                        usage("--pages needs an integer >= 2 (one cold visit plus warm revisits)")
+                    });
             }
             "--protocols" => {
                 let list = args
@@ -289,6 +309,7 @@ fn main() {
             "ablation-vantage" => ctx.ablation_vantage(),
             "compare-dot" => ctx.compare_dot(),
             "transports" => ctx.transports(),
+            "pageload" => ctx.pageload(),
             _ => unreachable!("validated above"),
         };
         println!("{}", "=".repeat(100));
@@ -351,7 +372,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--seed N] [--scale F] [--threads N] [--shard-size N] [--metrics PATH] \
-         [--baseline PATH] [--tolerance F] [--protocols do53,doh,dot,doq] \
+         [--baseline PATH] [--tolerance F] [--protocols do53,doh,dot,doq] [--pages N] \
          [--out-format both|csv|jsonl|store] \
          [--store-dir DIR] [--from-store DIR] [--trace-out PATH] [--trace-sample N] \
          <experiment>...\n       repro all\n       repro explain --query ID\nexperiments: {}",

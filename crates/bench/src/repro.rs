@@ -87,6 +87,11 @@ pub struct ReproConfig {
     /// `threads`, a throughput knob only: output is byte-identical for
     /// every shard size (DESIGN.md §14).
     pub shard_size: usize,
+    /// Page visits per (client, transport, provider) for the page-load
+    /// workload (`--pages N`, N >= 2: one cold visit plus N-1 warm
+    /// revisits). 0 (the default) disables the workload and keeps the
+    /// campaign byte-identical to the legacy pipeline (DESIGN.md §15).
+    pub pages: u32,
 }
 
 impl Default for ReproConfig {
@@ -102,6 +107,7 @@ impl Default for ReproConfig {
             trace_sample: 0,
             protocols: ProtocolSet::EMPTY,
             shard_size: 0,
+            pages: 0,
         }
     }
 }
@@ -145,6 +151,7 @@ impl ReproContext {
             threads: self.config.threads,
             protocols: self.config.protocols,
             shard_size: self.config.shard_size,
+            pages_per_client: self.config.pages,
             ..CampaignConfig::default()
         }
     }
@@ -1163,6 +1170,98 @@ DoT trades lighter framing for port-853 middlebox exposure)
         }
         out
     }
+
+    /// Page-load workload: critical-path PLT of a synthetic dependency
+    /// DAG per transport, cold (empty cache, cold connection) vs warm
+    /// (live cache, kept-alive connection), with paired PLT deltas
+    /// against Do53 on the same page. Requires a `--pages` campaign;
+    /// legacy datasets carry no page samples.
+    pub fn pageload(&mut self) -> String {
+        let pages = self.config.pages;
+        let ds = self.dataset();
+        let rows = page_headlines(ds);
+        if rows.is_empty() {
+            return String::from(
+                "Page-load workload: no page samples in this dataset.\n\
+                 Run with --pages 2 (or more visits) to measure it.\n",
+            );
+        }
+        let mut out = String::from(
+            "Page-load workload: dependency-graph resolution over one multiplexed \
+             connection per (client, provider, transport)\n",
+        );
+        if let Some(shape) = page_shape_summary(ds) {
+            let _ = writeln!(
+                out,
+                "visits per page: {}   pages: {}   median shape: {:.0} domains, \
+                 {:.0} unique names, depth {:.0}",
+                pages,
+                shape.pages,
+                shape.median_domains,
+                shape.median_unique_names,
+                shape.median_depth,
+            );
+        }
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.transport.name().to_string(),
+                    f(r.median_plt_cold_ms, 1),
+                    f(r.median_plt_warm_ms, 1),
+                    f(r.median_warm_savings_ms, 1),
+                    f(r.median_cold_cache_hits, 1),
+                    f(r.median_warm_cache_hits, 1),
+                ]
+            })
+            .collect();
+        out += &table(
+            &[
+                "Transport",
+                "PLT cold",
+                "PLT warm",
+                "Warm saves",
+                "Hits cold",
+                "Hits warm",
+            ],
+            &body,
+        );
+        out += "(median ms; PLT = critical path through the page's resolution DAG,\n\
+                 cold = empty cache + cold connection, warm = revisit with both live)\n\n";
+
+        out += "PLT delta vs Do53 on the same page (paired per client and provider):\n";
+        let delta_body: Vec<Vec<String>> = page_plt_deltas(ds)
+            .iter()
+            .map(|d| {
+                vec![
+                    d.transport.name().to_string(),
+                    f(d.median_cold_delta_ms, 1),
+                    f(d.median_warm_delta_ms, 1),
+                    pct(d.warm_wins_fraction),
+                ]
+            })
+            .collect();
+        out += &table(
+            &["Transport", "Cold delta", "Warm delta", "Warm wins"],
+            &delta_body,
+        );
+        out += "(median ms added over Do53; warm wins = share of pages the encrypted\n\
+                 transport loads faster than Do53 once caches and connections are warm)\n";
+
+        for panel in page_cdfs(ds) {
+            let _ = writeln!(
+                out,
+                "\n{} PLT CDF (cold p50 {:.0}ms, p90 {:.0}ms; warm p50 {:.0}ms, p90 {:.0}ms):",
+                panel.transport.name(),
+                panel.cold.median(),
+                panel.cold.quantile(0.9),
+                panel.warm.median(),
+                panel.warm.quantile(0.9),
+            );
+            out += &dohperf_analysis::render::ascii_cdf(&panel.cold.values, &panel.cold.probs, 50);
+        }
+        out
+    }
 }
 
 /// Render one replayed client's annotated timeline: the span tree with
@@ -1399,6 +1498,38 @@ mod tests {
         // says so instead of rendering an empty table.
         let mut legacy = quick_context();
         assert!(legacy.transports().contains("no lifecycle samples"));
+    }
+
+    #[test]
+    fn pageload_experiment_renders_plt_tables_and_cdfs() {
+        let mut ctx = ReproContext::new(ReproConfig {
+            seed: 7,
+            scale: 0.02,
+            pages: 2,
+            ..ReproConfig::default()
+        });
+        let text = ctx.pageload();
+        for needle in [
+            "Page-load workload",
+            "PLT cold",
+            "PLT warm",
+            "Warm saves",
+            "PLT delta vs Do53",
+            "Warm wins",
+            "PLT CDF",
+            "doq",
+            "dot",
+            "median shape",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("NaN"), "pageload output contains NaN");
+        // A legacy campaign has no page samples; the experiment says so
+        // and points at the flag instead of rendering an empty table.
+        let mut legacy = quick_context();
+        let guidance = legacy.pageload();
+        assert!(guidance.contains("no page samples"), "{guidance}");
+        assert!(guidance.contains("--pages 2"), "{guidance}");
     }
 
     #[test]

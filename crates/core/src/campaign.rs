@@ -31,7 +31,8 @@ use crate::equations::{
     derive_transport_cold_ms, derive_transport_handshake_ms, derive_transport_resumed_ms,
     derive_transport_warm_ms, record_derivation, record_transport_derivation, DerivationBatch,
 };
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
+use crate::pageload;
+use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample};
 use crate::store_io;
 use crate::testbed::{format_subdomain, Testbed, SUBDOMAIN_BUF_LEN};
 use crossbeam::deque;
@@ -183,6 +184,12 @@ pub struct CampaignConfig {
     /// Extra transports measured through the connection-lifecycle model
     /// (empty = legacy DoH/Do53 only; see [`ProtocolSet`]).
     pub protocols: ProtocolSet,
+    /// Page visits per (client, transport, provider) triple for the
+    /// page-load workload (DESIGN.md §15): one cold visit plus
+    /// `pages_per_client - 1` warm revisits. `0` disables the workload
+    /// (the legacy default); any enabled value must be at least 2 so
+    /// every page has both a cold and a warm PLT.
+    pub pages_per_client: u32,
 }
 
 impl Default for CampaignConfig {
@@ -199,6 +206,7 @@ impl Default for CampaignConfig {
             threads: 0,
             shard_size: 0,
             protocols: ProtocolSet::EMPTY,
+            pages_per_client: 0,
         }
     }
 }
@@ -557,6 +565,19 @@ impl Campaign {
     /// sequential walk over the countries would assign), and the worker
     /// thread count.
     fn plan(&self) -> Plan {
+        // Register the deterministic stub-cache counters up front: legacy
+        // campaigns pin them at zero instead of omitting them (the metrics
+        // gate treats a baseline metric missing from a run as drift), and
+        // page-load campaigns register their page counters the same way so
+        // a loss-free run still reports every pinned metric.
+        let _ = dohperf_telemetry::counter!("cache.hits");
+        let _ = dohperf_telemetry::counter!("cache.misses");
+        let _ = dohperf_telemetry::counter!("cache.evictions");
+        if self.config.pages_per_client > 0 {
+            let _ = dohperf_telemetry::counter!("campaign.page_visits");
+            let _ = dohperf_telemetry::counter!("campaign.page_queries");
+            let _ = dohperf_telemetry::counter!("campaign.page_tcp_stalls");
+        }
         let root_rng = SimRng::new(self.config.seed).fork("campaign");
         let population = PopulationModel::sample(&mut root_rng.clone());
         let country_list: Vec<&'static Country> = population.countries().to_vec();
@@ -720,6 +741,10 @@ impl Campaign {
             .population
             .client_sites(spec.country, &mut root_rng.clone());
         let mut batch = DerivationBatch::with_capacity(self.config.runs_per_client as usize);
+        // Page shape parameters are a per-country fork of the root
+        // stream, so every range of a country sees the same profile.
+        let page_profile = (self.config.pages_per_client > 0)
+            .then(|| pageload::PageProfile::for_country(root_rng, iso));
         let chunk_every = sink.chunk_every();
         let mut retained = 0usize;
         let mut discarded = 0usize;
@@ -778,7 +803,14 @@ impl Campaign {
                 client_id,
                 &mut client_rng,
             );
-            let record = self.measure_client(&mut tb, &exit, &geoloc, &mut client_rng, &mut batch);
+            let record = self.measure_client(
+                &mut tb,
+                &exit,
+                &geoloc,
+                &mut client_rng,
+                &mut batch,
+                page_profile.as_ref(),
+            );
             let agrees = record.countries_agree();
             if let Some(span) = root_span {
                 flight::attr(span, "maxmind_country", record.maxmind_country.to_string());
@@ -852,6 +884,7 @@ impl Campaign {
         geoloc: &GeolocationService,
         client_rng: &mut SimRng,
         batch: &mut DerivationBatch,
+        page_profile: Option<&pageload::PageProfile>,
     ) -> ClientRecord {
         let mut doh = Vec::with_capacity(ALL_PROVIDERS.len());
         for (pi, &provider) in ALL_PROVIDERS.iter().enumerate() {
@@ -1024,6 +1057,74 @@ impl Campaign {
             });
         }
 
+        // Page-load workload (DESIGN.md §15): one synthetic dependency
+        // DAG per client, replayed over every (transport, provider)
+        // pair with a shared connection and the stub cache in the loop.
+        // Same isolation discipline as the transports block above: runs
+        // strictly after the legacy loops, draws only from page-keyed
+        // forks of `client_rng`, and rolls the simulator's internal
+        // streams back afterwards — so enabling pages never perturbs
+        // the legacy or transports samples, for this client or any
+        // later one.
+        let mut pages = Vec::new();
+        if let Some(profile) = page_profile {
+            let visits = self.config.pages_per_client;
+            debug_assert!(
+                visits >= 2,
+                "pages_per_client needs a cold visit plus at least one warm revisit"
+            );
+            // One page per client, shared by all pairs: the PLT deltas
+            // compare transports on the *same* DAG, isolating protocol
+            // effects from page-shape noise.
+            let mut model_rng = client_rng.fork("page-model");
+            let model = pageload::PageModel::generate(profile, &mut model_rng);
+            pages.reserve_exact(DnsTransport::ALL.len() * ALL_PROVIDERS.len());
+            let auth_ns = tb.auth_ns;
+            let Testbed {
+                sim, deployments, ..
+            } = tb;
+            sim.with_rng_checkpoint(|sim| {
+                for &transport in DnsTransport::ALL.iter() {
+                    for (pi, &provider) in ALL_PROVIDERS.iter().enumerate() {
+                        let deployment = &deployments[pi];
+                        // Same sticky anycast PoP the legacy DoH loop
+                        // used for this (client, provider) pair.
+                        let pop_index = doh[pi].pop_index;
+                        let mut p_rng = client_rng.fork_parts(&[
+                            "page-",
+                            transport.name(),
+                            "-",
+                            provider.name(),
+                        ]);
+                        let outcome = pageload::measure_page(
+                            sim,
+                            exit,
+                            provider,
+                            deployment,
+                            pop_index,
+                            auth_ns,
+                            transport,
+                            self.config.measurement.extra_loss_p,
+                            &model,
+                            visits,
+                            &mut p_rng,
+                        );
+                        pages.push(PageSample {
+                            transport,
+                            provider,
+                            domains: model.len() as u32,
+                            unique_names: model.unique_names as u32,
+                            depth: model.max_depth(),
+                            plt_cold_ms: outcome.plt_cold_ms,
+                            plt_warm_ms: outcome.plt_warm_ms,
+                            cold_cache_hits: outcome.cold_cache_hits,
+                            warm_cache_hits: outcome.warm_cache_hits,
+                        });
+                    }
+                }
+            });
+        }
+
         let ns_pos = tb.sim.topology().node(tb.auth_ns).spec.position;
         ClientRecord {
             client_id: exit.id,
@@ -1037,6 +1138,7 @@ impl Campaign {
             do53_ms,
             do53_source,
             transports,
+            pages,
         }
     }
 }
@@ -1488,6 +1590,180 @@ mod tests {
         );
         // Out-of-range ids are rejected, not mis-attributed.
         assert!(Campaign::explain_client(config, u64::MAX).is_none());
+    }
+
+    #[test]
+    fn pageload_never_perturbs_legacy_or_transport_samples() {
+        // The DESIGN.md §15 fork-discipline contract, stacked on §13's:
+        // enabling the page-load workload must leave every legacy field
+        // *and* every transports sample bit-identical, because the page
+        // draws come only from fresh page-keyed forks taken after both
+        // blocks, under the same simulator-RNG checkpoint discipline.
+        let base = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            ..CampaignConfig::quick(7)
+        };
+        let without = Campaign::new(base).run();
+        let with = Campaign::new(CampaignConfig {
+            pages_per_client: 2,
+            ..base
+        })
+        .run();
+        assert_eq!(without.records.len(), with.records.len());
+        for (l, e) in without.records.iter().zip(&with.records) {
+            assert_eq!(l.client_id, e.client_id);
+            assert_eq!(l.doh, e.doh, "client {}", l.client_id);
+            assert_eq!(l.do53_ms, e.do53_ms);
+            assert_eq!(l.do53_source, e.do53_source);
+            assert_eq!(l.transports, e.transports, "client {}", l.client_id);
+            assert!(l.pages.is_empty());
+            assert_eq!(e.pages.len(), 4 * ALL_PROVIDERS.len());
+        }
+        assert_eq!(without.atlas_do53_ms, with.atlas_do53_ms);
+        assert_eq!(without.discarded_mismatches, with.discarded_mismatches);
+    }
+
+    #[test]
+    fn page_samples_cover_every_pair_and_share_one_dag() {
+        let ds = Campaign::new(CampaignConfig {
+            scale: 0.02,
+            pages_per_client: 3,
+            ..CampaignConfig::quick(13)
+        })
+        .run();
+        let mut warm_savings = 0usize;
+        let mut warm_hits = 0u64;
+        for record in &ds.records {
+            assert_eq!(record.pages.len(), 4 * ALL_PROVIDERS.len());
+            let first = &record.pages[0];
+            for transport in DnsTransport::ALL {
+                for &provider in ALL_PROVIDERS.iter() {
+                    let s = record
+                        .page_sample(transport, provider)
+                        .unwrap_or_else(|| panic!("missing {transport:?} {provider:?} page"));
+                    // All sixteen pairs replay the same client DAG, so
+                    // the shape columns must agree exactly.
+                    assert_eq!(s.domains, first.domains);
+                    assert_eq!(s.unique_names, first.unique_names);
+                    assert_eq!(s.depth, first.depth);
+                    assert!((4..=32).contains(&s.domains));
+                    assert!(s.unique_names <= s.domains);
+                    assert!((1..=4).contains(&s.depth));
+                    assert!(s.plt_cold_ms > 0.0, "{transport:?} cold PLT");
+                    assert!(s.plt_warm_ms > 0.0, "{transport:?} warm PLT");
+                    if s.plt_warm_ms < s.plt_cold_ms {
+                        warm_savings += 1;
+                    }
+                    warm_hits += u64::from(s.warm_cache_hits);
+                }
+            }
+        }
+        let total = ds.records.len() * 4 * ALL_PROVIDERS.len();
+        // Warm visits skip the handshake and mostly hit the cache; the
+        // overwhelming majority must come out faster than cold.
+        assert!(
+            warm_savings * 10 >= total * 9,
+            "only {warm_savings}/{total} pages were faster warm"
+        );
+        assert!(warm_hits > 0, "warm revisits should hit the stub cache");
+    }
+
+    #[test]
+    fn pageload_campaign_round_trips_through_the_store() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            pages_per_client: 2,
+            ..CampaignConfig::quick(11)
+        };
+        let direct = Campaign::new(config).run();
+        let dir =
+            std::env::temp_dir().join(format!("dohperf-campaign-pageload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = Campaign::new(config).run_to_store(&dir, 64).unwrap();
+        assert_eq!(summary.stats.records as usize, direct.records.len());
+        let back = crate::store_io::read_dataset(&dir).unwrap();
+        assert_eq!(back.records, direct.records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pageload_store_bytes_are_invariant_across_threads_and_shard_sizes() {
+        // The per-client epoch discipline extends to the event-driven
+        // page visits: every page event drains inside its client's
+        // epoch, so the merged store stays a pure function of the seed.
+        let base = CampaignConfig {
+            scale: 0.02,
+            pages_per_client: 2,
+            ..CampaignConfig::quick(11)
+        };
+        let run = |shard_size: usize, threads: usize, tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "dohperf-campaign-pageshard-{}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let config = CampaignConfig {
+                shard_size,
+                threads,
+                ..base
+            };
+            Campaign::new(config).run_to_store(&dir, 16).unwrap();
+            let records = std::fs::read(dir.join(RECORDS_FILE)).unwrap();
+            let manifest = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            (records, manifest)
+        };
+        let reference = run(usize::MAX, 1, "ref");
+        for (shard_size, threads, tag) in [(8usize, 3usize, "s8t3"), (1, 2, "s1t2")] {
+            let got = run(shard_size, threads, tag);
+            assert_eq!(reference.0, got.0, "records bytes, shard_size {shard_size}");
+            assert_eq!(
+                reference.1, got.1,
+                "manifest bytes, shard_size {shard_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_replays_a_page_timeline() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            pages_per_client: 2,
+            ..CampaignConfig::quick(11)
+        };
+        let ds = Campaign::new(config).run();
+        let target = &ds.records[1];
+        let explain = Campaign::explain_client(config, target.client_id).unwrap();
+        assert_eq!(explain.record, *target);
+        let spans = &explain.trace.spans;
+        let pages = spans
+            .iter()
+            .filter(|s| s.target == "pageload" && s.name.starts_with("page "))
+            .count();
+        assert_eq!(pages, 4 * ALL_PROVIDERS.len(), "one page span per pair");
+        let visits = spans
+            .iter()
+            .filter(|s| s.target == "pageload" && s.name.starts_with("visit "))
+            .count();
+        assert_eq!(visits, 2 * 4 * ALL_PROVIDERS.len(), "cold + warm per pair");
+        let resolves: Vec<_> = spans
+            .iter()
+            .filter(|s| s.target == "pageload" && s.name.starts_with("resolve "))
+            .collect();
+        let per_pair = target.pages[0].domains as usize;
+        assert_eq!(
+            resolves.len(),
+            2 * per_pair * 4 * ALL_PROVIDERS.len(),
+            "every node of every visit leaves a resolve span"
+        );
+        assert!(
+            resolves
+                .iter()
+                .any(|s| s.attrs.iter().any(|(k, v)| k == &"cache" && v == "hit")),
+            "warm revisit resolves should include cache hits"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod campaign;
 pub mod equations;
 pub mod export;
+pub mod pageload;
 pub mod records;
 pub mod store_io;
 pub mod testbed;
@@ -40,7 +41,8 @@ pub use equations::{
     derive_transport_handshake_ms, derive_transport_resumed_ms, derive_transport_warm_ms, doh_n_ms,
 };
 pub use export::{to_csv, to_jsonl};
-pub use records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
+pub use pageload::{PageModel, PageOutcome, PageProfile};
+pub use records::{ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample};
 pub use store_io::{read_dataset, read_records, write_dataset};
 pub use testbed::Testbed;
 
@@ -48,7 +50,9 @@ pub use testbed::Testbed;
 pub mod prelude {
     pub use crate::campaign::{Campaign, CampaignConfig, ProtocolSet};
     pub use crate::equations::{derive_rtt_ms, derive_t_doh_ms, derive_t_dohr_ms, doh_n_ms};
-    pub use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
+    pub use crate::records::{
+        ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample,
+    };
     pub use crate::testbed::Testbed;
     pub use crate::validation;
 }

@@ -78,6 +78,45 @@ impl TransportSample {
     }
 }
 
+/// One page-load measurement for one (client, provider, transport)
+/// triple — the page-load workload's PLT dimension (DESIGN.md §15).
+/// Present only when the campaign enables `pages_per_client`.
+///
+/// The page is a synthetic dependency DAG of DNS resolutions; PLT is
+/// the critical path through that DAG with every query multiplexed
+/// over one shared connection. The cold visit starts with an empty
+/// `DnsCache` and a cold connection; warm visits revisit the same page
+/// with the cache and connection still live.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageSample {
+    /// Which transport carried every resolution of the page.
+    pub transport: DnsTransport,
+    /// Which provider PoP the shared connection targeted.
+    pub provider: ProviderKind,
+    /// DAG nodes: resource fetches that each need a resolution.
+    pub domains: u32,
+    /// Distinct hostnames among the nodes (shared CDN hosts repeat).
+    pub unique_names: u32,
+    /// Longest dependency chain in the DAG (root is depth 0).
+    pub depth: u32,
+    /// Critical-path PLT of the cold visit (empty cache, cold
+    /// connection), ms.
+    pub plt_cold_ms: f64,
+    /// Median critical-path PLT over the warm revisits, ms.
+    pub plt_warm_ms: f64,
+    /// Cache hits during the cold visit (intra-page duplicates only).
+    pub cold_cache_hits: u32,
+    /// Cache hits summed over the warm revisits (cross-page reuse).
+    pub warm_cache_hits: u32,
+}
+
+impl PageSample {
+    /// How much the warm revisit saves over the cold visit, ms.
+    pub fn warm_savings_ms(&self) -> f64 {
+        self.plt_cold_ms - self.plt_warm_ms
+    }
+}
+
 /// One client's full record.
 ///
 /// `Serialize`-only: records reference the `'static` country table, so
@@ -108,6 +147,9 @@ pub struct ClientRecord {
     /// Extended-transport lifecycle samples, in (transport, provider)
     /// measurement order. Empty for legacy DoH/Do53-only campaigns.
     pub transports: Vec<TransportSample>,
+    /// Page-load samples, in (transport, provider) measurement order.
+    /// Empty unless the campaign enables the page-load workload.
+    pub pages: Vec<PageSample>,
 }
 
 impl ClientRecord {
@@ -129,6 +171,17 @@ impl ClientRecord {
         provider: ProviderKind,
     ) -> Option<&TransportSample> {
         self.transports
+            .iter()
+            .find(|s| s.transport == transport && s.provider == provider)
+    }
+
+    /// The page-load sample for one (transport, provider), if measured.
+    pub fn page_sample(
+        &self,
+        transport: DnsTransport,
+        provider: ProviderKind,
+    ) -> Option<&PageSample> {
+        self.pages
             .iter()
             .find(|s| s.transport == transport && s.provider == provider)
     }
@@ -235,6 +288,7 @@ mod tests {
             do53_ms: Some(250.0),
             do53_source: Do53Source::BrightDataHeader,
             transports: Vec::new(),
+            pages: Vec::new(),
         };
         assert!(rec.countries_agree());
         assert!(rec.sample(ProviderKind::Google).is_some());
@@ -255,6 +309,7 @@ mod tests {
             do53_ms: None,
             do53_source: Do53Source::RipeAtlasRemedy,
             transports: Vec::new(),
+            pages: Vec::new(),
         };
         let ds = Dataset {
             records: vec![rec],

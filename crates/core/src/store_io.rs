@@ -17,13 +17,13 @@
 //! [`crate::campaign::Campaign::run_to_store`] uses the same conversion
 //! while streaming records straight off the measurement loop.
 
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, TransportSample};
+use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample};
 use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::topology::GeoPoint;
 use dohperf_providers::provider::ALL_PROVIDERS;
 use dohperf_store::{
-    ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StoreRecord,
-    StoreTransportSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
+    ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StorePageSample,
+    StoreRecord, StoreTransportSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
 };
 use dohperf_world::geoloc::Prefix24;
 use std::fs::File;
@@ -78,6 +78,28 @@ pub fn record_to_store(r: &ClientRecord) -> StoreRecord {
                 warm_ms: s.warm_ms,
                 resumed_ms: s.resumed_ms,
                 handshake_ms: s.handshake_ms,
+            })
+            .collect(),
+        pages: r
+            .pages
+            .iter()
+            .map(|s| StorePageSample {
+                transport: DnsTransport::ALL
+                    .iter()
+                    .position(|&t| t == s.transport)
+                    .expect("every transport is in DnsTransport::ALL")
+                    as u8,
+                provider: ALL_PROVIDERS
+                    .iter()
+                    .position(|&p| p == s.provider)
+                    .expect("every provider is in ALL_PROVIDERS") as u8,
+                domains: s.domains,
+                unique_names: s.unique_names,
+                depth: s.depth,
+                plt_cold_ms: s.plt_cold_ms,
+                plt_warm_ms: s.plt_warm_ms,
+                cold_cache_hits: s.cold_cache_hits,
+                warm_cache_hits: s.warm_cache_hits,
             })
             .collect(),
     }
@@ -137,6 +159,39 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    let pages = r
+        .pages
+        .iter()
+        .map(|s| {
+            let transport = *DnsTransport::ALL.get(s.transport as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: page transport ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.transport,
+                    DnsTransport::ALL.len()
+                ))
+            })?;
+            let provider = *ALL_PROVIDERS.get(s.provider as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: page provider ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.provider,
+                    ALL_PROVIDERS.len()
+                ))
+            })?;
+            Ok(PageSample {
+                transport,
+                provider,
+                domains: s.domains,
+                unique_names: s.unique_names,
+                depth: s.depth,
+                plt_cold_ms: s.plt_cold_ms,
+                plt_warm_ms: s.plt_warm_ms,
+                cold_cache_hits: s.cold_cache_hits,
+                warm_cache_hits: s.warm_cache_hits,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(ClientRecord {
         client_id: r.client_id,
         country_iso: intern_iso(r.country_iso, r.client_id)?,
@@ -158,6 +213,7 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
             }
         },
         transports,
+        pages,
     })
 }
 
@@ -399,6 +455,30 @@ mod tests {
         store.transports.push(bad_sample(0, 77));
         let err = record_from_store(&store).unwrap_err().to_string();
         assert!(err.contains("transport provider ordinal 77"), "{err}");
+    }
+
+    #[test]
+    fn bad_page_ordinals_are_rejected() {
+        let bad_sample = |transport: u8, provider: u8| StorePageSample {
+            transport,
+            provider,
+            domains: 12,
+            unique_names: 10,
+            depth: 3,
+            plt_cold_ms: 1.0,
+            plt_warm_ms: 1.0,
+            cold_cache_hits: 2,
+            warm_cache_hits: 10,
+        };
+        let mut store = record_to_store(&dataset().records[0]);
+        store.pages.push(bad_sample(11, 0));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("page transport ordinal 11"), "{err}");
+
+        let mut store = record_to_store(&dataset().records[0]);
+        store.pages.push(bad_sample(0, 66));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("page provider ordinal 66"), "{err}");
     }
 
     #[test]

@@ -1,13 +1,30 @@
-//! A TTL-driven DNS cache.
+//! A TTL-driven DNS cache with a bounded footprint.
 //!
 //! The paper deliberately measures *cache misses* (fresh UUID subdomains),
 //! but the surrounding system still needs a cache: resolvers cache the NS
 //! records of the measurement zone, exit nodes cache the DoH provider's
-//! bootstrap A record, and the "cache hits vs misses" future-work item
-//! (§7) is exercised in tests and examples through this type.
+//! bootstrap A record, and the page-load workload (DESIGN.md §15) keeps a
+//! per-(client, provider, transport) cache in the resolution loop so
+//! intra-page and cross-page hits shape PLT.
 //!
 //! Time is supplied by the caller in whole seconds, so the cache works with
 //! both simulated and wall-clock time.
+//!
+//! # Bounded memory and deterministic LRU
+//!
+//! A cache built with [`DnsCache::with_capacity`] never holds more than
+//! `capacity` entries: inserting a fresh key into a full cache first evicts
+//! the least-recently-used entry. Recency is tracked by a monotonic
+//! operation tick stamped on insert and on every hit — ticks are unique, so
+//! the LRU victim is always well defined and the eviction order never
+//! depends on `HashMap` iteration order (which is seeded per-process and
+//! would break the byte-identity contract). [`DnsCache::new`] keeps the
+//! historical unbounded behaviour for callers that manage their own bounds.
+//!
+//! Every removal of a live entry — LRU pressure, [`DnsCache::evict_expired`]
+//! sweeps, or lazy expiry during [`DnsCache::get`] — increments the
+//! deterministic `cache.evictions` counter; lookups increment `cache.hits`
+//! or `cache.misses`.
 
 use crate::name::DnsName;
 use crate::record::ResourceRecord;
@@ -27,43 +44,106 @@ pub struct CacheKey {
 struct CacheEntry {
     records: Vec<ResourceRecord>,
     expires_at: u64,
+    /// Monotonic recency stamp: updated on insert and on every hit.
+    /// Unique per cache, so LRU selection is deterministic.
+    last_used: u64,
 }
 
-/// A positive-answer cache with per-entry absolute expiry.
-#[derive(Debug, Default)]
+/// A positive-answer cache with per-entry absolute expiry and an optional
+/// capacity bound enforced by deterministic LRU eviction.
+#[derive(Debug)]
 pub struct DnsCache {
     entries: HashMap<CacheKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for DnsCache {
+    fn default() -> Self {
+        DnsCache::new()
+    }
 }
 
 impl DnsCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the historical behaviour).
     pub fn new() -> Self {
-        DnsCache::default()
+        DnsCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache holding at most `capacity` entries; inserting into a
+    /// full cache evicts the least-recently-used entry first.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "DnsCache capacity must be at least 1");
+        DnsCache {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict the least-recently-used entry. Ticks are unique, so the
+    /// minimum is unambiguous and independent of HashMap iteration order.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            self.entries.remove(&k);
+            self.evictions += 1;
+            dohperf_telemetry::counter!("cache.evictions").inc();
+        }
     }
 
     /// Insert records under `key`, expiring `ttl` seconds after `now`.
-    /// A zero TTL is honoured as "do not cache".
+    /// A zero TTL is honoured as "do not cache". Refreshing an existing
+    /// key updates its recency; a fresh key entering a full cache evicts
+    /// the least-recently-used entry first.
     pub fn insert(&mut self, key: CacheKey, records: Vec<ResourceRecord>, now: u64, ttl: u32) {
         if ttl == 0 {
             return;
         }
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let last_used = self.next_tick();
         self.entries.insert(
             key,
             CacheEntry {
                 records,
                 expires_at: now.saturating_add(u64::from(ttl)),
+                last_used,
             },
         );
     }
 
     /// Look up `key` at time `now`; expired entries are evicted lazily.
+    /// A hit refreshes the entry's LRU recency.
     pub fn get(&mut self, key: &CacheKey, now: u64) -> Option<&[ResourceRecord]> {
-        match self.entries.get(key) {
+        let tick = self.tick + 1;
+        match self.entries.get_mut(key) {
             Some(entry) if entry.expires_at > now => {
+                self.tick = tick;
+                entry.last_used = tick;
                 self.hits += 1;
-                dohperf_telemetry::counter!("dnswire.cache_hits").inc();
+                dohperf_telemetry::counter!("cache.hits").inc();
                 // Reborrow immutably for the return.
                 Some(
                     self.entries
@@ -76,22 +156,31 @@ impl DnsCache {
             Some(_) => {
                 self.entries.remove(key);
                 self.misses += 1;
-                dohperf_telemetry::counter!("dnswire.cache_misses").inc();
+                self.evictions += 1;
+                dohperf_telemetry::counter!("cache.misses").inc();
+                dohperf_telemetry::counter!("cache.evictions").inc();
                 None
             }
             None => {
                 self.misses += 1;
-                dohperf_telemetry::counter!("dnswire.cache_misses").inc();
+                dohperf_telemetry::counter!("cache.misses").inc();
                 None
             }
         }
     }
 
     /// Remove every expired entry eagerly; returns how many were evicted.
+    /// Campaigns call this from a periodic timer-wheel tick so long runs
+    /// stay bounded even when lookups never touch stale keys.
     pub fn evict_expired(&mut self, now: u64) -> usize {
         let before = self.entries.len();
         self.entries.retain(|_, e| e.expires_at > now);
-        before - self.entries.len()
+        let evicted = before - self.entries.len();
+        if evicted > 0 {
+            self.evictions += evicted as u64;
+            dohperf_telemetry::counter!("cache.evictions").add(evicted as u64);
+        }
+        evicted
     }
 
     /// Number of live entries (may include expired-but-unevicted ones).
@@ -107,6 +196,12 @@ impl DnsCache {
     /// (hits, misses) counters since creation.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries removed since creation (LRU pressure, eager sweeps, and
+    /// lazy expiry during lookups).
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
     }
 
     /// Hit ratio in \[0,1\]; zero when no lookups have happened.
@@ -129,6 +224,7 @@ impl DnsCache {
 mod tests {
     use super::*;
     use crate::rdata::RData;
+    use proptest::prelude::*;
     use std::net::Ipv4Addr;
 
     fn key(name: &str) -> CacheKey {
@@ -160,6 +256,7 @@ mod tests {
         c.insert(key("a.com"), vec![record("a.com", 300)], 1000, 300);
         assert!(c.get(&key("a.com"), 1300).is_none());
         assert!(c.is_empty(), "expired entry should be evicted lazily");
+        assert_eq!(c.eviction_count(), 1);
     }
 
     #[test]
@@ -196,6 +293,58 @@ mod tests {
         assert_eq!(c.evict_expired(5), 0);
         assert_eq!(c.evict_expired(10), 10);
         assert!(c.is_empty());
+        assert_eq!(c.eviction_count(), 10);
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut c = DnsCache::with_capacity(3);
+        for i in 0..8 {
+            c.insert(
+                key(&format!("h{i}.a.com")),
+                vec![record("a.com", 100)],
+                0,
+                100,
+            );
+            assert!(c.len() <= 3, "cache exceeded capacity at insert {i}");
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.eviction_count(), 5);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut c = DnsCache::with_capacity(2);
+        c.insert(key("old.a.com"), vec![record("a.com", 100)], 0, 100);
+        c.insert(key("new.a.com"), vec![record("a.com", 100)], 0, 100);
+        // Touch the older entry: it becomes most recent.
+        assert!(c.get(&key("old.a.com"), 1).is_some());
+        c.insert(key("third.a.com"), vec![record("a.com", 100)], 2, 100);
+        assert!(c.get(&key("old.a.com"), 3).is_some(), "touched entry kept");
+        assert!(
+            c.get(&key("new.a.com"), 3).is_none(),
+            "untouched entry evicted"
+        );
+        assert!(c.get(&key("third.a.com"), 3).is_some());
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut c = DnsCache::with_capacity(2);
+        c.insert(key("a.a.com"), vec![record("a.com", 100)], 0, 100);
+        c.insert(key("b.a.com"), vec![record("a.com", 100)], 0, 100);
+        c.insert(key("a.a.com"), vec![record("a.com", 100)], 1, 100);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.eviction_count(), 0);
+    }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_latest_entry() {
+        let mut c = DnsCache::with_capacity(1);
+        c.insert(key("a.a.com"), vec![record("a.com", 100)], 0, 100);
+        c.insert(key("b.a.com"), vec![record("a.com", 100)], 0, 100);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&key("b.a.com"), 1).is_some());
     }
 
     #[test]
@@ -226,5 +375,87 @@ mod tests {
             c.insert(k, vec![record("a.com", 300)], i, 300);
         }
         assert_eq!(c.stats().0, 0);
+    }
+
+    /// Pure-Rust LRU reference model: (key index, expires_at, last_used)
+    /// triples driven by the same op sequence as the real cache.
+    #[derive(Default)]
+    struct ModelCache {
+        entries: Vec<(usize, u64, u64)>,
+        tick: u64,
+    }
+
+    impl ModelCache {
+        fn insert(&mut self, k: usize, now: u64, ttl: u32, cap: usize) {
+            if ttl == 0 {
+                return;
+            }
+            if !self.entries.iter().any(|e| e.0 == k) && self.entries.len() >= cap {
+                let victim = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.2)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                self.entries.remove(victim);
+            }
+            self.tick += 1;
+            self.entries.retain(|e| e.0 != k);
+            self.entries.push((k, now + u64::from(ttl), self.tick));
+        }
+
+        fn get(&mut self, k: usize, now: u64) -> bool {
+            match self.entries.iter().position(|e| e.0 == k) {
+                Some(i) if self.entries[i].1 > now => {
+                    self.tick += 1;
+                    self.entries[i].2 = self.tick;
+                    true
+                }
+                Some(i) => {
+                    self.entries.remove(i);
+                    false
+                }
+                None => false,
+            }
+        }
+    }
+
+    proptest! {
+        /// TTL expiry and LRU pressure interact exactly like the flat
+        /// reference model: same hits, same residents, same sizes.
+        #[test]
+        fn lru_ttl_interaction_matches_reference_model(
+            cap in 1usize..6,
+            ops in proptest::collection::vec(
+                (0usize..10, 0u64..40, 0u32..20, any::<bool>()),
+                1..60,
+            ),
+        ) {
+            let mut real = DnsCache::with_capacity(cap);
+            let mut model = ModelCache::default();
+            let mut now = 0u64;
+            for (k, dt, ttl, is_insert) in ops {
+                now += dt;
+                let name = format!("k{k}.a.com");
+                if is_insert {
+                    real.insert(key(&name), vec![record("a.com", ttl)], now, ttl);
+                    model.insert(k, now, ttl, cap);
+                } else {
+                    let real_hit = real.get(&key(&name), now).is_some();
+                    let model_hit = model.get(k, now);
+                    prop_assert_eq!(real_hit, model_hit);
+                }
+                prop_assert_eq!(real.len(), model.entries.len());
+                prop_assert!(real.len() <= cap);
+            }
+            // Residency agrees key-for-key at the end.
+            for k in 0..10usize {
+                let name = format!("k{k}.a.com");
+                let real_hit = real.get(&key(&name), now).is_some();
+                let model_hit = model.get(k, now);
+                prop_assert_eq!(real_hit, model_hit);
+            }
+        }
     }
 }

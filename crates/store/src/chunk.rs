@@ -11,10 +11,11 @@
 //! ```
 //!
 //! `flags` gates optional trailing groups: bit 0
-//! ([`FLAG_TRANSPORTS`]) marks a fifth **transports** column group.
-//! A chunk whose records all have empty transport vectors writes
-//! `flags = 0` and no fifth group, so legacy chunks are byte-identical
-//! to format version 1 output. Unknown flag bits are rejected.
+//! ([`FLAG_TRANSPORTS`]) marks a fifth **transports** column group and
+//! bit 1 ([`FLAG_PAGELOAD`]) a sixth **pageload** group. A chunk whose
+//! records all have empty transport and page vectors writes `flags = 0`
+//! and no trailing groups, so legacy chunks are byte-identical to
+//! format version 1 output. Unknown flag bits are rejected.
 //!
 //! The four always-present column groups mirror the record's field
 //! families:
@@ -33,11 +34,16 @@
 //! 4. **do53** — a presence bitmap, the present values as f64, and the
 //!    source ordinals (RLE).
 //!
-//! The flag-gated fifth group:
+//! The flag-gated trailing groups:
 //!
 //! 5. **transports** — per-record sample counts, then the flattened
 //!    lifecycle samples in structure-of-arrays form: transport ordinals
 //!    (RLE), provider ordinals (RLE), cold/warm/resumed/handshake f64
+//!    columns.
+//! 6. **pageload** — per-record sample counts, then the flattened page
+//!    samples in structure-of-arrays form: transport ordinals (RLE),
+//!    provider ordinals (RLE), DAG-shape varint columns (domains,
+//!    unique names, depth, cold/warm cache hits), cold/warm PLT f64
 //!    columns.
 //!
 //! Floats are raw little-endian IEEE-754 bits: encode∘decode is the
@@ -45,7 +51,7 @@
 //! reproduce the direct pipeline byte for byte.
 
 use crate::checksum::crc32;
-use crate::record::{StoreDohSample, StoreRecord, StoreTransportSample};
+use crate::record::{StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample};
 use crate::varint::{put_f64, put_i64, put_u64, Cursor};
 use crate::{Result, StoreError};
 
@@ -58,8 +64,11 @@ pub const FORMAT_VERSION: u16 = 1;
 /// Header flag bit: the payload carries a fifth (transports) group.
 pub const FLAG_TRANSPORTS: u16 = 0x1;
 
+/// Header flag bit: the payload carries a sixth (pageload) group.
+pub const FLAG_PAGELOAD: u16 = 0x2;
+
 /// All flag bits this reader understands; anything else is rejected.
-const KNOWN_FLAGS: u16 = FLAG_TRANSPORTS;
+const KNOWN_FLAGS: u16 = FLAG_TRANSPORTS | FLAG_PAGELOAD;
 
 /// Fixed header length in bytes (magic, version, flags, count, len, crc).
 pub const CHUNK_HEADER_LEN: usize = 4 + 2 + 2 + 4 + 4 + 4;
@@ -84,12 +93,17 @@ pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
     put_group(&mut payload, encode_geoloc(records));
     put_group(&mut payload, encode_doh(records));
     put_group(&mut payload, encode_do53(records));
-    // The transports group is flag-gated so that legacy (transport-free)
-    // chunks stay byte-identical to format version 1 output.
+    // The transports and pageload groups are flag-gated so that legacy
+    // (transport-free, page-free) chunks stay byte-identical to format
+    // version 1 output.
     let mut flags = 0u16;
     if records.iter().any(|r| !r.transports.is_empty()) {
         flags |= FLAG_TRANSPORTS;
         put_group(&mut payload, encode_transports(records));
+    }
+    if records.iter().any(|r| !r.pages.is_empty()) {
+        flags |= FLAG_PAGELOAD;
+        put_group(&mut payload, encode_pageload(records));
     }
 
     let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
@@ -131,6 +145,11 @@ pub fn decode_chunk(
     } else {
         None
     };
+    let pageload = if flags & FLAG_PAGELOAD != 0 {
+        Some(take_group(&mut cursor, "pageload")?)
+    } else {
+        None
+    };
     cursor.expect_empty()?;
 
     let ids = decode_identity(identity, n, &context)?;
@@ -139,6 +158,10 @@ pub fn decode_chunk(
     let baselines = decode_do53(do53, n, &context)?;
     let mut lifecycle = match transports {
         Some(bytes) => decode_transports(bytes, n, &context)?,
+        None => vec![Vec::new(); n],
+    };
+    let mut pages = match pageload {
+        Some(bytes) => decode_pageload(bytes, n, &context)?,
         None => vec![Vec::new(); n],
     };
 
@@ -157,6 +180,7 @@ pub fn decode_chunk(
             do53_ms: baselines.values[i],
             do53_source: baselines.source[i],
             transports: std::mem::take(&mut lifecycle[i]),
+            pages: std::mem::take(&mut pages[i]),
         });
     }
     Ok(records)
@@ -541,6 +565,104 @@ fn decode_transports(
     Ok(samples)
 }
 
+// --------------------------------------------------------------- pageload
+
+fn encode_pageload(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        put_u64(&mut out, r.pages.len() as u64);
+    }
+    let flat = || records.iter().flat_map(|r| r.pages.iter());
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+    // DAG shape columns: small integers, varint-packed.
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.domains));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.unique_names));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.depth));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.cold_cache_hits));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.warm_cache_hits));
+    }
+    for s in flat() {
+        put_f64(&mut out, s.plt_cold_ms);
+    }
+    for s in flat() {
+        put_f64(&mut out, s.plt_warm_ms);
+    }
+    out
+}
+
+fn decode_pageload(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StorePageSample>>> {
+    let mut c = Cursor::new(bytes, context);
+    let mut counts = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for _ in 0..n {
+        let k = c.len(MAX_SAMPLES_PER_RECORD, "page sample count")?;
+        counts.push(k);
+        total += k;
+    }
+    let ordinal_u8 = |v: u32, what: &str| {
+        u8::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: {what} ordinal {v} overflows u8")))
+    };
+    let transports = decode_rle_u32(&mut c, total, "page transport")?;
+    let providers = decode_rle_u32(&mut c, total, "page provider")?;
+    let mut small_u32 = |what: &str| -> Result<Vec<u32>> {
+        let mut col = Vec::with_capacity(total);
+        for _ in 0..total {
+            let v = c.u64()?;
+            col.push(u32::try_from(v).map_err(|_| {
+                StoreError::Corrupt(format!("{context}: {what} value {v} overflows u32"))
+            })?);
+        }
+        Ok(col)
+    };
+    let domains = small_u32("page domains")?;
+    let unique_names = small_u32("page unique_names")?;
+    let depth = small_u32("page depth")?;
+    let cold_hits = small_u32("page cold_cache_hits")?;
+    let warm_hits = small_u32("page warm_cache_hits")?;
+    let mut plt_cold = Vec::with_capacity(total);
+    for _ in 0..total {
+        plt_cold.push(c.f64()?);
+    }
+    let mut plt_warm = Vec::with_capacity(total);
+    for _ in 0..total {
+        plt_warm.push(c.f64()?);
+    }
+    c.expect_empty()?;
+
+    let mut samples = Vec::with_capacity(n);
+    let mut offset = 0usize;
+    for &k in &counts {
+        let mut per_record = Vec::with_capacity(k);
+        for j in offset..offset + k {
+            per_record.push(StorePageSample {
+                transport: ordinal_u8(transports[j], "page transport")?,
+                provider: ordinal_u8(providers[j], "page provider")?,
+                domains: domains[j],
+                unique_names: unique_names[j],
+                depth: depth[j],
+                plt_cold_ms: plt_cold[j],
+                plt_warm_ms: plt_warm[j],
+                cold_cache_hits: cold_hits[j],
+                warm_cache_hits: warm_hits[j],
+            });
+        }
+        samples.push(per_record);
+        offset += k;
+    }
+    Ok(samples)
+}
+
 // ------------------------------------------------------------ RLE helpers
 
 /// Run-length encode a u32 column as (varint value, varint run) pairs,
@@ -682,6 +804,50 @@ mod tests {
         let (count, _, _, flags) = parse_header(&header, 0).unwrap();
         let back = decode_chunk(count, flags, &with_empty_vecs[CHUNK_HEADER_LEN..], 0).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn pageload_round_trips_behind_the_flag() {
+        // A mixed batch: some records carry page samples, some do not.
+        // One non-empty vector is enough to set the flag.
+        let mut records = batch(5);
+        records[0] = StoreRecord::test_record_with_pages(1);
+        records[4] = StoreRecord::test_record_with_pages(5);
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        assert_eq!(flags, FLAG_PAGELOAD);
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(back[0].pages.len(), 2);
+        assert!(back[1].pages.is_empty());
+    }
+
+    #[test]
+    fn transports_and_pageload_coexist() {
+        // Both flag-gated groups present at once: the transports group
+        // precedes the pageload group and both round-trip.
+        let mut records = batch(3);
+        records[1] = StoreRecord::test_record_with_transports(2);
+        records[1].pages = StoreRecord::test_record_with_pages(2).pages;
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        assert_eq!(flags, FLAG_TRANSPORTS | FLAG_PAGELOAD);
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn page_free_chunks_set_no_pageload_flag() {
+        // Enabling the pageload code path must not disturb legacy or
+        // transports-only chunk bytes: a page-free chunk never sets the
+        // FLAG_PAGELOAD bit.
+        let mut records = batch(4);
+        records[2] = StoreRecord::test_record_with_transports(3);
+        let bytes = encode_chunk(&records);
+        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+        assert_eq!(flags & FLAG_PAGELOAD, 0);
     }
 
     #[test]

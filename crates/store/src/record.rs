@@ -42,6 +42,31 @@ pub struct StoreTransportSample {
     pub handshake_ms: f64,
 }
 
+/// One page-load measurement for one (client, provider, transport)
+/// triple, primitive form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorePageSample {
+    /// Transport ordinal (index into the canonical transport table:
+    /// 0 = Do53, 1 = DoH, 2 = DoT, 3 = DoQ).
+    pub transport: u8,
+    /// Provider ordinal (index into the campaign's provider table).
+    pub provider: u8,
+    /// DAG nodes: resource fetches that each need a resolution.
+    pub domains: u32,
+    /// Distinct hostnames among the nodes.
+    pub unique_names: u32,
+    /// Longest dependency chain in the DAG (root is depth 0).
+    pub depth: u32,
+    /// Critical-path PLT of the cold visit, ms.
+    pub plt_cold_ms: f64,
+    /// Median critical-path PLT over the warm revisits, ms.
+    pub plt_warm_ms: f64,
+    /// Cache hits during the cold visit.
+    pub cold_cache_hits: u32,
+    /// Cache hits summed over the warm revisits.
+    pub warm_cache_hits: u32,
+}
+
 /// One client's full record, primitive form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreRecord {
@@ -72,6 +97,10 @@ pub struct StoreRecord {
     /// chunk omits the column group entirely, so legacy chunk bytes are
     /// unchanged.
     pub transports: Vec<StoreTransportSample>,
+    /// Page-load samples, in (transport, provider) measurement order.
+    /// Empty unless the campaign enables the page-load workload; the
+    /// column group is flag-gated just like `transports`.
+    pub pages: Vec<StorePageSample>,
 }
 
 impl StoreRecord {
@@ -107,6 +136,7 @@ impl StoreRecord {
             do53_ms: Some(240.25),
             do53_source: 0,
             transports: Vec::new(),
+            pages: Vec::new(),
         }
     }
 
@@ -130,6 +160,37 @@ impl StoreRecord {
                 warm_ms: 250.0,
                 resumed_ms: 255.5,
                 handshake_ms: 80.0,
+            },
+        ];
+        record
+    }
+
+    /// [`StoreRecord::test_record`] plus two page-load samples, for
+    /// exercising the flag-gated pageload column group.
+    pub fn test_record_with_pages(client_id: u64) -> StoreRecord {
+        let mut record = StoreRecord::test_record(client_id);
+        record.pages = vec![
+            StorePageSample {
+                transport: 1,
+                provider: 0,
+                domains: 18,
+                unique_names: 15,
+                depth: 3,
+                plt_cold_ms: 920.0 + client_id as f64,
+                plt_warm_ms: 310.5,
+                cold_cache_hits: 3,
+                warm_cache_hits: 15,
+            },
+            StorePageSample {
+                transport: 0,
+                provider: 2,
+                domains: 18,
+                unique_names: 15,
+                depth: 3,
+                plt_cold_ms: 640.25,
+                plt_warm_ms: 222.0,
+                cold_cache_hits: 3,
+                warm_cache_hits: 15,
             },
         ];
         record

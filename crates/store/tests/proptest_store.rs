@@ -7,7 +7,8 @@
 //! decoding into silently different records.
 
 use dohperf_store::{
-    encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StoreRecord, StoreTransportSample,
+    encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StorePageSample, StoreRecord,
+    StoreTransportSample,
 };
 use proptest::prelude::*;
 
@@ -66,6 +67,21 @@ fn arb_record(s: &mut u64) -> StoreRecord {
             handshake_ms: arb_f64(s),
         })
         .collect();
+    // Same idea for the flag-gated pageload group: mostly empty, with
+    // occasional page samples carrying arbitrary DAG-shape integers.
+    let pages = (0..(next(s) % 3) as usize)
+        .map(|i| StorePageSample {
+            transport: (i as u8) % 4,
+            provider: (next(s) % 4) as u8,
+            domains: (next(s) % 64) as u32,
+            unique_names: (next(s) % 64) as u32,
+            depth: (next(s) % 8) as u32,
+            plt_cold_ms: arb_f64(s),
+            plt_warm_ms: arb_f64(s),
+            cold_cache_hits: (next(s) % 64) as u32,
+            warm_cache_hits: (next(s) % 256) as u32,
+        })
+        .collect();
     StoreRecord {
         client_id: next(s),
         country_iso: arb_iso(s),
@@ -83,6 +99,7 @@ fn arb_record(s: &mut u64) -> StoreRecord {
         },
         do53_source: (next(s) % 2) as u8,
         transports,
+        pages,
     }
 }
 

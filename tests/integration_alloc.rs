@@ -31,8 +31,13 @@ use dohperf::telemetry::alloc;
 static ALLOC: alloc::CountingAllocator = alloc::CountingAllocator;
 
 fn config(threads: usize) -> CampaignConfig {
+    // `pages_per_client: 2` folds the page-load workload into every run
+    // here, so the warm pair gates the DAG scheduler, the bounded page
+    // cache and the multiplexed-connection path too (ISSUE 8: alloc-smoke
+    // stays at 0 with pageload in the warm pair).
     CampaignConfig {
         threads,
+        pages_per_client: 2,
         ..CampaignConfig::quick(2021)
     }
 }

@@ -127,3 +127,79 @@ fn transports_without_protocols_points_at_the_flag() {
         "legacy run must explain how to enable transports:\n{stdout}"
     );
 }
+
+#[test]
+fn pages_below_two_exits_2_with_a_usage_hint() {
+    // A page measurement needs a cold visit plus at least one warm
+    // revisit; 0 and 1 are both rejected before any work happens.
+    for value in ["0", "1"] {
+        let out = repro()
+            .args(["--pages", value, "headline"])
+            .output()
+            .expect("spawn repro");
+        assert_eq!(out.status.code(), Some(2), "--pages {value} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--pages needs an integer >= 2"), "{stderr}");
+        assert!(stderr.contains("usage: repro"), "{stderr}");
+    }
+}
+
+#[test]
+fn non_numeric_pages_exits_2() {
+    let out = repro()
+        .args(["--pages", "lots", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--pages needs an integer >= 2"), "{stderr}");
+}
+
+#[test]
+fn missing_pages_value_exits_2() {
+    let out = repro()
+        .args(["headline", "--pages"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--pages"), "{stderr}");
+}
+
+#[test]
+fn valid_pages_value_runs_the_pageload_experiment() {
+    let out = repro()
+        .args(["--seed", "7", "--scale", "0.02", "--pages", "2", "pageload"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "Page-load workload",
+        "PLT cold",
+        "PLT delta vs Do53",
+        "PLT CDF",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn pageload_without_pages_points_at_the_flag() {
+    let out = repro()
+        .args(["--seed", "7", "--scale", "0.02", "pageload"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no page samples"),
+        "legacy run must explain how to enable the workload:\n{stdout}"
+    );
+    assert!(stdout.contains("--pages 2"), "{stdout}");
+}

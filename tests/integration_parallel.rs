@@ -111,6 +111,40 @@ fn four_protocol_campaign_is_thread_invariant() {
 }
 
 #[test]
+fn pageload_campaign_is_thread_and_shard_invariant() {
+    // The page-load workload (synthetic dependency DAGs resolved over
+    // multiplexed connections, cold + warm visits through the bounded
+    // DNS cache) rides the same per-client simulation epochs as the
+    // lifecycle probes, so its PLT samples must be byte-identical across
+    // the full (threads × shard-size) matrix too.
+    let _guard = SERIAL.lock().unwrap();
+    let pageload_config = |threads: usize, shard_size: usize| CampaignConfig {
+        pages_per_client: 2,
+        ..matrix_config(2021, threads, shard_size)
+    };
+    let reference = Campaign::new(pageload_config(1, usize::MAX)).run();
+    assert!(
+        reference.records.iter().all(|r| r.pages.len() == 16),
+        "expected 4 transports x 4 providers of page samples per record"
+    );
+    for threads in MATRIX_THREADS {
+        for shard_size in MATRIX_SHARDS {
+            let cell = Campaign::new(pageload_config(threads, shard_size)).run();
+            assert_eq!(
+                reference.records, cell.records,
+                "records (incl. page samples) diverged at threads={threads} \
+                 shard_size={shard_size}"
+            );
+            assert_eq!(
+                to_jsonl(&reference),
+                to_jsonl(&cell),
+                "JSONL diverged at threads={threads} shard_size={shard_size}"
+            );
+        }
+    }
+}
+
+#[test]
 fn auto_thread_detection_matches_sequential() {
     // threads = 0 resolves to available parallelism; output must still
     // match the single-threaded run.
