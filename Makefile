@@ -4,7 +4,8 @@
         ci fmt-check clippy perf-smoke baseline store-roundtrip \
         trace-smoke golden-trace alloc-smoke protocol-matrix \
         protocol-baseline scale-smoke scale-baseline \
-        pageload-smoke pageload-baseline pageload-bench
+        pageload-smoke pageload-baseline pageload-bench \
+        timeline-smoke timeline-baseline
 
 build:
 	cargo build --workspace --release
@@ -35,6 +36,7 @@ verify: ci
 	$(MAKE) trace-smoke
 	$(MAKE) protocol-matrix
 	$(MAKE) pageload-smoke
+	$(MAKE) timeline-smoke
 	$(MAKE) alloc-smoke
 	$(MAKE) scale-smoke
 
@@ -126,6 +128,51 @@ pageload-smoke:
 	cargo run --release -p dohperf-bench --bin trace-check -- target/ci/trace-pageload.json
 	cmp target/ci/trace-pageload.json ci/golden-trace-pageload.json
 	@echo "pageload smoke OK: metrics, store round-trip and golden trace all match"
+
+# Timeline smoke (DESIGN.md §16): a windowed campaign at scale 0.05
+# streamed through the columnar store (exercising the FLAG_TIMESERIES
+# column group), gated three ways — deterministic metrics (the window.*
+# series) against their checked-in baseline at tolerance 0, the rendered
+# timeline report re-derived byte-identically from the store, and the
+# windowed store bytes byte-identical across a (threads × shard-size)
+# matrix.
+timeline-smoke:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --window-hours 1 \
+	    --out-format store --store-dir target/ci/store-timeline timeline \
+	    --metrics target/ci/metrics-timeline.json \
+	    --baseline ci/baseline-metrics-timeline.json \
+	    > target/ci/timeline-direct.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --window-hours 1 \
+	    --from-store target/ci/store-timeline timeline \
+	    > target/ci/timeline-restored.txt
+	cmp target/ci/timeline-direct.txt target/ci/timeline-restored.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --window-hours 1 --threads 1 --shard-size 5 \
+	    --out-format store --store-dir target/ci/store-timeline-t1 timeline \
+	    > /dev/null
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --window-hours 1 --threads 8 --shard-size 5 \
+	    --out-format store --store-dir target/ci/store-timeline-t8 timeline \
+	    > /dev/null
+	cmp target/ci/store-timeline/records.chunks target/ci/store-timeline-t1/records.chunks
+	cmp target/ci/store-timeline/manifest.bin target/ci/store-timeline-t1/manifest.bin
+	cmp target/ci/store-timeline/records.chunks target/ci/store-timeline-t8/records.chunks
+	cmp target/ci/store-timeline/manifest.bin target/ci/store-timeline-t8/manifest.bin
+	rm -rf target/ci/store-timeline target/ci/store-timeline-t1 target/ci/store-timeline-t8
+	@echo "timeline smoke OK: metrics, store re-derive and thread/shard bytes all match"
+
+# Regenerate the timeline metrics baseline after an intentional change
+# to the windowing model.
+timeline-baseline:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --window-hours 1 \
+	    --out-format store --store-dir target/ci/store-timeline timeline \
+	    --metrics ci/baseline-metrics-timeline.json > /dev/null
+	rm -rf target/ci/store-timeline
 
 # Regenerate the pageload metrics baseline after an intentional change
 # to the page model.

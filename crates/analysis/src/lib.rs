@@ -21,6 +21,8 @@
 //!   columnar store directory, via mergeable quantile sketches.
 //! * [`transports`] — per-protocol (Do53/DoH/DoT/DoQ) lifecycle headline
 //!   tables and cold/warm/resumed CDFs for extended-transport campaigns.
+//! * [`timeline`] — per-window p50/p95/p99 latency, availability, and
+//!   cache-hit-rate series for windowed campaigns (`repro timeline`).
 
 pub mod cdfs;
 pub mod covariates;
@@ -38,6 +40,7 @@ pub mod render;
 pub mod report;
 pub mod robustness;
 pub mod streaming;
+pub mod timeline;
 pub mod transports;
 pub mod vantage;
 
@@ -58,6 +61,7 @@ pub use regions::{region_summaries, regional_variation, RegionSummary};
 pub use report::full_report;
 pub use robustness::{covariate_correlations, headline_cis, CovariateCorrelations, HeadlineCis};
 pub use streaming::{cdfs_from_store, headline_from_store, StreamingCdfs, StreamingHeadline};
+pub use timeline::{timeline, Timeline, TimelineCell};
 pub use transports::{
     transport_cdfs, transport_headlines, transport_provider_grid, TransportCdfs, TransportHeadline,
     TransportProviderCell,
@@ -80,6 +84,7 @@ pub mod prelude {
     };
     pub use crate::pop_improvement::{pop_improvement, PopImprovementStats};
     pub use crate::render;
+    pub use crate::timeline::{timeline, Timeline, TimelineCell};
     pub use crate::transports::{
         transport_cdfs, transport_headlines, transport_provider_grid, TransportCdfs,
         TransportHeadline, TransportProviderCell,

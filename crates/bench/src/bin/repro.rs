@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--seed N] [--scale F] [--threads N] [--shard-size N]
 //!       [--metrics PATH] [--baseline PATH] [--tolerance F]
-//!       [--protocols LIST] [--pages N]
+//!       [--protocols LIST] [--pages N] [--window-hours H]
 //!       [--out-format both|csv|jsonl|store]
 //!       [--store-dir DIR] [--from-store DIR] [--trace-out PATH]
 //!       [--trace-sample N] <experiment>...
@@ -28,6 +28,15 @@
 //! Do53 and cold/warm CDFs. Values below 2 exit 2 (a page needs a cold
 //! visit plus at least one revisit). Like `--protocols`, enabling pages
 //! never perturbs the legacy draws (DESIGN.md §15).
+//!
+//! `--window-hours H` (H > 0, fractional allowed) assigns every client a
+//! start time inside one simulated day and buckets its measurements into
+//! H-hour windows; the `timeline` experiment renders per-(provider,
+//! transport) window series — p50/p95/p99 latency, availability,
+//! cache-hit rate — and `--metrics` additionally reports scheduler
+//! utilization (per-worker busy/idle/steal counters). Windowing never
+//! perturbs the legacy draws and the series are byte-identical for any
+//! `--threads` / `--shard-size` (DESIGN.md §16).
 //!
 //! `--trace-out PATH` exports the flight recorder's sampled query traces
 //! as Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
@@ -71,7 +80,7 @@
 
 use dohperf_bench::{OutFormat, ReproConfig, ReproContext};
 
-const EXPERIMENTS: [&str; 29] = [
+const EXPERIMENTS: [&str; 30] = [
     "table1",
     "table2",
     "sec4-3",
@@ -98,6 +107,7 @@ const EXPERIMENTS: [&str; 29] = [
     "compare-dot",
     "transports",
     "pageload",
+    "timeline",
     "export",
     "figdata",
     "report",
@@ -201,6 +211,15 @@ fn main() {
                     .filter(|&n: &u32| n >= 2)
                     .unwrap_or_else(|| {
                         usage("--pages needs an integer >= 2 (one cold visit plus warm revisits)")
+                    });
+            }
+            "--window-hours" => {
+                config.window_hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&h: &f64| h > 0.0 && h.is_finite())
+                    .unwrap_or_else(|| {
+                        usage("--window-hours needs a positive number of simulated hours")
                     });
             }
             "--protocols" => {
@@ -310,6 +329,7 @@ fn main() {
             "compare-dot" => ctx.compare_dot(),
             "transports" => ctx.transports(),
             "pageload" => ctx.pageload(),
+            "timeline" => ctx.timeline(),
             _ => unreachable!("validated above"),
         };
         println!("{}", "=".repeat(100));
@@ -340,6 +360,7 @@ fn main() {
         };
         eprint!("{}", snap.render_table());
         eprint!("{}", dohperf_telemetry::phases::report());
+        eprint!("{}", dohperf_telemetry::scheduler::report(&snap));
 
         if let Some(path) = baseline_path {
             let baseline = std::fs::read_to_string(&path)
@@ -373,7 +394,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--seed N] [--scale F] [--threads N] [--shard-size N] [--metrics PATH] \
          [--baseline PATH] [--tolerance F] [--protocols do53,doh,dot,doq] [--pages N] \
-         [--out-format both|csv|jsonl|store] \
+         [--window-hours H] [--out-format both|csv|jsonl|store] \
          [--store-dir DIR] [--from-store DIR] [--trace-out PATH] [--trace-sample N] \
          <experiment>...\n       repro all\n       repro explain --query ID\nexperiments: {}",
         EXPERIMENTS.join(" ")

@@ -32,7 +32,9 @@ use crate::equations::{
     derive_transport_warm_ms, record_derivation, record_transport_derivation, DerivationBatch,
 };
 use crate::pageload;
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample};
+use crate::records::{
+    ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample, WindowSample,
+};
 use crate::store_io;
 use crate::testbed::{format_subdomain, Testbed, SUBDOMAIN_BUF_LEN};
 use crossbeam::deque;
@@ -190,7 +192,22 @@ pub struct CampaignConfig {
     /// (the legacy default); any enabled value must be at least 2 so
     /// every page has both a cold and a warm PLT.
     pub pages_per_client: u32,
+    /// Simulated-time window width in nanoseconds for the windowed
+    /// observability series (DESIGN.md §16). `0` disables windowing (the
+    /// legacy default): no window samples, no `window.*` metrics, and
+    /// byte-identical legacy outputs. When enabled, each client draws a
+    /// campaign-time slot from a fresh fork of its own RNG stream (forks
+    /// never advance the parent, so windowing never perturbs any
+    /// measured sample) and all of its measurements are summarised into
+    /// per-(provider, transport) [`crate::records::WindowSample`]s for
+    /// that window.
+    pub window_nanos: u64,
 }
+
+/// Simulated span the windowed series covers: clients are assigned a
+/// start time uniformly inside one simulated day, mirroring the paper's
+/// day-long vantage-point rotation (§3.1).
+pub const CAMPAIGN_DURATION_NANOS: u64 = 24 * 3_600_000_000_000;
 
 impl Default for CampaignConfig {
     fn default() -> Self {
@@ -207,6 +224,7 @@ impl Default for CampaignConfig {
             shard_size: 0,
             protocols: ProtocolSet::EMPTY,
             pages_per_client: 0,
+            window_nanos: 0,
         }
     }
 }
@@ -656,16 +674,46 @@ impl Campaign {
                 let (slots, shard_fn, stealers) = (&slots, &shard_fn, &stealers);
                 scope.spawn(move |_| {
                     let started = Instant::now();
+                    let mut busy = std::time::Duration::ZERO;
+                    let mut steals = 0u64;
                     let mut range_count = 0usize;
                     let mut client_count = 0usize;
-                    while let Some(i) = queue.pop().or_else(|| steal_range(worker, stealers)) {
+                    loop {
+                        let i = match queue.pop() {
+                            Some(i) => i,
+                            None => match steal_range(worker, stealers) {
+                                Some(i) => {
+                                    steals += 1;
+                                    i
+                                }
+                                None => break,
+                            },
+                        };
+                        let shard_started = Instant::now();
                         let (result, clients) = shard_fn(i);
+                        let shard_wall = shard_started.elapsed();
+                        busy += shard_wall;
+                        dohperf_telemetry::histogram!("campaign.shard_wall_ms", per_run)
+                            .record_ms(shard_wall.as_secs_f64() * 1_000.0);
                         range_count += 1;
                         client_count += clients;
                         *slots[i].lock() = Some(result);
                     }
+                    // Scheduler observability (DESIGN.md §16): per-worker
+                    // busy/idle/steal series, published even for workers
+                    // that never won a range — an all-idle worker is the
+                    // signal the utilization report exists to surface.
+                    let wall = started.elapsed();
+                    dohperf_telemetry::scheduler::publish_worker(
+                        worker,
+                        busy.as_secs_f64() * 1_000.0,
+                        (wall.saturating_sub(busy)).as_secs_f64() * 1_000.0,
+                        range_count as u64,
+                        client_count as u64,
+                        steals,
+                    );
                     if range_count > 0 {
-                        let secs = started.elapsed().as_secs_f64().max(1e-9);
+                        let secs = wall.as_secs_f64().max(1e-9);
                         dohperf_telemetry::histogram!("campaign.worker_wall_ms", per_run)
                             .record_ms(secs * 1_000.0);
                         dohperf_telemetry::trace::event_ms(
@@ -826,6 +874,7 @@ impl Campaign {
                 }
             }
             if agrees {
+                self.observe_windows(&record);
                 sink.emit(record)?;
                 retained += 1;
             } else {
@@ -1125,6 +1174,61 @@ impl Campaign {
             });
         }
 
+        // Windowed series (DESIGN.md §16): assign this client a
+        // simulated campaign-time window and summarise every measurement
+        // block above into per-(provider, transport) window samples. The
+        // slot comes from a fresh fork of the client's stream (forks
+        // never advance the parent), and everything else is derived from
+        // already-measured values — so enabling windowing never perturbs
+        // the legacy, transports, or page samples.
+        let mut windows = Vec::new();
+        if let Some(width) = std::num::NonZero::new(self.config.window_nanos) {
+            let start_nanos = client_rng.fork("window").next_u64() % CAMPAIGN_DURATION_NANOS;
+            let window = (start_nanos / width).min(u32::MAX as u64) as u32;
+            windows.reserve_exact(doh.len() + transports.len() + pages.len());
+            for s in &doh {
+                windows.push(WindowSample {
+                    window,
+                    provider: s.provider,
+                    transport: DnsTransport::DoH,
+                    queries: self.config.runs_per_client,
+                    successes: self.config.runs_per_client,
+                    latency_ms: s.t_doh_ms,
+                    cache_lookups: 0,
+                    cache_hits: 0,
+                });
+            }
+            // One lifecycle measurement derives cold/warm/resumed, i.e.
+            // three resolutions; the warm path is the steady-state
+            // latency a long-lived stub would see.
+            for s in &transports {
+                windows.push(WindowSample {
+                    window,
+                    provider: s.provider,
+                    transport: s.transport,
+                    queries: 3,
+                    successes: 3,
+                    latency_ms: s.warm_ms,
+                    cache_lookups: 0,
+                    cache_hits: 0,
+                });
+            }
+            // Page visits contribute cache activity, not query latency:
+            // every DAG node probes the stub cache on every visit.
+            for s in &pages {
+                windows.push(WindowSample {
+                    window,
+                    provider: s.provider,
+                    transport: s.transport,
+                    queries: 0,
+                    successes: 0,
+                    latency_ms: 0.0,
+                    cache_lookups: s.domains * self.config.pages_per_client,
+                    cache_hits: s.cold_cache_hits + s.warm_cache_hits,
+                });
+            }
+        }
+
         let ns_pos = tb.sim.topology().node(tb.auth_ns).spec.position;
         ClientRecord {
             client_id: exit.id,
@@ -1139,6 +1243,30 @@ impl Campaign {
             do53_source,
             transports,
             pages,
+            windows,
+        }
+    }
+
+    /// Publish a retained record's window samples into the global
+    /// `window.*` metric series. All window metrics are integer-atomic
+    /// (counters and integer-microsecond histograms), so recording them
+    /// from racing workers yields exactly the totals a sequential walk
+    /// would — the series stays deterministic for any thread count and
+    /// shard size.
+    fn observe_windows(&self, record: &ClientRecord) {
+        for s in &record.windows {
+            dohperf_telemetry::windows::observe(
+                s.window as u64,
+                &dohperf_telemetry::windows::Observation {
+                    transport: s.transport.name(),
+                    queries: s.queries as u64,
+                    successes: s.successes as u64,
+                    timeouts: 0,
+                    cache_lookups: s.cache_lookups as u64,
+                    cache_hits: s.cache_hits as u64,
+                    latency_ms: (s.queries > 0).then_some(s.latency_ms),
+                },
+            );
         }
     }
 }
@@ -1866,6 +1994,104 @@ mod tests {
         let back = crate::store_io::read_dataset(&dir).unwrap();
         assert_eq!(back.records, direct.records);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn windowing_never_perturbs_legacy_or_extended_samples() {
+        // The DESIGN.md §16 fork-discipline contract, stacked on §13 and
+        // §15: enabling windowing must leave every other field
+        // bit-identical, because the window slot is a fresh fork of the
+        // client stream and every window sample is derived from
+        // already-measured values.
+        let base = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            pages_per_client: 2,
+            ..CampaignConfig::quick(7)
+        };
+        let without = Campaign::new(base).run();
+        let with = Campaign::new(CampaignConfig {
+            window_nanos: 3_600_000_000_000,
+            ..base
+        })
+        .run();
+        assert_eq!(without.records.len(), with.records.len());
+        for (l, e) in without.records.iter().zip(&with.records) {
+            assert_eq!(l.client_id, e.client_id);
+            assert_eq!(l.doh, e.doh, "client {}", l.client_id);
+            assert_eq!(l.do53_ms, e.do53_ms);
+            assert_eq!(l.transports, e.transports, "client {}", l.client_id);
+            assert_eq!(l.pages, e.pages, "client {}", l.client_id);
+            assert!(l.windows.is_empty());
+            // Every legacy-DoH, lifecycle, and page block contributes
+            // one sample, all sharing the client's one window.
+            assert_eq!(
+                e.windows.len(),
+                e.doh.len() + e.transports.len() + e.pages.len()
+            );
+            assert!(e.windows.iter().all(|w| w.window == e.windows[0].window));
+            assert!(e.windows.iter().all(|w| (w.window as u64) < 24));
+            assert!(e.windows.iter().all(|w| w.availability() == 1.0));
+        }
+        assert_eq!(without.atlas_do53_ms, with.atlas_do53_ms);
+        assert_eq!(without.discarded_mismatches, with.discarded_mismatches);
+    }
+
+    #[test]
+    fn windowed_campaign_round_trips_through_the_store() {
+        let config = CampaignConfig {
+            scale: 0.02,
+            protocols: ProtocolSet::all(),
+            window_nanos: 3_600_000_000_000,
+            ..CampaignConfig::quick(11)
+        };
+        let direct = Campaign::new(config).run();
+        let dir =
+            std::env::temp_dir().join(format!("dohperf-campaign-windows-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = Campaign::new(config).run_to_store(&dir, 64).unwrap();
+        assert_eq!(summary.stats.records as usize, direct.records.len());
+        let back = crate::store_io::read_dataset(&dir).unwrap();
+        assert_eq!(back.records, direct.records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn windowed_store_bytes_are_invariant_across_threads_and_shard_sizes() {
+        // The §16 determinism contract: the windowed column group rides
+        // the same offset-anchored chunk discipline as every other
+        // group, so the merged store stays a pure function of the seed.
+        let base = CampaignConfig {
+            scale: 0.02,
+            window_nanos: 3_600_000_000_000,
+            ..CampaignConfig::quick(11)
+        };
+        let run = |shard_size: usize, threads: usize, tag: &str| {
+            let dir = std::env::temp_dir().join(format!(
+                "dohperf-campaign-windowshard-{}-{tag}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let config = CampaignConfig {
+                shard_size,
+                threads,
+                ..base
+            };
+            Campaign::new(config).run_to_store(&dir, 16).unwrap();
+            let records = std::fs::read(dir.join(RECORDS_FILE)).unwrap();
+            let manifest = std::fs::read(dir.join(MANIFEST_FILE)).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            (records, manifest)
+        };
+        let reference = run(usize::MAX, 1, "ref");
+        for (shard_size, threads, tag) in [(8usize, 3usize, "s8t3"), (1, 2, "s1t2")] {
+            let got = run(shard_size, threads, tag);
+            assert_eq!(reference.0, got.0, "records bytes, shard_size {shard_size}");
+            assert_eq!(
+                reference.1, got.1,
+                "manifest bytes, shard_size {shard_size}"
+            );
+        }
     }
 
     #[test]

@@ -117,6 +117,47 @@ impl PageSample {
     }
 }
 
+/// One windowed time-series summary for one (window, provider,
+/// transport) cell of one client — the substrate of the `repro
+/// timeline` analysis (DESIGN.md §16). Present only when the campaign
+/// enables windowing (`window_nanos > 0`).
+///
+/// Availability is `successes / queries`; today's simulator always
+/// answers, so the fraction is 1.0 everywhere — the field exists so the
+/// ROADMAP's outage scenarios have somewhere to land failures without a
+/// schema change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// Simulated-time window index (`window_start / window_nanos`).
+    pub window: u32,
+    /// Which provider the queries targeted.
+    pub provider: ProviderKind,
+    /// Which transport carried the queries.
+    pub transport: DnsTransport,
+    /// Resolutions attempted in the window.
+    pub queries: u32,
+    /// Resolutions that succeeded.
+    pub successes: u32,
+    /// Representative query latency for the cell, ms (0 for cache-only
+    /// cells such as page-load rows).
+    pub latency_ms: f64,
+    /// Cache probes issued (0 for non-page cells).
+    pub cache_lookups: u32,
+    /// Cache probes that hit.
+    pub cache_hits: u32,
+}
+
+impl WindowSample {
+    /// Success fraction (1.0 when the cell saw no queries).
+    pub fn availability(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.queries as f64
+        }
+    }
+}
+
 /// One client's full record.
 ///
 /// `Serialize`-only: records reference the `'static` country table, so
@@ -150,6 +191,10 @@ pub struct ClientRecord {
     /// Page-load samples, in (transport, provider) measurement order.
     /// Empty unless the campaign enables the page-load workload.
     pub pages: Vec<PageSample>,
+    /// Windowed time-series summaries, in measurement order. Empty
+    /// unless the campaign enables windowing (the hand-rolled exporters
+    /// ignore this field, so legacy exports stay byte-identical).
+    pub windows: Vec<WindowSample>,
 }
 
 impl ClientRecord {
@@ -184,6 +229,18 @@ impl ClientRecord {
         self.pages
             .iter()
             .find(|s| s.transport == transport && s.provider == provider)
+    }
+
+    /// The windowed summaries for one (transport, provider) cell, in
+    /// measurement order.
+    pub fn window_samples(
+        &self,
+        transport: DnsTransport,
+        provider: ProviderKind,
+    ) -> impl Iterator<Item = &WindowSample> {
+        self.windows
+            .iter()
+            .filter(move |s| s.transport == transport && s.provider == provider)
     }
 }
 
@@ -289,6 +346,7 @@ mod tests {
             do53_source: Do53Source::BrightDataHeader,
             transports: Vec::new(),
             pages: Vec::new(),
+            windows: Vec::new(),
         };
         assert!(rec.countries_agree());
         assert!(rec.sample(ProviderKind::Google).is_some());
@@ -310,6 +368,7 @@ mod tests {
             do53_source: Do53Source::RipeAtlasRemedy,
             transports: Vec::new(),
             pages: Vec::new(),
+            windows: Vec::new(),
         };
         let ds = Dataset {
             records: vec![rec],

@@ -17,13 +17,15 @@
 //! [`crate::campaign::Campaign::run_to_store`] uses the same conversion
 //! while streaming records straight off the measurement loop.
 
-use crate::records::{ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample};
+use crate::records::{
+    ClientRecord, Dataset, Do53Source, DohSample, PageSample, TransportSample, WindowSample,
+};
 use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::topology::GeoPoint;
 use dohperf_providers::provider::ALL_PROVIDERS;
 use dohperf_store::{
     ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StorePageSample,
-    StoreRecord, StoreTransportSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
+    StoreRecord, StoreTransportSample, StoreWindowSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
 };
 use dohperf_world::geoloc::Prefix24;
 use std::fs::File;
@@ -100,6 +102,27 @@ pub fn record_to_store(r: &ClientRecord) -> StoreRecord {
                 plt_warm_ms: s.plt_warm_ms,
                 cold_cache_hits: s.cold_cache_hits,
                 warm_cache_hits: s.warm_cache_hits,
+            })
+            .collect(),
+        windows: r
+            .windows
+            .iter()
+            .map(|s| StoreWindowSample {
+                window: s.window,
+                provider: ALL_PROVIDERS
+                    .iter()
+                    .position(|&p| p == s.provider)
+                    .expect("every provider is in ALL_PROVIDERS") as u8,
+                transport: DnsTransport::ALL
+                    .iter()
+                    .position(|&t| t == s.transport)
+                    .expect("every transport is in DnsTransport::ALL")
+                    as u8,
+                queries: s.queries,
+                successes: s.successes,
+                latency_ms: s.latency_ms,
+                cache_lookups: s.cache_lookups,
+                cache_hits: s.cache_hits,
             })
             .collect(),
     }
@@ -192,6 +215,38 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    let windows = r
+        .windows
+        .iter()
+        .map(|s| {
+            let provider = *ALL_PROVIDERS.get(s.provider as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: window provider ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.provider,
+                    ALL_PROVIDERS.len()
+                ))
+            })?;
+            let transport = *DnsTransport::ALL.get(s.transport as usize).ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "client {}: window transport ordinal {} out of range (have {})",
+                    r.client_id,
+                    s.transport,
+                    DnsTransport::ALL.len()
+                ))
+            })?;
+            Ok(WindowSample {
+                window: s.window,
+                provider,
+                transport,
+                queries: s.queries,
+                successes: s.successes,
+                latency_ms: s.latency_ms,
+                cache_lookups: s.cache_lookups,
+                cache_hits: s.cache_hits,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(ClientRecord {
         client_id: r.client_id,
         country_iso: intern_iso(r.country_iso, r.client_id)?,
@@ -214,6 +269,7 @@ pub fn record_from_store(r: &StoreRecord) -> Result<ClientRecord> {
         },
         transports,
         pages,
+        windows,
     })
 }
 
@@ -479,6 +535,29 @@ mod tests {
         store.pages.push(bad_sample(0, 66));
         let err = record_from_store(&store).unwrap_err().to_string();
         assert!(err.contains("page provider ordinal 66"), "{err}");
+    }
+
+    #[test]
+    fn bad_window_ordinals_are_rejected() {
+        let bad_sample = |transport: u8, provider: u8| StoreWindowSample {
+            window: 3,
+            provider,
+            transport,
+            queries: 4,
+            successes: 4,
+            latency_ms: 120.0,
+            cache_lookups: 0,
+            cache_hits: 0,
+        };
+        let mut store = record_to_store(&dataset().records[0]);
+        store.windows.push(bad_sample(13, 0));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("window transport ordinal 13"), "{err}");
+
+        let mut store = record_to_store(&dataset().records[0]);
+        store.windows.push(bad_sample(0, 88));
+        let err = record_from_store(&store).unwrap_err().to_string();
+        assert!(err.contains("window provider ordinal 88"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`sketch`] — mergeable Greenwald–Khanna quantile sketches and exact
 //!   streaming moments for memory-bounded analysis over the columnar
 //!   store.
+//! * [`windowed`] — the sketches and moments keyed by simulated-time
+//!   window, with block-anchored partials whose canonical fold keeps
+//!   per-window summaries byte-identical under any shard layout.
 //! * [`special`] — `erf` and the standard normal CDF, implemented from
 //!   scratch (the offline crate set has no special-functions crate).
 //!
@@ -28,6 +31,7 @@ pub mod resample;
 pub mod scale;
 pub mod sketch;
 pub mod special;
+pub mod windowed;
 
 pub use desc::{ecdf, mean, median, quantile, stddev, Summary};
 pub use logistic::{LogisticFit, LogisticRegression};
@@ -37,6 +41,7 @@ pub use resample::{bootstrap_ci, median_ci, spearman, ConfidenceInterval};
 pub use scale::MinMaxScaler;
 pub use sketch::{GkSketch, StreamingMoments};
 pub use special::{erf, normal_cdf};
+pub use windowed::{WindowStats, WindowedMerge, WindowedPartial, WindowedSeries};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -47,4 +52,5 @@ pub mod prelude {
     pub use crate::scale::MinMaxScaler;
     pub use crate::sketch::{GkSketch, StreamingMoments};
     pub use crate::special::{erf, normal_cdf};
+    pub use crate::windowed::{WindowStats, WindowedMerge, WindowedPartial, WindowedSeries};
 }

@@ -1,0 +1,416 @@
+//! Time-windowed quantile sketches and streaming moments.
+//!
+//! The campaign collapses 24 simulated hours into one distribution per
+//! metric; longitudinal analyses (availability drift, latency drift)
+//! need the same summaries *per simulated-time window*. This module
+//! keys a [`GkSketch`] + [`StreamingMoments`] pair by window index
+//! (`sim_nanos / window_nanos`, default one simulated hour) and keeps
+//! the whole construction deterministic under sharding.
+//!
+//! ## Determinism under sharding
+//!
+//! GK merge is neither associative nor equivalent to sequential
+//! insertion, so "merge whatever each worker saw" would make the final
+//! summary depend on `--threads`/`--shard-size`. The fix mirrors how
+//! the store anchors chunk flushes: the input stream is cut into
+//! **fixed blocks** (anchored at absolute stream offsets, independent
+//! of the shard layout), every block accumulates its own
+//! [`WindowedPartial`], and [`WindowedMerge::finalize`] replays one
+//! canonical left-fold over the partials in ascending anchor order.
+//! Any partition of the blocks across workers produces the same
+//! partial list, hence byte-identical summaries.
+
+use crate::sketch::{GkSketch, StreamingMoments};
+use std::collections::BTreeMap;
+
+/// Default window width: one simulated hour, in nanoseconds.
+pub const DEFAULT_WINDOW_NANOS: u64 = 3_600_000_000_000;
+
+/// Sketch + moments for one window of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Quantile summary of the window's samples.
+    pub sketch: GkSketch,
+    /// Exact count/mean/min/max/variance of the window's samples.
+    pub moments: StreamingMoments,
+}
+
+impl WindowStats {
+    fn new(epsilon: f64) -> Self {
+        WindowStats {
+            sketch: GkSketch::new(epsilon),
+            moments: StreamingMoments::new(),
+        }
+    }
+
+    /// Merge another window's summary into this one (GK merge + moment
+    /// combination). Callers must respect the canonical fold order.
+    fn merge(&mut self, other: &WindowStats) {
+        self.sketch.merge(&other.sketch);
+        self.moments.merge(&other.moments);
+    }
+}
+
+/// A set of per-window summaries sharing one window width and accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSeries {
+    epsilon: f64,
+    window_nanos: u64,
+    windows: BTreeMap<u64, WindowStats>,
+}
+
+impl WindowedSeries {
+    /// Empty series. `epsilon` is the GK accuracy target; `window_nanos`
+    /// is the window width in simulated nanoseconds (0 is clamped to 1
+    /// so `window_of` never divides by zero).
+    pub fn new(epsilon: f64, window_nanos: u64) -> Self {
+        WindowedSeries {
+            epsilon,
+            window_nanos: window_nanos.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The window width in simulated nanoseconds.
+    pub fn window_nanos(&self) -> u64 {
+        self.window_nanos
+    }
+
+    /// The window index a simulated timestamp falls into.
+    pub fn window_of(&self, sim_nanos: u64) -> u64 {
+        sim_nanos / self.window_nanos
+    }
+
+    /// Insert a sample at a simulated timestamp.
+    pub fn insert(&mut self, sim_nanos: u64, value: f64) {
+        self.insert_in_window(self.window_of(sim_nanos), value);
+    }
+
+    /// Insert a sample directly into a window index (for callers that
+    /// already bucketed their samples).
+    pub fn insert_in_window(&mut self, window: u64, value: f64) {
+        let epsilon = self.epsilon;
+        let stats = self
+            .windows
+            .entry(window)
+            .or_insert_with(|| WindowStats::new(epsilon));
+        stats.sketch.insert(value);
+        stats.moments.insert(value);
+    }
+
+    /// Number of distinct windows with at least one sample.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window holds a sample.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total samples across all windows.
+    pub fn count(&self) -> u64 {
+        self.windows.values().map(|w| w.moments.count()).sum()
+    }
+
+    /// The summary for one window, if any sample landed there.
+    pub fn window(&self, window: u64) -> Option<&WindowStats> {
+        self.windows.get(&window)
+    }
+
+    /// Iterate windows in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &WindowStats)> {
+        self.windows.iter().map(|(&w, s)| (w, s))
+    }
+
+    /// Merge another series window-by-window. The caller owns the merge
+    /// order contract; use [`WindowedMerge`] for the anchored fold.
+    pub fn merge(&mut self, other: &WindowedSeries) {
+        debug_assert_eq!(
+            self.window_nanos, other.window_nanos,
+            "merging series with different window widths"
+        );
+        for (&window, stats) in &other.windows {
+            let epsilon = self.epsilon;
+            self.windows
+                .entry(window)
+                .or_insert_with(|| WindowStats::new(epsilon))
+                .merge(stats);
+        }
+    }
+}
+
+/// One block's windowed summary, tagged with its absolute stream anchor.
+///
+/// The anchor is the block's start offset in the *global* sample stream
+/// (e.g. a country-local client offset rounded down to the block size),
+/// which is a pure function of the input — never of the shard layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedPartial {
+    /// Absolute stream offset where this block starts.
+    pub anchor: u64,
+    /// The block's accumulated per-window summaries.
+    pub series: WindowedSeries,
+}
+
+/// Collects block partials from any number of workers and replays the
+/// canonical anchor-ordered left-fold.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedMerge {
+    partials: Vec<WindowedPartial>,
+}
+
+impl WindowedMerge {
+    /// Empty collector.
+    pub fn new() -> Self {
+        WindowedMerge::default()
+    }
+
+    /// Add one block partial. Order of calls is irrelevant; anchors
+    /// define the fold order.
+    pub fn push(&mut self, partial: WindowedPartial) {
+        self.partials.push(partial);
+    }
+
+    /// Absorb another collector's partials.
+    pub fn extend(&mut self, other: WindowedMerge) {
+        self.partials.extend(other.partials);
+    }
+
+    /// Number of partials collected so far.
+    pub fn len(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// True when no partial has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.partials.is_empty()
+    }
+
+    /// Sort by anchor and left-fold. Anchors must be unique (each block
+    /// is processed by exactly one worker); ties would make the fold
+    /// order ambiguous, so they are rejected loudly in debug builds.
+    pub fn finalize(mut self, epsilon: f64, window_nanos: u64) -> WindowedSeries {
+        self.partials.sort_by_key(|p| p.anchor);
+        debug_assert!(
+            self.partials.windows(2).all(|w| w[0].anchor < w[1].anchor),
+            "duplicate block anchors break the canonical fold order"
+        );
+        let mut out = WindowedSeries::new(epsilon, window_nanos);
+        for partial in &self.partials {
+            out.merge(&partial.series);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random sample stream (same LCG idiom as the
+    /// sketch tests): (sim_nanos in [0, 24h), value in [5, 1005)).
+    fn stream(n: usize, seed: u64) -> Vec<(u64, f64)> {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let t = (x >> 11) % (24 * DEFAULT_WINDOW_NANOS);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = 5.0 + (x >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
+                (t, v)
+            })
+            .collect()
+    }
+
+    /// Build per-block partials for a fixed block size — the canonical
+    /// decomposition every shard layout must reproduce.
+    fn block_partials(samples: &[(u64, f64)], block: usize) -> Vec<WindowedPartial> {
+        samples
+            .chunks(block)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut series = WindowedSeries::new(0.01, DEFAULT_WINDOW_NANOS);
+                for &(t, v) in chunk {
+                    series.insert(t, v);
+                }
+                WindowedPartial {
+                    anchor: (i * block) as u64,
+                    series,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windows_bucket_by_simulated_hour() {
+        let mut s = WindowedSeries::new(0.01, DEFAULT_WINDOW_NANOS);
+        s.insert(0, 1.0);
+        s.insert(DEFAULT_WINDOW_NANOS - 1, 2.0);
+        s.insert(DEFAULT_WINDOW_NANOS, 3.0);
+        s.insert(5 * DEFAULT_WINDOW_NANOS + 7, 4.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.window(0).unwrap().moments.count(), 2);
+        assert_eq!(s.window(1).unwrap().moments.count(), 1);
+        assert_eq!(s.window(5).unwrap().moments.count(), 1);
+        assert!(s.window(2).is_none());
+        assert_eq!(s.count(), 4);
+        let indices: Vec<u64> = s.iter().map(|(w, _)| w).collect();
+        assert_eq!(indices, [0, 1, 5]);
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        let s = WindowedSeries::new(0.01, 0);
+        assert_eq!(s.window_nanos(), 1);
+        assert_eq!(s.window_of(42), 42);
+    }
+
+    #[test]
+    fn per_window_quantiles_track_the_window_contents() {
+        let mut s = WindowedSeries::new(0.001, DEFAULT_WINDOW_NANOS);
+        for i in 0..1000 {
+            s.insert(0, i as f64); // window 0: 0..1000
+            s.insert(DEFAULT_WINDOW_NANOS, 1000.0 + i as f64); // window 1
+        }
+        let w0 = s.window(0).unwrap();
+        let w1 = s.window(1).unwrap();
+        assert!((w0.sketch.query(0.5) - 500.0).abs() < 10.0);
+        assert!((w1.sketch.query(0.5) - 1500.0).abs() < 10.0);
+        assert!((w0.moments.mean() - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchored_fold_is_shard_layout_invariant() {
+        let samples = stream(4000, 11);
+        let partials = block_partials(&samples, 128);
+
+        // Reference: one worker saw every block, pushed in order.
+        let mut reference = WindowedMerge::new();
+        for p in &partials {
+            reference.push(p.clone());
+        }
+        let reference = reference.finalize(0.01, DEFAULT_WINDOW_NANOS);
+
+        // Adversarial layouts: reversed, interleaved across 3 workers.
+        for layout in 0..3usize {
+            let mut merge = WindowedMerge::new();
+            match layout {
+                0 => {
+                    for p in partials.iter().rev() {
+                        merge.push(p.clone());
+                    }
+                }
+                1 => {
+                    for stripe in 0..3 {
+                        for p in partials.iter().skip(stripe).step_by(3) {
+                            merge.push(p.clone());
+                        }
+                    }
+                }
+                _ => {
+                    let mut workers = vec![WindowedMerge::new(); 4];
+                    for (i, p) in partials.iter().enumerate() {
+                        workers[i % 4].push(p.clone());
+                    }
+                    for w in workers.into_iter().rev() {
+                        merge.extend(w);
+                    }
+                }
+            }
+            let folded = merge.finalize(0.01, DEFAULT_WINDOW_NANOS);
+            assert_eq!(folded, reference, "layout {layout} diverged");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_and_bounds() {
+        let mut a = WindowedSeries::new(0.01, DEFAULT_WINDOW_NANOS);
+        let mut b = WindowedSeries::new(0.01, DEFAULT_WINDOW_NANOS);
+        a.insert(0, 1.0);
+        a.insert(0, 3.0);
+        b.insert(0, 2.0);
+        b.insert(DEFAULT_WINDOW_NANOS, 9.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let w0 = a.window(0).unwrap();
+        assert_eq!(w0.moments.count(), 3);
+        assert_eq!(w0.moments.min(), 1.0);
+        assert_eq!(w0.moments.max(), 3.0);
+        assert_eq!(a.window(1).unwrap().moments.max(), 9.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Split-invariance: any assignment of fixed blocks to
+            /// workers, pushed in any order, folds to the identical
+            /// summary (exact equality, not just close quantiles).
+            #[test]
+            fn anchored_fold_is_partition_invariant(
+                n in 1usize..600,
+                seed in 0u64..1000,
+                block in 1usize..97,
+                assignment in proptest::collection::vec(0usize..5, 600),
+            ) {
+                let samples = stream(n, seed);
+                let partials = block_partials(&samples, block);
+
+                let mut reference = WindowedMerge::new();
+                for p in &partials {
+                    reference.push(p.clone());
+                }
+                let reference = reference.finalize(0.01, DEFAULT_WINDOW_NANOS);
+
+                // Scatter blocks across 5 "workers" per the random
+                // assignment, then concatenate worker collectors.
+                let mut workers = vec![WindowedMerge::new(); 5];
+                for (i, p) in partials.iter().enumerate() {
+                    workers[assignment[i % assignment.len()]].push(p.clone());
+                }
+                let mut merge = WindowedMerge::new();
+                for w in workers {
+                    merge.extend(w);
+                }
+                let folded = merge.finalize(0.01, DEFAULT_WINDOW_NANOS);
+                prop_assert_eq!(folded, reference);
+            }
+
+            /// Associativity of the anchored construction: folding
+            /// pre-merged worker groups equals folding flat partials,
+            /// because finalize re-anchors to the same canonical order.
+            #[test]
+            fn grouping_does_not_change_the_fold(
+                n in 1usize..400,
+                seed in 0u64..1000,
+                split in 1usize..10,
+            ) {
+                let samples = stream(n, seed);
+                let partials = block_partials(&samples, 32);
+
+                let mut flat = WindowedMerge::new();
+                for p in &partials {
+                    flat.push(p.clone());
+                }
+                let flat = flat.finalize(0.015, DEFAULT_WINDOW_NANOS);
+
+                let cut = split.min(partials.len());
+                let (left, right) = partials.split_at(cut.min(partials.len()));
+                let mut grouped = WindowedMerge::new();
+                for p in right.iter().chain(left.iter()) {
+                    grouped.push(p.clone());
+                }
+                let grouped = grouped.finalize(0.015, DEFAULT_WINDOW_NANOS);
+                prop_assert_eq!(grouped, flat);
+            }
+        }
+    }
+}

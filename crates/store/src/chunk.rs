@@ -11,11 +11,13 @@
 //! ```
 //!
 //! `flags` gates optional trailing groups: bit 0
-//! ([`FLAG_TRANSPORTS`]) marks a fifth **transports** column group and
-//! bit 1 ([`FLAG_PAGELOAD`]) a sixth **pageload** group. A chunk whose
-//! records all have empty transport and page vectors writes `flags = 0`
-//! and no trailing groups, so legacy chunks are byte-identical to
-//! format version 1 output. Unknown flag bits are rejected.
+//! ([`FLAG_TRANSPORTS`]) marks a fifth **transports** column group,
+//! bit 1 ([`FLAG_PAGELOAD`]) a sixth **pageload** group, and bit 2
+//! ([`FLAG_TIMESERIES`]) a seventh **timeseries** group. A chunk whose
+//! records all have empty transport, page and window vectors writes
+//! `flags = 0` and no trailing groups, so legacy chunks are
+//! byte-identical to format version 1 output. Unknown flag bits are
+//! rejected.
 //!
 //! The four always-present column groups mirror the record's field
 //! families:
@@ -45,13 +47,21 @@
 //!    provider ordinals (RLE), DAG-shape varint columns (domains,
 //!    unique names, depth, cold/warm cache hits), cold/warm PLT f64
 //!    columns.
+//! 7. **timeseries** — per-record sample counts, then the flattened
+//!    windowed summaries in structure-of-arrays form: window indices
+//!    (RLE — every sample of a client lands in the client's window),
+//!    provider ordinals (RLE), transport ordinals (RLE), varint count
+//!    columns (queries, successes, cache lookups/hits), latency f64
+//!    column.
 //!
 //! Floats are raw little-endian IEEE-754 bits: encode∘decode is the
 //! identity on every finite value, which is what lets `--from-store`
 //! reproduce the direct pipeline byte for byte.
 
 use crate::checksum::crc32;
-use crate::record::{StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample};
+use crate::record::{
+    StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample, StoreWindowSample,
+};
 use crate::varint::{put_f64, put_i64, put_u64, Cursor};
 use crate::{Result, StoreError};
 
@@ -67,8 +77,11 @@ pub const FLAG_TRANSPORTS: u16 = 0x1;
 /// Header flag bit: the payload carries a sixth (pageload) group.
 pub const FLAG_PAGELOAD: u16 = 0x2;
 
+/// Header flag bit: the payload carries a seventh (timeseries) group.
+pub const FLAG_TIMESERIES: u16 = 0x4;
+
 /// All flag bits this reader understands; anything else is rejected.
-const KNOWN_FLAGS: u16 = FLAG_TRANSPORTS | FLAG_PAGELOAD;
+const KNOWN_FLAGS: u16 = FLAG_TRANSPORTS | FLAG_PAGELOAD | FLAG_TIMESERIES;
 
 /// Fixed header length in bytes (magic, version, flags, count, len, crc).
 pub const CHUNK_HEADER_LEN: usize = 4 + 2 + 2 + 4 + 4 + 4;
@@ -104,6 +117,10 @@ pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
     if records.iter().any(|r| !r.pages.is_empty()) {
         flags |= FLAG_PAGELOAD;
         put_group(&mut payload, encode_pageload(records));
+    }
+    if records.iter().any(|r| !r.windows.is_empty()) {
+        flags |= FLAG_TIMESERIES;
+        put_group(&mut payload, encode_timeseries(records));
     }
 
     let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
@@ -150,6 +167,11 @@ pub fn decode_chunk(
     } else {
         None
     };
+    let timeseries = if flags & FLAG_TIMESERIES != 0 {
+        Some(take_group(&mut cursor, "timeseries")?)
+    } else {
+        None
+    };
     cursor.expect_empty()?;
 
     let ids = decode_identity(identity, n, &context)?;
@@ -162,6 +184,10 @@ pub fn decode_chunk(
     };
     let mut pages = match pageload {
         Some(bytes) => decode_pageload(bytes, n, &context)?,
+        None => vec![Vec::new(); n],
+    };
+    let mut windows = match timeseries {
+        Some(bytes) => decode_timeseries(bytes, n, &context)?,
         None => vec![Vec::new(); n],
     };
 
@@ -181,6 +207,7 @@ pub fn decode_chunk(
             do53_source: baselines.source[i],
             transports: std::mem::take(&mut lifecycle[i]),
             pages: std::mem::take(&mut pages[i]),
+            windows: std::mem::take(&mut windows[i]),
         });
     }
     Ok(records)
@@ -663,6 +690,94 @@ fn decode_pageload(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<Stor
     Ok(samples)
 }
 
+// ------------------------------------------------------------- timeseries
+
+fn encode_timeseries(records: &[StoreRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        put_u64(&mut out, r.windows.len() as u64);
+    }
+    let flat = || records.iter().flat_map(|r| r.windows.iter());
+    encode_rle_u32(&mut out, flat().map(|s| s.window));
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+    // Count columns: small integers, varint-packed.
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.queries));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.successes));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.cache_lookups));
+    }
+    for s in flat() {
+        put_u64(&mut out, u64::from(s.cache_hits));
+    }
+    for s in flat() {
+        put_f64(&mut out, s.latency_ms);
+    }
+    out
+}
+
+fn decode_timeseries(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreWindowSample>>> {
+    let mut c = Cursor::new(bytes, context);
+    let mut counts = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for _ in 0..n {
+        let k = c.len(MAX_SAMPLES_PER_RECORD, "window sample count")?;
+        counts.push(k);
+        total += k;
+    }
+    let ordinal_u8 = |v: u32, what: &str| {
+        u8::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: {what} ordinal {v} overflows u8")))
+    };
+    let windows = decode_rle_u32(&mut c, total, "window index")?;
+    let providers = decode_rle_u32(&mut c, total, "window provider")?;
+    let transports = decode_rle_u32(&mut c, total, "window transport")?;
+    let mut small_u32 = |what: &str| -> Result<Vec<u32>> {
+        let mut col = Vec::with_capacity(total);
+        for _ in 0..total {
+            let v = c.u64()?;
+            col.push(u32::try_from(v).map_err(|_| {
+                StoreError::Corrupt(format!("{context}: {what} value {v} overflows u32"))
+            })?);
+        }
+        Ok(col)
+    };
+    let queries = small_u32("window queries")?;
+    let successes = small_u32("window successes")?;
+    let cache_lookups = small_u32("window cache_lookups")?;
+    let cache_hits = small_u32("window cache_hits")?;
+    let mut latency = Vec::with_capacity(total);
+    for _ in 0..total {
+        latency.push(c.f64()?);
+    }
+    c.expect_empty()?;
+
+    let mut samples = Vec::with_capacity(n);
+    let mut offset = 0usize;
+    for &k in &counts {
+        let mut per_record = Vec::with_capacity(k);
+        for j in offset..offset + k {
+            per_record.push(StoreWindowSample {
+                window: windows[j],
+                provider: ordinal_u8(providers[j], "window provider")?,
+                transport: ordinal_u8(transports[j], "window transport")?,
+                queries: queries[j],
+                successes: successes[j],
+                latency_ms: latency[j],
+                cache_lookups: cache_lookups[j],
+                cache_hits: cache_hits[j],
+            });
+        }
+        samples.push(per_record);
+        offset += k;
+    }
+    Ok(samples)
+}
+
 // ------------------------------------------------------------ RLE helpers
 
 /// Run-length encode a u32 column as (varint value, varint run) pairs,
@@ -836,6 +951,52 @@ mod tests {
         assert_eq!(flags, FLAG_TRANSPORTS | FLAG_PAGELOAD);
         let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn timeseries_round_trips_behind_the_flag() {
+        // A mixed batch: some records carry windowed summaries, some do
+        // not. One non-empty vector is enough to set the flag.
+        let mut records = batch(5);
+        records[0] = StoreRecord::test_record_with_windows(1);
+        records[2] = StoreRecord::test_record_with_windows(3);
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        assert_eq!(flags, FLAG_TIMESERIES);
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+        assert_eq!(back[0].windows.len(), 2);
+        assert!(back[1].windows.is_empty());
+    }
+
+    #[test]
+    fn all_three_flag_gated_groups_coexist() {
+        // transports < pageload < timeseries in group order, all three
+        // flag bits set, and every vector round-trips.
+        let mut records = batch(3);
+        records[1] = StoreRecord::test_record_with_transports(2);
+        records[1].pages = StoreRecord::test_record_with_pages(2).pages;
+        records[1].windows = StoreRecord::test_record_with_windows(2).windows;
+        let bytes = encode_chunk(&records);
+        let header: [u8; CHUNK_HEADER_LEN] = bytes[..CHUNK_HEADER_LEN].try_into().unwrap();
+        let (count, _, _, flags) = parse_header(&header, 0).unwrap();
+        assert_eq!(flags, FLAG_TRANSPORTS | FLAG_PAGELOAD | FLAG_TIMESERIES);
+        let back = decode_chunk(count, flags, &bytes[CHUNK_HEADER_LEN..], 0).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn window_free_chunks_set_no_timeseries_flag() {
+        // Enabling the timeseries code path must not disturb legacy,
+        // transports-only or pageload-only chunk bytes: a window-free
+        // chunk never sets the FLAG_TIMESERIES bit.
+        let mut records = batch(4);
+        records[1] = StoreRecord::test_record_with_transports(2);
+        records[3] = StoreRecord::test_record_with_pages(4);
+        let bytes = encode_chunk(&records);
+        let flags = u16::from_le_bytes([bytes[6], bytes[7]]);
+        assert_eq!(flags & FLAG_TIMESERIES, 0);
     }
 
     #[test]

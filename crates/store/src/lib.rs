@@ -70,10 +70,14 @@ pub mod record;
 pub mod varint;
 pub mod writer;
 
-pub use chunk::{decode_chunk, encode_chunk, CHUNK_MAGIC, FLAG_TRANSPORTS, FORMAT_VERSION};
+pub use chunk::{
+    decode_chunk, encode_chunk, CHUNK_MAGIC, FLAG_TIMESERIES, FLAG_TRANSPORTS, FORMAT_VERSION,
+};
 pub use manifest::{Manifest, MANIFEST_MAGIC};
 pub use reader::ChunkReader;
-pub use record::{StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample};
+pub use record::{
+    StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample, StoreWindowSample,
+};
 pub use writer::{ChunkWriter, WriterStats};
 
 /// Default number of records buffered per chunk — the memory bound for

@@ -67,6 +67,30 @@ pub struct StorePageSample {
     pub warm_cache_hits: u32,
 }
 
+/// One windowed time-series summary for one (window, provider,
+/// transport) cell, primitive form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreWindowSample {
+    /// Simulated-time window index (`sim_start / window_nanos`).
+    pub window: u32,
+    /// Provider ordinal (index into the campaign's provider table).
+    pub provider: u8,
+    /// Transport ordinal (index into the canonical transport table:
+    /// 0 = Do53, 1 = DoH, 2 = DoT, 3 = DoQ).
+    pub transport: u8,
+    /// Resolutions attempted in the window.
+    pub queries: u32,
+    /// Resolutions that succeeded (availability = successes/queries).
+    pub successes: u32,
+    /// Representative query latency for the cell, ms (NaN-free; 0 when
+    /// the cell is cache-only).
+    pub latency_ms: f64,
+    /// Cache probes issued (0 for non-cache cells).
+    pub cache_lookups: u32,
+    /// Cache probes that hit.
+    pub cache_hits: u32,
+}
+
 /// One client's full record, primitive form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreRecord {
@@ -101,6 +125,10 @@ pub struct StoreRecord {
     /// Empty unless the campaign enables the page-load workload; the
     /// column group is flag-gated just like `transports`.
     pub pages: Vec<StorePageSample>,
+    /// Windowed time-series summaries, in measurement order. Empty
+    /// unless the campaign enables windowing; the column group is
+    /// flag-gated just like `transports` and `pages`.
+    pub windows: Vec<StoreWindowSample>,
 }
 
 impl StoreRecord {
@@ -137,6 +165,7 @@ impl StoreRecord {
             do53_source: 0,
             transports: Vec::new(),
             pages: Vec::new(),
+            windows: Vec::new(),
         }
     }
 
@@ -191,6 +220,35 @@ impl StoreRecord {
                 plt_warm_ms: 222.0,
                 cold_cache_hits: 3,
                 warm_cache_hits: 15,
+            },
+        ];
+        record
+    }
+
+    /// [`StoreRecord::test_record`] plus two windowed summaries, for
+    /// exercising the flag-gated timeseries column group.
+    pub fn test_record_with_windows(client_id: u64) -> StoreRecord {
+        let mut record = StoreRecord::test_record(client_id);
+        record.windows = vec![
+            StoreWindowSample {
+                window: client_id as u32 % 24,
+                provider: 0,
+                transport: 1,
+                queries: 5,
+                successes: 5,
+                latency_ms: 410.0 + client_id as f64,
+                cache_lookups: 0,
+                cache_hits: 0,
+            },
+            StoreWindowSample {
+                window: client_id as u32 % 24,
+                provider: 2,
+                transport: 3,
+                queries: 3,
+                successes: 2,
+                latency_ms: 255.5,
+                cache_lookups: 36,
+                cache_hits: 18,
             },
         ];
         record

@@ -8,7 +8,7 @@
 
 use dohperf_store::{
     encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StorePageSample, StoreRecord,
-    StoreTransportSample,
+    StoreTransportSample, StoreWindowSample,
 };
 use proptest::prelude::*;
 
@@ -82,6 +82,20 @@ fn arb_record(s: &mut u64) -> StoreRecord {
             warm_cache_hits: (next(s) % 256) as u32,
         })
         .collect();
+    // And for the flag-gated timeseries group: mostly empty, with
+    // occasional windowed summaries carrying arbitrary counts.
+    let windows = (0..(next(s) % 3) as usize)
+        .map(|i| StoreWindowSample {
+            window: (next(s) % 48) as u32,
+            provider: (next(s) % 4) as u8,
+            transport: (i as u8) % 4,
+            queries: (next(s) % 64) as u32,
+            successes: (next(s) % 64) as u32,
+            latency_ms: arb_f64(s),
+            cache_lookups: (next(s) % 256) as u32,
+            cache_hits: (next(s) % 256) as u32,
+        })
+        .collect();
     StoreRecord {
         client_id: next(s),
         country_iso: arb_iso(s),
@@ -100,6 +114,7 @@ fn arb_record(s: &mut u64) -> StoreRecord {
         do53_source: (next(s) % 2) as u8,
         transports,
         pages,
+        windows,
     }
 }
 

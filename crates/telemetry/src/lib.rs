@@ -60,6 +60,13 @@
 //! trees as Chrome trace-event JSON (and validates such documents), and
 //! [`phases`] is the wall-clock (per-run) hierarchical phase profiler
 //! that rides along in the metrics snapshot.
+//!
+//! ## Windowed series
+//!
+//! [`windows`] keys deterministic counters and latency histograms by
+//! simulated-time window (`window.<index>.*` names), so longitudinal
+//! per-hour series ride along in the ordinary snapshot/baseline
+//! machinery instead of needing a parallel storage layer.
 
 pub mod alloc;
 pub mod flight;
@@ -68,8 +75,10 @@ mod metrics;
 pub mod perfetto;
 pub mod phases;
 mod registry;
+pub mod scheduler;
 mod snapshot;
 pub mod trace;
+pub mod windows;
 
 pub use json::JsonValue;
 pub use metrics::{

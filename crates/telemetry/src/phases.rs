@@ -105,28 +105,45 @@ pub fn reset() {
     *TABLE.lock().expect("phase table poisoned") = None;
 }
 
-/// Human-readable report, one line per phase path, sorted by path so
-/// nesting reads top-down.
+/// Human-readable report: one line per phase path, sorted by inclusive
+/// wall-clock time descending (ties break by path) so the most
+/// expensive phase reads first, closed by a total-accounted-for line.
 pub fn report() -> String {
+    render_report(&snapshot())
+}
+
+/// Pure renderer behind [`report`], separated so tests can feed a
+/// hand-built table instead of racing on the process-global one.
+fn render_report(table: &BTreeMap<String, PhaseStat>) -> String {
     use std::fmt::Write as _;
-    let table = snapshot();
     if table.is_empty() {
         return String::new();
     }
-    let mut out = String::from("phase profile (wall clock, per-run):\n");
-    for (path, stat) in &table {
-        let depth = path.matches('/').count();
-        let name = path.rsplit('/').next().unwrap_or(path);
+    let mut rows: Vec<(&String, &PhaseStat)> = table.iter().collect();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+    let mut out = String::from("phase profile (wall clock, per-run, heaviest first):\n");
+    for (path, stat) in &rows {
         let _ = writeln!(
             out,
-            "  {:indent$}{name:<24} total {:>9.3} ms  self {:>9.3} ms  x{}",
-            "",
+            "  {path:<32} total {:>9.3} ms  self {:>9.3} ms  x{}",
             stat.total_ns as f64 / 1e6,
             stat.self_ns as f64 / 1e6,
             stat.count,
-            indent = depth * 2,
         );
     }
+    // Root phases already include their children's time, so summing
+    // only depth-0 totals avoids double counting.
+    let accounted: u64 = table
+        .iter()
+        .filter(|(path, _)| !path.contains('/'))
+        .map(|(_, stat)| stat.total_ns)
+        .sum();
+    let _ = writeln!(
+        out,
+        "  total accounted: {:.3} ms across {} phase path(s)",
+        accounted as f64 / 1e6,
+        table.len(),
+    );
     out
 }
 
@@ -181,6 +198,81 @@ mod tests {
             let _p = phase("loop");
         }
         assert_eq!(snapshot().get("loop").unwrap().count, 3);
+        reset();
+    }
+
+    fn stat(total_ns: u64, self_ns: u64, count: u64) -> PhaseStat {
+        PhaseStat {
+            total_ns,
+            self_ns,
+            count,
+        }
+    }
+
+    #[test]
+    fn report_sorts_by_inclusive_time_descending() {
+        let table = BTreeMap::from([
+            ("cheap".to_string(), stat(1_000_000, 1_000_000, 1)),
+            ("heavy".to_string(), stat(9_000_000, 4_000_000, 2)),
+            ("heavy/child".to_string(), stat(5_000_000, 5_000_000, 2)),
+        ]);
+        let text = render_report(&table);
+        let heavy = text.find("heavy ").expect("heavy line");
+        let child = text.find("heavy/child").expect("child line");
+        let cheap = text.find("cheap").expect("cheap line");
+        assert!(
+            heavy < child && child < cheap,
+            "lines must sort by total desc:\n{text}"
+        );
+    }
+
+    #[test]
+    fn report_accounts_totals_from_root_phases_only() {
+        // 9 ms root + 5 ms child: the child is inside the root's total,
+        // so the accounted line must say 9 ms, not 14.
+        let table = BTreeMap::from([
+            ("run".to_string(), stat(9_000_000, 4_000_000, 1)),
+            ("run/derive".to_string(), stat(5_000_000, 5_000_000, 1)),
+        ]);
+        let text = render_report(&table);
+        assert!(
+            text.contains("total accounted: 9.000 ms across 2 phase path(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_ties_break_by_path() {
+        let table = BTreeMap::from([
+            ("b".to_string(), stat(1_000_000, 1_000_000, 1)),
+            ("a".to_string(), stat(1_000_000, 1_000_000, 1)),
+        ]);
+        let text = render_report(&table);
+        assert!(
+            text.find("a ").unwrap() < text.find("b ").unwrap(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_table_renders_nothing() {
+        assert_eq!(render_report(&BTreeMap::new()), "");
+    }
+
+    #[test]
+    fn publish_lands_per_run_gauges() {
+        reset();
+        {
+            let _p = phase("publish-probe");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        publish();
+        let snap = crate::global().snapshot();
+        let m = snap
+            .metrics
+            .get("phase.publish-probe.total_ms")
+            .expect("published gauge");
+        assert_eq!(m.determinism, crate::Determinism::PerRun);
         reset();
     }
 }

@@ -587,4 +587,59 @@ mod tests {
             assert!(table.contains(name), "{table}");
         }
     }
+
+    #[test]
+    fn from_json_rejects_unknown_schema() {
+        let err = Snapshot::from_json("{\"schema\": \"bogus/9\"}").unwrap_err();
+        assert!(err.contains("unsupported metrics schema"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_missing_sections_and_kinds() {
+        let err = Snapshot::from_json("{\"schema\": \"dohperf-metrics/1\", \"per_run\": {}}")
+            .unwrap_err();
+        assert!(err.contains("missing section"), "{err}");
+        let err = Snapshot::from_json(
+            "{\"schema\": \"dohperf-metrics/1\", \
+             \"deterministic\": {\"x\": {\"kind\": \"dial\", \"value\": 1}}, \"per_run\": {}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn comparison_flags_kind_mismatch() {
+        let base = sample_registry().snapshot();
+        let r = Registry::new();
+        r.gauge("a.queries").set(42); // was a counter in the baseline
+        r.histogram("a.lat_ms").record_ms(1.0);
+        let report = r.snapshot().compare_deterministic(&base, 0.5);
+        assert!(report
+            .drifts
+            .iter()
+            .any(|d| d.metric == "a.queries" && d.field == "kind"));
+    }
+
+    #[test]
+    fn since_keeps_latest_gauge_value() {
+        let r = sample_registry();
+        let before = r.snapshot();
+        r.per_run_gauge("a.workers").set(3);
+        let delta = r.snapshot().since(&before);
+        assert_eq!(delta.gauge_value("a.workers"), Some(3));
+    }
+
+    #[test]
+    fn histogram_since_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record_ms(1.0);
+        let early = HistogramSnapshot::of(&h);
+        h.record_ms(1.0);
+        h.record_ms(500.0);
+        let late = HistogramSnapshot::of(&h);
+        let delta = late.since(&early);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_micros, 501_000);
+        assert_eq!(delta.buckets.values().sum::<u64>(), 2);
+    }
 }

@@ -203,3 +203,98 @@ fn pageload_without_pages_points_at_the_flag() {
     );
     assert!(stdout.contains("--pages 2"), "{stdout}");
 }
+
+#[test]
+fn non_positive_window_hours_exits_2_with_a_usage_hint() {
+    // A window must have positive width; 0 and negative values are
+    // rejected before any work happens (0 is spelled "omit the flag").
+    for value in ["0", "-1", "0.0"] {
+        let out = repro()
+            .args(["--window-hours", value, "headline"])
+            .output()
+            .expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--window-hours {value} must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--window-hours needs a positive number"),
+            "{stderr}"
+        );
+        assert!(stderr.contains("usage: repro"), "{stderr}");
+    }
+}
+
+#[test]
+fn non_numeric_window_hours_exits_2() {
+    let out = repro()
+        .args(["--window-hours", "hourly", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--window-hours needs a positive number"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn missing_window_hours_value_exits_2() {
+    let out = repro()
+        .args(["headline", "--window-hours"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--window-hours"), "{stderr}");
+}
+
+#[test]
+fn valid_window_hours_runs_the_timeline_experiment() {
+    let out = repro()
+        .args([
+            "--seed",
+            "7",
+            "--scale",
+            "0.02",
+            "--window-hours",
+            "1",
+            "timeline",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "Timeline: per-window",
+        "window width: 1 simulated hour(s)",
+        "p50 ms",
+        "avail%",
+        "cache-hit%",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn timeline_without_windowing_points_at_the_flag() {
+    let out = repro()
+        .args(["--seed", "7", "--scale", "0.02", "timeline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no window samples"),
+        "legacy run must explain how to enable windowing:\n{stdout}"
+    );
+    assert!(stdout.contains("--window-hours 1"), "{stdout}");
+}
