@@ -5,7 +5,8 @@
         trace-smoke golden-trace alloc-smoke protocol-matrix \
         protocol-baseline scale-smoke scale-baseline \
         pageload-smoke pageload-baseline pageload-bench \
-        timeline-smoke timeline-baseline
+        timeline-smoke timeline-baseline \
+        store-pipeline-smoke store-bench store-bench-baseline
 
 build:
 	cargo build --workspace --release
@@ -33,12 +34,14 @@ repro-full:
 verify: ci
 	cargo test --release -p dohperf --test integration_parallel -- thread_count_is_invisible
 	$(MAKE) store-roundtrip
+	$(MAKE) store-pipeline-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) protocol-matrix
 	$(MAKE) pageload-smoke
 	$(MAKE) timeline-smoke
 	$(MAKE) alloc-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) store-bench
 
 # Mirror of .github/workflows/ci.yml, runnable locally and offline.
 ci: fmt-check clippy
@@ -265,6 +268,56 @@ store-roundtrip:
 	    > target/ci/roundtrip/restored.txt
 	cmp target/ci/roundtrip/direct.txt target/ci/roundtrip/restored.txt
 	@echo "store round-trip OK: --from-store reproduced the headline byte-for-byte"
+
+# Pipelined store I/O gate (DESIGN.md §17): the off-thread encoder and
+# the parallel decoder must be invisible in every byte. Writes the same
+# campaign store at 1 and 8 worker threads (both through the encoder
+# pool), requires identical records.chunks/manifest.bin, then re-derives
+# the headline from the store at --threads 1 and --threads 8 and
+# requires identical report bytes.
+store-pipeline-smoke:
+	rm -rf target/ci/pipeline
+	mkdir -p target/ci/pipeline
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --threads 1 --out-format store \
+	    --store-dir target/ci/pipeline/store-t1 headline \
+	    > target/ci/pipeline/direct.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --threads 8 --out-format store \
+	    --store-dir target/ci/pipeline/store-t8 headline > /dev/null
+	cmp target/ci/pipeline/store-t1/records.chunks target/ci/pipeline/store-t8/records.chunks
+	cmp target/ci/pipeline/store-t1/manifest.bin target/ci/pipeline/store-t8/manifest.bin
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --threads 1 \
+	    --from-store target/ci/pipeline/store-t1 headline \
+	    > target/ci/pipeline/restored-t1.txt
+	cargo run --release -p dohperf-bench --bin repro -- \
+	    --seed 2021 --scale 0.05 --threads 8 \
+	    --from-store target/ci/pipeline/store-t1 headline \
+	    > target/ci/pipeline/restored-t8.txt
+	cmp target/ci/pipeline/direct.txt target/ci/pipeline/restored-t1.txt
+	cmp target/ci/pipeline/restored-t1.txt target/ci/pipeline/restored-t8.txt
+	rm -rf target/ci/pipeline
+	@echo "store pipeline OK: encoder pool and parallel decode are byte-invisible"
+
+# Store-throughput trajectory (DESIGN.md §17): times the scalar
+# reference codec, the block-kernel writer, the pipelined writer, and
+# the serial/parallel decoders over a scale-0.25 campaign corpus, and
+# gates regression-only against ci/baseline-store.json (exit 3 on
+# drift; the band is wide because wall clock varies across machines).
+# The measured report lands in target/ci/store.json; the committed
+# trajectory is BENCH_store.json.
+store-bench:
+	mkdir -p target/ci
+	cargo run --release -p dohperf-bench --bin store_bench -- \
+	    --seed 2021 --scale 0.25 \
+	    --baseline ci/baseline-store.json --tolerance 0.5 \
+	    --out target/ci/store.json
+
+# Regenerate the store-throughput baseline after an intentional change.
+store-bench-baseline:
+	cargo run --release -p dohperf-bench --bin store_bench -- \
+	    --seed 2021 --scale 0.25 --out ci/baseline-store.json
 
 examples:
 	cargo run --release --example quickstart

@@ -60,7 +60,10 @@ pub use pop_improvement::{pop_improvement, PopImprovementStats};
 pub use regions::{region_summaries, regional_variation, RegionSummary};
 pub use report::full_report;
 pub use robustness::{covariate_correlations, headline_cis, CovariateCorrelations, HeadlineCis};
-pub use streaming::{cdfs_from_store, headline_from_store, StreamingCdfs, StreamingHeadline};
+pub use streaming::{
+    cdfs_from_store, cdfs_from_store_threads, headline_from_store, headline_from_store_threads,
+    StreamingCdfs, StreamingHeadline,
+};
 pub use timeline::{timeline, Timeline, TimelineCell};
 pub use transports::{
     transport_cdfs, transport_headlines, transport_provider_grid, TransportCdfs, TransportHeadline,

@@ -274,6 +274,20 @@ fn series_of(sketch: &GkSketch) -> CdfSeries {
 /// Peak memory: one decoded chunk plus the sketches — independent of
 /// the campaign's scale.
 pub fn headline_from_store(dir: &Path) -> dohperf_store::Result<HeadlineStats> {
+    headline_from_store_threads(dir, 1)
+}
+
+/// [`headline_from_store`] with `threads` decoder threads (0 means all
+/// available cores, 1 means fully serial).
+///
+/// Chunks are verified/decoded in parallel, but the accumulator folds
+/// them on the calling thread in canonical chunk order, so the result —
+/// every sketch insertion included — is identical to the serial pass at
+/// any thread count.
+pub fn headline_from_store_threads(
+    dir: &Path,
+    threads: usize,
+) -> dohperf_store::Result<HeadlineStats> {
     let manifest = store_io::read_manifest(dir)?;
     let atlas: Vec<(usize, Vec<f64>)> = manifest
         .atlas_do53_ms
@@ -281,18 +295,34 @@ pub fn headline_from_store(dir: &Path) -> dohperf_store::Result<HeadlineStats> {
         .map(|(idx, xs)| (*idx as usize, xs.clone()))
         .collect();
     let mut acc = StreamingHeadline::new();
-    for record in store_io::read_records(dir)? {
-        acc.observe(&record?);
-    }
+    store_io::fold_chunks(dir, threads, |records| {
+        for r in &records {
+            acc.observe(r);
+        }
+        Ok(())
+    })?;
     Ok(acc.finish(&atlas))
 }
 
 /// One-pass Figure 4 panels from a store directory.
 pub fn cdfs_from_store(dir: &Path) -> dohperf_store::Result<Vec<ProviderCdfs>> {
+    cdfs_from_store_threads(dir, 1)
+}
+
+/// [`cdfs_from_store`] with `threads` decoder threads; the in-order
+/// fold makes the panels identical at any thread count (see
+/// [`headline_from_store_threads`]).
+pub fn cdfs_from_store_threads(
+    dir: &Path,
+    threads: usize,
+) -> dohperf_store::Result<Vec<ProviderCdfs>> {
     let mut acc = StreamingCdfs::new();
-    for record in store_io::read_records(dir)? {
-        acc.observe(&record?);
-    }
+    store_io::fold_chunks(dir, threads, |records| {
+        for r in &records {
+            acc.observe(r);
+        }
+        Ok(())
+    })?;
     Ok(acc.finish())
 }
 

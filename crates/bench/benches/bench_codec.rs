@@ -1,0 +1,208 @@
+//! Columnar-codec microbenchmarks: the store's varint/delta/RLE inner
+//! loops, scalar reference vs the u64-word block kernels (DESIGN.md
+//! §17), plus the whole-chunk encode/decode paths they feed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dohperf_store::chunk::{self, reference};
+use dohperf_store::varint::{self, Cursor};
+use dohperf_store::StoreRecord;
+
+const N: usize = 4096;
+
+/// Deterministic xorshift stream — no RNG dependency, stable shapes.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Mixed-width u64 column: mostly 1-byte varints (counts, flags) with a
+/// multi-byte tail — the shape the identity/sample columns produce.
+fn u64_column() -> Vec<u64> {
+    let mut next = stream(2021);
+    (0..N)
+        .map(|i| {
+            if i % 8 == 0 {
+                next() >> 20
+            } else {
+                next() & 0x3f
+            }
+        })
+        .collect()
+}
+
+/// Signed delta column: small oscillating steps, as delta-coded
+/// client-ID and timestamp columns produce.
+fn i64_column() -> Vec<i64> {
+    let mut next = stream(7);
+    (0..N).map(|_| (next() & 0xff) as i64 - 128).collect()
+}
+
+/// Latency column: positive finite f64 milliseconds.
+fn f64_column() -> Vec<f64> {
+    let mut next = stream(99);
+    (0..N).map(|_| (next() % 400_000) as f64 / 1e3).collect()
+}
+
+/// Low-cardinality RLE column (country/provider indices): long runs.
+fn rle_column() -> Vec<u32> {
+    (0..N).map(|i| (i / 97) as u32 % 23).collect()
+}
+
+fn records() -> Vec<StoreRecord> {
+    (1..=512u64).map(StoreRecord::test_record).collect()
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let u64s = u64_column();
+    let i64s = i64_column();
+    let f64s = f64_column();
+    let mut out = Vec::with_capacity(N * 10);
+
+    c.bench_function("varint_u64_encode_scalar", |b| {
+        b.iter(|| {
+            out.clear();
+            for &v in &u64s {
+                varint::scalar::put_u64(&mut out, v);
+            }
+            black_box(out.len())
+        })
+    });
+    c.bench_function("varint_u64_encode_block", |b| {
+        b.iter(|| {
+            out.clear();
+            varint::put_u64_block(&mut out, &u64s);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("varint_i64_encode_scalar", |b| {
+        b.iter(|| {
+            out.clear();
+            for &v in &i64s {
+                varint::scalar::put_i64(&mut out, v);
+            }
+            black_box(out.len())
+        })
+    });
+    c.bench_function("varint_i64_encode_block", |b| {
+        b.iter(|| {
+            out.clear();
+            varint::put_i64_block(&mut out, &i64s);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("varint_f64_encode_scalar", |b| {
+        b.iter(|| {
+            out.clear();
+            for &v in &f64s {
+                varint::scalar::put_f64(&mut out, v);
+            }
+            black_box(out.len())
+        })
+    });
+    c.bench_function("varint_f64_encode_block", |b| {
+        b.iter(|| {
+            out.clear();
+            varint::put_f64_block(&mut out, &f64s);
+            black_box(out.len())
+        })
+    });
+
+    let mut u64_bytes = Vec::new();
+    varint::put_u64_block(&mut u64_bytes, &u64s);
+    c.bench_function("varint_u64_decode", |b| {
+        b.iter(|| {
+            let mut c = Cursor::new(&u64_bytes, "bench");
+            let mut sum = 0u64;
+            for _ in 0..N {
+                sum = sum.wrapping_add(c.u64().unwrap());
+            }
+            black_box(sum)
+        })
+    });
+
+    let mut f64_bytes = Vec::new();
+    varint::put_f64_block(&mut f64_bytes, &f64s);
+    let mut decoded = Vec::with_capacity(N);
+    c.bench_function("varint_f64_decode_scalar", |b| {
+        b.iter(|| {
+            let mut c = Cursor::new(&f64_bytes, "bench");
+            decoded.clear();
+            for _ in 0..N {
+                decoded.push(c.f64().unwrap());
+            }
+            black_box(decoded.len())
+        })
+    });
+    c.bench_function("varint_f64_decode_block", |b| {
+        b.iter(|| {
+            let mut c = Cursor::new(&f64_bytes, "bench");
+            decoded.clear();
+            c.f64_block(N, &mut decoded).unwrap();
+            black_box(decoded.len())
+        })
+    });
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let values = rle_column();
+    let mut out = Vec::new();
+    let mut runs = Vec::new();
+
+    c.bench_function("rle_u32_encode_scalar", |b| {
+        b.iter(|| {
+            out.clear();
+            reference::encode_rle_u32(&mut out, values.iter().copied());
+            black_box(out.len())
+        })
+    });
+    c.bench_function("rle_u32_encode_block", |b| {
+        b.iter(|| {
+            out.clear();
+            chunk::rle_u32_into(&mut out, values.iter().copied(), &mut runs);
+            black_box(out.len())
+        })
+    });
+
+    let mut encoded = Vec::new();
+    chunk::rle_u32_into(&mut encoded, values.iter().copied(), &mut runs);
+    c.bench_function("rle_u32_decode", |b| {
+        b.iter(|| {
+            let mut c = Cursor::new(&encoded, "bench");
+            black_box(chunk::decode_rle_u32(&mut c, N, "bench").unwrap().len())
+        })
+    });
+}
+
+fn bench_chunk(c: &mut Criterion) {
+    let recs = records();
+    let mut scratch = chunk::EncodeScratch::new();
+    let mut out = Vec::new();
+
+    c.bench_function("chunk_encode_scalar_reference", |b| {
+        b.iter(|| black_box(reference::encode_chunk(&recs).len()))
+    });
+    c.bench_function("chunk_encode_block_kernels", |b| {
+        b.iter(|| {
+            out.clear();
+            chunk::encode_chunk_into(&recs, &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    let encoded = chunk::encode_chunk(&recs);
+    let payload = &encoded[chunk::CHUNK_HEADER_LEN..];
+    let header: &[u8; chunk::CHUNK_HEADER_LEN] =
+        encoded[..chunk::CHUNK_HEADER_LEN].try_into().unwrap();
+    let (count, _, _, flags) = chunk::parse_header(header, 0).unwrap();
+    c.bench_function("chunk_decode", |b| {
+        b.iter(|| black_box(chunk::decode_chunk(count, flags, payload, 0).unwrap().len()))
+    });
+}
+
+criterion_group!(benches, bench_varint, bench_rle, bench_chunk);
+criterion_main!(benches);

@@ -50,8 +50,10 @@
 //! `X-luminati-*` header timestamps, and the Eq 1–8 arithmetic line by
 //! line, ending with the stored medians bit-for-bit.
 //!
-//! `--threads 0` (the default) uses all available cores. Any thread count
-//! produces a byte-identical dataset — see DESIGN.md §2.
+//! `--threads N` (N >= 1) pins the worker count; omitting the flag uses
+//! all available cores. The same knob fans out the store decoder under
+//! `--from-store`. Any thread count produces a byte-identical dataset —
+//! see DESIGN.md §2 and §17.
 //!
 //! `--shard-size N` sets the clients-per-work-unit granularity of the
 //! campaign's sub-country sharding (DESIGN.md §14). Smaller shards give
@@ -181,7 +183,10 @@ fn main() {
                 config.threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--threads needs an integer (0 = all cores)"));
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        usage("--threads needs an integer >= 1 (omit the flag to use all cores)")
+                    });
             }
             "--shard-size" => {
                 config.shard_size = args

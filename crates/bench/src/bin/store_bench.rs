@@ -1,0 +1,361 @@
+//! Store-throughput gate for the pipelined chunk codec (DESIGN.md §17).
+//!
+//! Builds one realistic record corpus (a scale-`--scale` campaign,
+//! spilled through the store and read back as raw [`StoreRecord`]s),
+//! then times five store paths over it in a single process:
+//!
+//! 1. `encode/scalar`    — the retained pre-pipeline scalar codec
+//!    (`chunk::reference::encode_chunk`, fresh buffers per chunk).
+//! 2. `encode/block`     — the serial block-kernel writer
+//!    ([`ChunkWriter::new`]: word-block varints, scratch reuse).
+//! 3. `encode/pipelined` — [`ChunkWriter::with_pool`] with a background
+//!    encoder pool ([`PipelineConfig::auto`]).
+//! 4. `decode/serial`    — the sequential [`ChunkReader`].
+//! 5. `decode/parallel`  — [`fold_chunks`] with `--threads` decoders.
+//!
+//! All three encode paths must produce byte-identical output (the bench
+//! asserts it), so the numbers compare like with like. `--out` writes
+//! the measurements as flat JSON (`target/ci/store.json` in CI); `make
+//! store-bench` archives the before/after trajectory in
+//! `BENCH_store.json`. With `--baseline` the throughput ratios are gated
+//! regression-only inside a wide tolerance band, exit 3 on drift —
+//! mirroring `scale_check`.
+
+use dohperf_core::campaign::{Campaign, CampaignConfig};
+use dohperf_store::chunk::reference;
+use dohperf_store::{fold_chunks, ChunkReader, ChunkWriter, EncoderPool, PipelineConfig};
+use dohperf_store::{StoreRecord, DEFAULT_CHUNK_BUDGET};
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    scale: f64,
+    threads: usize,
+    budget: usize,
+    iters: u32,
+    baseline: Option<std::path::PathBuf>,
+    tolerance: f64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 2021,
+        scale: 0.25,
+        threads: 0,
+        budget: DEFAULT_CHUNK_BUDGET,
+        iters: 5,
+        baseline: None,
+        tolerance: 0.5,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--budget" => args.budget = value("--budget")?.parse().map_err(|e| format!("{e}"))?,
+            "--iters" => args.iters = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--baseline" => args.baseline = Some(value("--baseline")?.into()),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?.into()),
+            "--help" | "-h" => {
+                return Err("usage: store_bench [--seed N] [--scale F] [--threads N] \
+                     [--budget N] [--iters N] [--baseline FILE] [--tolerance F] [--out FILE]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(args.scale > 0.0 && args.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    if args.budget == 0 || args.iters == 0 {
+        return Err("--budget and --iters must be >= 1".into());
+    }
+    if !args.tolerance.is_finite() || args.tolerance < 0.0 {
+        return Err("--tolerance must be a float >= 0".into());
+    }
+    Ok(args)
+}
+
+/// Best-of-`iters` wall time of one closure, in milliseconds.
+fn best_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn mb_per_sec(bytes: usize, wall_ms: f64) -> f64 {
+    (bytes as f64 / (1024.0 * 1024.0)) / (wall_ms / 1e3).max(1e-9)
+}
+
+fn records_per_sec(records: usize, wall_ms: f64) -> f64 {
+    records as f64 / (wall_ms / 1e3).max(1e-9)
+}
+
+/// Build the corpus: run the campaign, spill it through the store, and
+/// read the raw store records back (so the bench measures the codec over
+/// exactly the bytes a real campaign produces).
+fn corpus(args: &Args) -> Vec<StoreRecord> {
+    let dir = std::env::temp_dir().join(format!("dohperf-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let campaign = Campaign::new(CampaignConfig {
+        seed: args.seed,
+        scale: args.scale,
+        ..CampaignConfig::default()
+    });
+    campaign
+        .run_to_store(&dir, args.budget)
+        .expect("write corpus store");
+    let bytes = std::fs::read(dir.join(dohperf_store::RECORDS_FILE)).expect("read corpus chunks");
+    let records: Vec<StoreRecord> = ChunkReader::new(&bytes[..])
+        .collect::<Result<_, _>>()
+        .expect("decode corpus");
+    std::fs::remove_dir_all(&dir).expect("remove corpus dir");
+    records
+}
+
+fn report(label: &str, wall_ms: f64, bytes: usize, records: usize) {
+    eprintln!(
+        "{label:>16}: {records} records / {bytes} bytes in {wall_ms:>7.1} ms = \
+         {:>7.1} MB/s, {:>9.0} records/sec",
+        mb_per_sec(bytes, wall_ms),
+        records_per_sec(records, wall_ms)
+    );
+}
+
+/// Pull `"key": <number>` out of the flat JSON this binary writes (same
+/// scanner as `scale_check` — the offline serde shim has no deserializer
+/// for ad-hoc documents).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gate one measured value against its baseline, regression-only.
+fn gate(name: &str, measured: f64, baseline: f64, tolerance: f64) -> bool {
+    let floor = baseline * (1.0 - tolerance);
+    if measured < floor {
+        eprintln!(
+            "DRIFT {name}: measured {measured:.2} < floor {floor:.2} \
+             (baseline {baseline:.2}, tolerance {tolerance})"
+        );
+        false
+    } else {
+        eprintln!("ok    {name}: measured {measured:.2} within band (baseline {baseline:.2})");
+        true
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let records = corpus(&args);
+    let n = records.len();
+
+    // --- encode: retained scalar reference (the pre-pipeline codec) ---
+    let mut scalar_bytes = Vec::new();
+    let encode_scalar_ms = best_ms(args.iters, || {
+        scalar_bytes.clear();
+        for chunk in records.chunks(args.budget) {
+            scalar_bytes.extend_from_slice(&reference::encode_chunk(chunk));
+        }
+    });
+    let encoded_len = scalar_bytes.len();
+
+    // --- encode: block kernels, persistent scratch (serial writer path) ---
+    let mut scratch = dohperf_store::EncodeScratch::new();
+    let mut block_bytes = Vec::new();
+    let encode_block_ms = best_ms(args.iters, || {
+        block_bytes.clear();
+        for chunk in records.chunks(args.budget) {
+            dohperf_store::encode_chunk_into(chunk, &mut scratch, &mut block_bytes);
+        }
+    });
+
+    // --- encode: background pipeline ---
+    // The writer consumes owned records, so each iteration feeds it a
+    // fresh clone of the corpus — cloned off the clock: the measured
+    // span covers exactly what the campaign pays (push/submit/drain),
+    // not corpus construction.
+    let pool = EncoderPool::new(PipelineConfig::auto());
+    let mut piped_bytes = Vec::new();
+    let mut encode_piped_ms = f64::INFINITY;
+    for _ in 0..args.iters {
+        let owned = records.clone();
+        piped_bytes.clear();
+        let start = Instant::now();
+        let mut w = ChunkWriter::with_pool(&mut piped_bytes, args.budget, &pool);
+        for r in owned {
+            w.push(r).expect("push");
+        }
+        w.finish().expect("finish");
+        encode_piped_ms = encode_piped_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    assert_eq!(
+        scalar_bytes, block_bytes,
+        "block-kernel writer must match the scalar reference byte-for-byte"
+    );
+    assert_eq!(
+        scalar_bytes, piped_bytes,
+        "pipelined writer must match the scalar reference byte-for-byte"
+    );
+
+    // --- decode: sequential reader ---
+    let decode_serial_ms = best_ms(args.iters, || {
+        let mut got = 0usize;
+        for r in ChunkReader::new(&scalar_bytes[..]) {
+            r.expect("decode");
+            got += 1;
+        }
+        assert_eq!(got, n);
+    });
+
+    // --- decode: parallel fan-out, in-order fold ---
+    let decode_parallel_ms = best_ms(args.iters, || {
+        let mut got = 0usize;
+        fold_chunks(
+            &scalar_bytes[..],
+            args.threads,
+            |_, batch| Ok(batch.len()),
+            |len| {
+                got += len;
+                Ok(())
+            },
+        )
+        .expect("parallel decode");
+        assert_eq!(got, n);
+    });
+
+    report("encode/scalar", encode_scalar_ms, encoded_len, n);
+    report("encode/block", encode_block_ms, encoded_len, n);
+    report("encode/pipelined", encode_piped_ms, encoded_len, n);
+    report("decode/serial", decode_serial_ms, encoded_len, n);
+    report("decode/parallel", decode_parallel_ms, encoded_len, n);
+
+    let before_ms = encode_scalar_ms + decode_serial_ms;
+    let after_ms = encode_piped_ms + decode_parallel_ms;
+    let end_to_end = before_ms / after_ms.max(1e-9);
+    let encode_speedup = encode_scalar_ms / encode_piped_ms.max(1e-9);
+    eprintln!(
+        "end-to-end (encode+decode): before {before_ms:.1} ms, after {after_ms:.1} ms = \
+         {end_to_end:.2}x"
+    );
+
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |v| v.get())
+    } else {
+        args.threads
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"store_bench\",\n  \"seed\": {},\n  \"scale\": {},\n  \
+         \"threads\": {},\n  \"budget\": {},\n  \"records\": {},\n  \"encoded_bytes\": {},\n  \
+         \"encode_scalar_ms\": {:.1},\n  \"encode_block_ms\": {:.1},\n  \
+         \"encode_pipelined_ms\": {:.1},\n  \"decode_serial_ms\": {:.1},\n  \
+         \"decode_parallel_ms\": {:.1},\n  \
+         \"encode_scalar_mb_s\": {:.1},\n  \"encode_block_mb_s\": {:.1},\n  \
+         \"encode_pipelined_mb_s\": {:.1},\n  \"decode_serial_mb_s\": {:.1},\n  \
+         \"decode_parallel_mb_s\": {:.1},\n  \
+         \"encode_records_per_sec\": {:.0},\n  \"decode_records_per_sec\": {:.0},\n  \
+         \"encode_speedup\": {:.3},\n  \"end_to_end_speedup\": {:.3}\n}}\n",
+        args.seed,
+        args.scale,
+        threads,
+        args.budget,
+        n,
+        encoded_len,
+        encode_scalar_ms,
+        encode_block_ms,
+        encode_piped_ms,
+        decode_serial_ms,
+        decode_parallel_ms,
+        mb_per_sec(encoded_len, encode_scalar_ms),
+        mb_per_sec(encoded_len, encode_block_ms),
+        mb_per_sec(encoded_len, encode_piped_ms),
+        mb_per_sec(encoded_len, decode_serial_ms),
+        mb_per_sec(encoded_len, decode_parallel_ms),
+        records_per_sec(n, encode_piped_ms),
+        records_per_sec(n, decode_parallel_ms),
+        encode_speedup,
+        end_to_end,
+    );
+    if let Some(path) = &args.out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: creating {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("# wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let want = |key: &str| {
+            json_number(&text, key).unwrap_or_else(|| {
+                eprintln!("error: baseline {} missing \"{key}\"", path.display());
+                std::process::exit(2);
+            })
+        };
+        let mut ok = true;
+        ok &= gate(
+            "encode_pipelined_mb_s",
+            mb_per_sec(encoded_len, encode_piped_ms),
+            want("encode_pipelined_mb_s"),
+            args.tolerance,
+        );
+        ok &= gate(
+            "decode_parallel_mb_s",
+            mb_per_sec(encoded_len, decode_parallel_ms),
+            want("decode_parallel_mb_s"),
+            args.tolerance,
+        );
+        ok &= gate(
+            "end_to_end_speedup",
+            end_to_end,
+            want("end_to_end_speedup"),
+            args.tolerance,
+        );
+        if !ok {
+            eprintln!("FAIL: store throughput drifted below the baseline tolerance band");
+            std::process::exit(3);
+        }
+        eprintln!("OK: store throughput within the baseline tolerance band");
+    }
+}

@@ -184,9 +184,13 @@ impl ReproContext {
         if self.dataset.is_none() {
             let ds = if let Some(dir) = self.config.from_store.clone() {
                 let _phase = phases::phase("load-store");
-                dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
-                    panic!("loading store {}: {e}", dir.display());
-                })
+                // `--threads` governs the decoder fan-out here exactly as
+                // it governs campaign workers: 0 = all cores, and the
+                // materialised dataset is bit-identical at any value.
+                dohperf_core::store_io::read_dataset_threads(&dir, self.config.threads)
+                    .unwrap_or_else(|e| {
+                        panic!("loading store {}: {e}", dir.display());
+                    })
             } else {
                 let campaign = Campaign::new(self.campaign_config())
                     .with_trace_sampling(self.config.trace_sample);
@@ -195,9 +199,10 @@ impl ReproContext {
                     campaign
                         .run_to_store(&dir, 0)
                         .unwrap_or_else(|e| panic!("writing store {}: {e}", dir.display()));
-                    dohperf_core::store_io::read_dataset(&dir).unwrap_or_else(|e| {
-                        panic!("reading back store {}: {e}", dir.display());
-                    })
+                    dohperf_core::store_io::read_dataset_threads(&dir, self.config.threads)
+                        .unwrap_or_else(|e| {
+                            panic!("reading back store {}: {e}", dir.display());
+                        })
                 } else {
                     campaign.run()
                 };

@@ -10,9 +10,14 @@
 //!   directory (`records.chunks` + `manifest.bin`);
 //! * [`read_dataset`] — materialise a full [`Dataset`] back, bit-exact
 //!   (floats round-trip through raw bits, so a dataset written and read
-//!   compares equal field-for-field);
+//!   compares equal field-for-field); [`read_dataset_threads`] is the
+//!   same with CRC + column decoding fanned across worker threads;
 //! * [`read_records`] — stream records one chunk at a time for
-//!   memory-bounded analysis; peak residency is one decoded chunk.
+//!   memory-bounded analysis; peak residency is one decoded chunk;
+//! * [`fold_chunks`] — the parallel streaming primitive: decode and
+//!   convert on `threads` workers, fold record batches on the calling
+//!   thread in canonical chunk order (what keeps sketch-based analyses
+//!   bit-identical to a serial scan at any thread count).
 //!
 //! [`crate::campaign::Campaign::run_to_store`] uses the same conversion
 //! while streaming records straight off the measurement loop.
@@ -24,13 +29,15 @@ use dohperf_netsim::connection::DnsTransport;
 use dohperf_netsim::topology::GeoPoint;
 use dohperf_providers::provider::ALL_PROVIDERS;
 use dohperf_store::{
-    ChunkReader, ChunkWriter, Manifest, Result, StoreDohSample, StoreError, StorePageSample,
-    StoreRecord, StoreTransportSample, StoreWindowSample, WriterStats, MANIFEST_FILE, RECORDS_FILE,
+    ChunkReader, ChunkWriter, Manifest, ReadStats, Result, StoreDohSample, StoreError,
+    StorePageSample, StoreRecord, StoreTransportSample, StoreWindowSample, WriterStats,
+    MANIFEST_FILE, RECORDS_FILE,
 };
 use dohperf_world::geoloc::Prefix24;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
+use std::time::Instant;
 
 /// Project a rich record onto the store's primitive schema.
 pub fn record_to_store(r: &ClientRecord) -> StoreRecord {
@@ -343,17 +350,60 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest> {
     Manifest::decode(&bytes)
 }
 
+/// Decode and fold a store's chunks with `threads` decode workers.
+///
+/// The calling thread scans the chunk stream and folds each chunk's
+/// converted [`ClientRecord`] batch **in canonical chunk order**; CRC
+/// verification, column decoding and store→rich conversion run on the
+/// workers (`threads` 0 = one per core, 1 = inline). Results and error
+/// ordinals are identical to a serial scan at every thread count.
+///
+/// Publishes the scan's wall-clock as the per-run `store.decode_ms`
+/// gauge and counts every folded record in `store.records_streamed`.
+pub fn fold_chunks<F>(dir: &Path, threads: usize, mut fold: F) -> Result<ReadStats>
+where
+    F: FnMut(Vec<ClientRecord>) -> Result<()>,
+{
+    let file = File::open(dir.join(RECORDS_FILE))?;
+    let start = Instant::now();
+    let stats = dohperf_store::fold_chunks(
+        BufReader::new(file),
+        threads,
+        |_, records| {
+            records
+                .iter()
+                .map(record_from_store)
+                .collect::<Result<Vec<_>>>()
+        },
+        |records: Vec<ClientRecord>| {
+            dohperf_telemetry::counter!("store.records_streamed").add(records.len() as u64);
+            fold(records)
+        },
+    )?;
+    dohperf_telemetry::gauge!("store.decode_ms", per_run).set(start.elapsed().as_millis() as i64);
+    Ok(stats)
+}
+
 /// Materialise the full [`Dataset`] from a store directory.
 ///
 /// The result is bit-exact with the dataset that was written: floats
 /// round-trip through raw bits and countries re-intern to the same
 /// `'static` table entries.
 pub fn read_dataset(dir: &Path) -> Result<Dataset> {
+    read_dataset_threads(dir, 1)
+}
+
+/// [`read_dataset`] with chunk decoding fanned across `threads` worker
+/// threads (0 = one per core). Bit-exact with the serial read: the
+/// record order is the canonical chunk order regardless of which worker
+/// decoded what.
+pub fn read_dataset_threads(dir: &Path, threads: usize) -> Result<Dataset> {
     let manifest = read_manifest(dir)?;
     let mut records = Vec::with_capacity(manifest.total_records as usize);
-    for r in read_records(dir)? {
-        records.push(r?);
-    }
+    fold_chunks(dir, threads, |mut batch| {
+        records.append(&mut batch);
+        Ok(())
+    })?;
     if records.len() as u64 != manifest.total_records {
         return Err(StoreError::Corrupt(format!(
             "store {}: manifest promises {} records, chunks hold {}",

@@ -57,12 +57,24 @@
 //! Floats are raw little-endian IEEE-754 bits: encode∘decode is the
 //! identity on every finite value, which is what lets `--from-store`
 //! reproduce the direct pipeline byte for byte.
+//!
+//! ## Encoder kernels and the scratch contract
+//!
+//! The hot encoder is [`encode_chunk_into`]: it stages every column
+//! through an [`EncodeScratch`] (payload buffer, group buffer, typed
+//! column staging, RLE run buffers) and emits with the block kernels
+//! from [`crate::varint`], so a long-lived writer performs **zero
+//! per-chunk allocations** once its scratch has warmed up. The bytes
+//! are identical to the original byte-at-a-time encoder, which is kept
+//! verbatim in [`reference`] as the proptest/bench baseline.
+//! [`encode_chunk`] is the convenience wrapper that allocates a fresh
+//! scratch per call.
 
 use crate::checksum::crc32;
 use crate::record::{
     StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample, StoreWindowSample,
 };
-use crate::varint::{put_f64, put_i64, put_u64, Cursor};
+use crate::varint::{put_f64_block, put_i64_block, put_u64, put_u64_block, Cursor};
 use crate::{Result, StoreError};
 
 /// Chunk magic: `DPSC` ("DoH-Perf Store Chunk").
@@ -96,41 +108,305 @@ const MAX_RECORDS_PER_CHUNK: usize = 1 << 22;
 /// Per-record cap on DoH samples (defensive; campaigns use 4).
 const MAX_SAMPLES_PER_RECORD: usize = 256;
 
-/// Encode `records` as one self-contained chunk.
-pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
+/// Reusable staging buffers for [`encode_chunk_into`].
+///
+/// One scratch per encoder thread (or per serial writer) amortizes all
+/// column staging across every chunk it encodes: the payload and group
+/// byte buffers, the typed column buffers the block kernels consume,
+/// and the RLE run accumulators. Holding one and calling
+/// [`encode_chunk_into`] in a loop performs no per-chunk allocations
+/// after the first few chunks warm the capacities up.
+#[derive(Default)]
+pub struct EncodeScratch {
+    payload: Vec<u8>,
+    group: Vec<u8>,
+    u64s: Vec<u64>,
+    i64s: Vec<i64>,
+    f64s: Vec<f64>,
+    runs_u32: Vec<(u32, u64)>,
+    runs_pair: Vec<([u8; 2], u64)>,
+}
+
+impl EncodeScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the staged group to the payload as a length-prefixed blob.
+    fn flush_group(&mut self) {
+        let Self { payload, group, .. } = self;
+        put_u64(payload, group.len() as u64);
+        payload.extend_from_slice(group);
+    }
+
+    fn identity(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            i64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        // client_id: absolute first value, zigzag deltas after.
+        put_u64(group, records[0].client_id);
+        i64s.clear();
+        i64s.extend(
+            records
+                .windows(2)
+                .map(|w| w[1].client_id.wrapping_sub(w[0].client_id) as i64),
+        );
+        put_i64_block(group, i64s);
+        // country_index: RLE (value, run) pairs.
+        rle_u32_into(group, records.iter().map(|r| r.country_index), runs_u32);
+        // prefix: absolute first, zigzag deltas.
+        put_u64(group, records[0].prefix as u64);
+        i64s.clear();
+        i64s.extend(
+            records
+                .windows(2)
+                .map(|w| i64::from(w[1].prefix) - i64::from(w[0].prefix)),
+        );
+        put_i64_block(group, i64s);
+    }
+
+    fn geoloc(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            f64s,
+            runs_pair,
+            ..
+        } = self;
+        group.clear();
+        rle_pair_into(group, records.iter().map(|r| r.country_iso), runs_pair);
+        rle_pair_into(group, records.iter().map(|r| r.maxmind_country), runs_pair);
+        for column in [
+            |r: &StoreRecord| r.lat,
+            |r: &StoreRecord| r.lon,
+            |r: &StoreRecord| r.nameserver_distance_miles,
+        ] {
+            f64s.clear();
+            f64s.extend(records.iter().map(column));
+            put_f64_block(group, f64s);
+        }
+    }
+
+    fn doh(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            u64s,
+            f64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        u64s.clear();
+        u64s.extend(records.iter().map(|r| r.doh.len() as u64));
+        put_u64_block(group, u64s);
+        let flat = || records.iter().flat_map(|r| r.doh.iter());
+        rle_u32_into(group, flat().map(|s| u32::from(s.provider)), runs_u32);
+        for column in [
+            |s: &StoreDohSample| s.t_doh_ms,
+            |s: &StoreDohSample| s.t_dohr_ms,
+        ] {
+            f64s.clear();
+            f64s.extend(flat().map(column));
+            put_f64_block(group, f64s);
+        }
+        u64s.clear();
+        u64s.extend(flat().map(|s| u64::from(s.pop_index)));
+        put_u64_block(group, u64s);
+        for column in [
+            |s: &StoreDohSample| s.pop_distance_miles,
+            |s: &StoreDohSample| s.nearest_pop_distance_miles,
+        ] {
+            f64s.clear();
+            f64s.extend(flat().map(column));
+            put_f64_block(group, f64s);
+        }
+    }
+
+    fn do53(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            f64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        // Presence bitmap, LSB-first within each byte, built in place.
+        let start = group.len();
+        group.resize(start + records.len().div_ceil(8), 0);
+        for (i, r) in records.iter().enumerate() {
+            if r.do53_ms.is_some() {
+                group[start + i / 8] |= 1 << (i % 8);
+            }
+        }
+        f64s.clear();
+        f64s.extend(records.iter().filter_map(|r| r.do53_ms));
+        put_f64_block(group, f64s);
+        rle_u32_into(
+            group,
+            records.iter().map(|r| u32::from(r.do53_source)),
+            runs_u32,
+        );
+    }
+
+    fn transports(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            u64s,
+            f64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        u64s.clear();
+        u64s.extend(records.iter().map(|r| r.transports.len() as u64));
+        put_u64_block(group, u64s);
+        let flat = || records.iter().flat_map(|r| r.transports.iter());
+        rle_u32_into(group, flat().map(|s| u32::from(s.transport)), runs_u32);
+        rle_u32_into(group, flat().map(|s| u32::from(s.provider)), runs_u32);
+        for column in [
+            |s: &StoreTransportSample| s.cold_ms,
+            |s: &StoreTransportSample| s.warm_ms,
+            |s: &StoreTransportSample| s.resumed_ms,
+            |s: &StoreTransportSample| s.handshake_ms,
+        ] {
+            f64s.clear();
+            f64s.extend(flat().map(column));
+            put_f64_block(group, f64s);
+        }
+    }
+
+    fn pageload(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            u64s,
+            f64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        u64s.clear();
+        u64s.extend(records.iter().map(|r| r.pages.len() as u64));
+        put_u64_block(group, u64s);
+        let flat = || records.iter().flat_map(|r| r.pages.iter());
+        rle_u32_into(group, flat().map(|s| u32::from(s.transport)), runs_u32);
+        rle_u32_into(group, flat().map(|s| u32::from(s.provider)), runs_u32);
+        // DAG shape columns: small integers, varint-packed.
+        for column in [
+            |s: &StorePageSample| u64::from(s.domains),
+            |s: &StorePageSample| u64::from(s.unique_names),
+            |s: &StorePageSample| u64::from(s.depth),
+            |s: &StorePageSample| u64::from(s.cold_cache_hits),
+            |s: &StorePageSample| u64::from(s.warm_cache_hits),
+        ] {
+            u64s.clear();
+            u64s.extend(flat().map(column));
+            put_u64_block(group, u64s);
+        }
+        for column in [
+            |s: &StorePageSample| s.plt_cold_ms,
+            |s: &StorePageSample| s.plt_warm_ms,
+        ] {
+            f64s.clear();
+            f64s.extend(flat().map(column));
+            put_f64_block(group, f64s);
+        }
+    }
+
+    fn timeseries(&mut self, records: &[StoreRecord]) {
+        let Self {
+            group,
+            u64s,
+            f64s,
+            runs_u32,
+            ..
+        } = self;
+        group.clear();
+        u64s.clear();
+        u64s.extend(records.iter().map(|r| r.windows.len() as u64));
+        put_u64_block(group, u64s);
+        let flat = || records.iter().flat_map(|r| r.windows.iter());
+        rle_u32_into(group, flat().map(|s| s.window), runs_u32);
+        rle_u32_into(group, flat().map(|s| u32::from(s.provider)), runs_u32);
+        rle_u32_into(group, flat().map(|s| u32::from(s.transport)), runs_u32);
+        // Count columns: small integers, varint-packed.
+        for column in [
+            |s: &StoreWindowSample| u64::from(s.queries),
+            |s: &StoreWindowSample| u64::from(s.successes),
+            |s: &StoreWindowSample| u64::from(s.cache_lookups),
+            |s: &StoreWindowSample| u64::from(s.cache_hits),
+        ] {
+            u64s.clear();
+            u64s.extend(flat().map(column));
+            put_u64_block(group, u64s);
+        }
+        f64s.clear();
+        f64s.extend(flat().map(|s| s.latency_ms));
+        put_f64_block(group, f64s);
+    }
+}
+
+/// Encode `records` as one self-contained chunk, appending to `out`.
+///
+/// Byte-identical to [`encode_chunk`] (and to [`reference::encode_chunk`],
+/// the original scalar encoder) but stages every column through
+/// `scratch`, so repeated calls on a warmed-up scratch allocate nothing
+/// per chunk beyond `out`'s own growth.
+pub fn encode_chunk_into(records: &[StoreRecord], scratch: &mut EncodeScratch, out: &mut Vec<u8>) {
     assert!(!records.is_empty(), "a chunk holds at least one record");
     assert!(records.len() <= MAX_RECORDS_PER_CHUNK);
 
-    let mut payload = Vec::with_capacity(records.len() * 96);
-    put_group(&mut payload, encode_identity(records));
-    put_group(&mut payload, encode_geoloc(records));
-    put_group(&mut payload, encode_doh(records));
-    put_group(&mut payload, encode_do53(records));
+    scratch.payload.clear();
+    scratch.identity(records);
+    scratch.flush_group();
+    scratch.geoloc(records);
+    scratch.flush_group();
+    scratch.doh(records);
+    scratch.flush_group();
+    scratch.do53(records);
+    scratch.flush_group();
     // The transports and pageload groups are flag-gated so that legacy
     // (transport-free, page-free) chunks stay byte-identical to format
     // version 1 output.
     let mut flags = 0u16;
     if records.iter().any(|r| !r.transports.is_empty()) {
         flags |= FLAG_TRANSPORTS;
-        put_group(&mut payload, encode_transports(records));
+        scratch.transports(records);
+        scratch.flush_group();
     }
     if records.iter().any(|r| !r.pages.is_empty()) {
         flags |= FLAG_PAGELOAD;
-        put_group(&mut payload, encode_pageload(records));
+        scratch.pageload(records);
+        scratch.flush_group();
     }
     if records.iter().any(|r| !r.windows.is_empty()) {
         flags |= FLAG_TIMESERIES;
-        put_group(&mut payload, encode_timeseries(records));
+        scratch.timeseries(records);
+        scratch.flush_group();
     }
 
-    let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
+    let payload = &scratch.payload;
+    out.reserve(CHUNK_HEADER_LEN + payload.len());
     out.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&(records.len() as u32).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encode `records` as one self-contained chunk.
+///
+/// Convenience wrapper over [`encode_chunk_into`] with a throwaway
+/// scratch; long-lived writers hold an [`EncodeScratch`] instead.
+pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
+    let mut scratch = EncodeScratch::new();
+    let mut out = Vec::new();
+    encode_chunk_into(records, &mut scratch, &mut out);
     out
 }
 
@@ -258,11 +534,6 @@ pub fn verify_checksum(payload: &[u8], expected: u32, index: u64) -> Result<()> 
     Ok(())
 }
 
-fn put_group(out: &mut Vec<u8>, group: Vec<u8>) {
-    put_u64(out, group.len() as u64);
-    out.extend_from_slice(&group);
-}
-
 fn take_group<'a>(cursor: &mut Cursor<'a>, what: &str) -> Result<&'a [u8]> {
     let len = cursor.len(MAX_PAYLOAD_LEN, what)?;
     cursor.take(len, what)
@@ -274,23 +545,6 @@ struct IdentityColumns {
     client_id: Vec<u64>,
     country_index: Vec<u32>,
     prefix: Vec<u32>,
-}
-
-fn encode_identity(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    // client_id: absolute first value, zigzag deltas after.
-    put_u64(&mut out, records[0].client_id);
-    for w in records.windows(2) {
-        put_i64(&mut out, w[1].client_id.wrapping_sub(w[0].client_id) as i64);
-    }
-    // country_index: RLE (value, run) pairs.
-    encode_rle_u32(&mut out, records.iter().map(|r| r.country_index));
-    // prefix: absolute first, zigzag deltas.
-    put_u64(&mut out, records[0].prefix as u64);
-    for w in records.windows(2) {
-        put_i64(&mut out, i64::from(w[1].prefix) - i64::from(w[0].prefix));
-    }
-    out
 }
 
 fn decode_identity(bytes: &[u8], n: usize, context: &str) -> Result<IdentityColumns> {
@@ -333,38 +587,16 @@ struct GeolocColumns {
     ns_distance: Vec<f64>,
 }
 
-fn encode_geoloc(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    encode_rle_pair(&mut out, records.iter().map(|r| r.country_iso));
-    encode_rle_pair(&mut out, records.iter().map(|r| r.maxmind_country));
-    for r in records {
-        put_f64(&mut out, r.lat);
-    }
-    for r in records {
-        put_f64(&mut out, r.lon);
-    }
-    for r in records {
-        put_f64(&mut out, r.nameserver_distance_miles);
-    }
-    out
-}
-
 fn decode_geoloc(bytes: &[u8], n: usize, context: &str) -> Result<GeolocColumns> {
     let mut c = Cursor::new(bytes, context);
     let country_iso = decode_rle_pair(&mut c, n, "country_iso")?;
     let maxmind = decode_rle_pair(&mut c, n, "maxmind_country")?;
-    let mut lat = Vec::with_capacity(n);
-    for _ in 0..n {
-        lat.push(c.f64()?);
-    }
-    let mut lon = Vec::with_capacity(n);
-    for _ in 0..n {
-        lon.push(c.f64()?);
-    }
-    let mut ns_distance = Vec::with_capacity(n);
-    for _ in 0..n {
-        ns_distance.push(c.f64()?);
-    }
+    let mut lat = Vec::new();
+    c.f64_block(n, &mut lat)?;
+    let mut lon = Vec::new();
+    c.f64_block(n, &mut lon)?;
+    let mut ns_distance = Vec::new();
+    c.f64_block(n, &mut ns_distance)?;
     c.expect_empty()?;
     Ok(GeolocColumns {
         country_iso,
@@ -377,31 +609,6 @@ fn decode_geoloc(bytes: &[u8], n: usize, context: &str) -> Result<GeolocColumns>
 
 // -------------------------------------------------------------------- doh
 
-fn encode_doh(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    for r in records {
-        put_u64(&mut out, r.doh.len() as u64);
-    }
-    let flat = || records.iter().flat_map(|r| r.doh.iter());
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
-    for s in flat() {
-        put_f64(&mut out, s.t_doh_ms);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.t_dohr_ms);
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.pop_index));
-    }
-    for s in flat() {
-        put_f64(&mut out, s.pop_distance_miles);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.nearest_pop_distance_miles);
-    }
-    out
-}
-
 fn decode_doh(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreDohSample>>> {
     let mut c = Cursor::new(bytes, context);
     let mut counts = Vec::with_capacity(n);
@@ -412,14 +619,10 @@ fn decode_doh(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreDohS
         total += k;
     }
     let providers = decode_rle_u32(&mut c, total, "provider")?;
-    let mut t_doh = Vec::with_capacity(total);
-    for _ in 0..total {
-        t_doh.push(c.f64()?);
-    }
-    let mut t_dohr = Vec::with_capacity(total);
-    for _ in 0..total {
-        t_dohr.push(c.f64()?);
-    }
+    let mut t_doh = Vec::new();
+    c.f64_block(total, &mut t_doh)?;
+    let mut t_dohr = Vec::new();
+    c.f64_block(total, &mut t_dohr)?;
     let mut pop_index = Vec::with_capacity(total);
     for _ in 0..total {
         let v = c.u64()?;
@@ -429,14 +632,10 @@ fn decode_doh(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreDohS
             })?,
         );
     }
-    let mut pop_distance = Vec::with_capacity(total);
-    for _ in 0..total {
-        pop_distance.push(c.f64()?);
-    }
-    let mut nearest = Vec::with_capacity(total);
-    for _ in 0..total {
-        nearest.push(c.f64()?);
-    }
+    let mut pop_distance = Vec::new();
+    c.f64_block(total, &mut pop_distance)?;
+    let mut nearest = Vec::new();
+    c.f64_block(total, &mut nearest)?;
     c.expect_empty()?;
 
     let mut samples = Vec::with_capacity(n);
@@ -472,25 +671,6 @@ struct Do53Columns {
     source: Vec<u8>,
 }
 
-fn encode_do53(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    // Presence bitmap, LSB-first within each byte.
-    let mut bitmap = vec![0u8; records.len().div_ceil(8)];
-    for (i, r) in records.iter().enumerate() {
-        if r.do53_ms.is_some() {
-            bitmap[i / 8] |= 1 << (i % 8);
-        }
-    }
-    out.extend_from_slice(&bitmap);
-    for r in records {
-        if let Some(v) = r.do53_ms {
-            put_f64(&mut out, v);
-        }
-    }
-    encode_rle_u32(&mut out, records.iter().map(|r| u32::from(r.do53_source)));
-    out
-}
-
 fn decode_do53(bytes: &[u8], n: usize, context: &str) -> Result<Do53Columns> {
     let mut c = Cursor::new(bytes, context);
     let bitmap = c.take(n.div_ceil(8), "do53 presence bitmap")?.to_vec();
@@ -512,29 +692,6 @@ fn decode_do53(bytes: &[u8], n: usize, context: &str) -> Result<Do53Columns> {
 
 // ------------------------------------------------------------- transports
 
-fn encode_transports(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    for r in records {
-        put_u64(&mut out, r.transports.len() as u64);
-    }
-    let flat = || records.iter().flat_map(|r| r.transports.iter());
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
-    for s in flat() {
-        put_f64(&mut out, s.cold_ms);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.warm_ms);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.resumed_ms);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.handshake_ms);
-    }
-    out
-}
-
 fn decode_transports(
     bytes: &[u8],
     n: usize,
@@ -554,22 +711,14 @@ fn decode_transports(
     };
     let transports = decode_rle_u32(&mut c, total, "transport")?;
     let providers = decode_rle_u32(&mut c, total, "transport provider")?;
-    let mut cold = Vec::with_capacity(total);
-    for _ in 0..total {
-        cold.push(c.f64()?);
-    }
-    let mut warm = Vec::with_capacity(total);
-    for _ in 0..total {
-        warm.push(c.f64()?);
-    }
-    let mut resumed = Vec::with_capacity(total);
-    for _ in 0..total {
-        resumed.push(c.f64()?);
-    }
-    let mut handshake = Vec::with_capacity(total);
-    for _ in 0..total {
-        handshake.push(c.f64()?);
-    }
+    let mut cold = Vec::new();
+    c.f64_block(total, &mut cold)?;
+    let mut warm = Vec::new();
+    c.f64_block(total, &mut warm)?;
+    let mut resumed = Vec::new();
+    c.f64_block(total, &mut resumed)?;
+    let mut handshake = Vec::new();
+    c.f64_block(total, &mut handshake)?;
     c.expect_empty()?;
 
     let mut samples = Vec::with_capacity(n);
@@ -593,39 +742,6 @@ fn decode_transports(
 }
 
 // --------------------------------------------------------------- pageload
-
-fn encode_pageload(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    for r in records {
-        put_u64(&mut out, r.pages.len() as u64);
-    }
-    let flat = || records.iter().flat_map(|r| r.pages.iter());
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
-    // DAG shape columns: small integers, varint-packed.
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.domains));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.unique_names));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.depth));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.cold_cache_hits));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.warm_cache_hits));
-    }
-    for s in flat() {
-        put_f64(&mut out, s.plt_cold_ms);
-    }
-    for s in flat() {
-        put_f64(&mut out, s.plt_warm_ms);
-    }
-    out
-}
 
 fn decode_pageload(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StorePageSample>>> {
     let mut c = Cursor::new(bytes, context);
@@ -657,14 +773,10 @@ fn decode_pageload(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<Stor
     let depth = small_u32("page depth")?;
     let cold_hits = small_u32("page cold_cache_hits")?;
     let warm_hits = small_u32("page warm_cache_hits")?;
-    let mut plt_cold = Vec::with_capacity(total);
-    for _ in 0..total {
-        plt_cold.push(c.f64()?);
-    }
-    let mut plt_warm = Vec::with_capacity(total);
-    for _ in 0..total {
-        plt_warm.push(c.f64()?);
-    }
+    let mut plt_cold = Vec::new();
+    c.f64_block(total, &mut plt_cold)?;
+    let mut plt_warm = Vec::new();
+    c.f64_block(total, &mut plt_warm)?;
     c.expect_empty()?;
 
     let mut samples = Vec::with_capacity(n);
@@ -691,34 +803,6 @@ fn decode_pageload(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<Stor
 }
 
 // ------------------------------------------------------------- timeseries
-
-fn encode_timeseries(records: &[StoreRecord]) -> Vec<u8> {
-    let mut out = Vec::new();
-    for r in records {
-        put_u64(&mut out, r.windows.len() as u64);
-    }
-    let flat = || records.iter().flat_map(|r| r.windows.iter());
-    encode_rle_u32(&mut out, flat().map(|s| s.window));
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
-    encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
-    // Count columns: small integers, varint-packed.
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.queries));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.successes));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.cache_lookups));
-    }
-    for s in flat() {
-        put_u64(&mut out, u64::from(s.cache_hits));
-    }
-    for s in flat() {
-        put_f64(&mut out, s.latency_ms);
-    }
-    out
-}
 
 fn decode_timeseries(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<StoreWindowSample>>> {
     let mut c = Cursor::new(bytes, context);
@@ -750,10 +834,8 @@ fn decode_timeseries(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<St
     let successes = small_u32("window successes")?;
     let cache_lookups = small_u32("window cache_lookups")?;
     let cache_hits = small_u32("window cache_hits")?;
-    let mut latency = Vec::with_capacity(total);
-    for _ in 0..total {
-        latency.push(c.f64()?);
-    }
+    let mut latency = Vec::new();
+    c.f64_block(total, &mut latency)?;
     c.expect_empty()?;
 
     let mut samples = Vec::with_capacity(n);
@@ -781,9 +863,15 @@ fn decode_timeseries(bytes: &[u8], n: usize, context: &str) -> Result<Vec<Vec<St
 // ------------------------------------------------------------ RLE helpers
 
 /// Run-length encode a u32 column as (varint value, varint run) pairs,
-/// prefixed by the pair count.
-fn encode_rle_u32(out: &mut Vec<u8>, values: impl Iterator<Item = u32>) {
-    let mut runs: Vec<(u32, u64)> = Vec::new();
+/// prefixed by the pair count. `runs` is caller-owned scratch — cleared
+/// here, retained across calls to avoid per-column allocation.
+#[doc(hidden)]
+pub fn rle_u32_into(
+    out: &mut Vec<u8>,
+    values: impl Iterator<Item = u32>,
+    runs: &mut Vec<(u32, u64)>,
+) {
+    runs.clear();
     for v in values {
         match runs.last_mut() {
             Some((last, run)) if *last == v => *run += 1,
@@ -791,13 +879,14 @@ fn encode_rle_u32(out: &mut Vec<u8>, values: impl Iterator<Item = u32>) {
         }
     }
     put_u64(out, runs.len() as u64);
-    for (v, run) in runs {
+    for &(v, run) in runs.iter() {
         put_u64(out, u64::from(v));
         put_u64(out, run);
     }
 }
 
-fn decode_rle_u32(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Vec<u32>> {
+#[doc(hidden)]
+pub fn decode_rle_u32(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Vec<u32>> {
     let pairs = c.len(expected.max(1), what)?;
     let mut values = Vec::with_capacity(expected);
     for _ in 0..pairs {
@@ -816,9 +905,14 @@ fn decode_rle_u32(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Vec
     Ok(values)
 }
 
-/// Run-length encode a `[u8; 2]` column (ISO country codes).
-fn encode_rle_pair(out: &mut Vec<u8>, values: impl Iterator<Item = [u8; 2]>) {
-    let mut runs: Vec<([u8; 2], u64)> = Vec::new();
+/// Run-length encode a `[u8; 2]` column (ISO country codes) through
+/// caller-owned run scratch.
+fn rle_pair_into(
+    out: &mut Vec<u8>,
+    values: impl Iterator<Item = [u8; 2]>,
+    runs: &mut Vec<([u8; 2], u64)>,
+) {
+    runs.clear();
     for v in values {
         match runs.last_mut() {
             Some((last, run)) if *last == v => *run += 1,
@@ -826,7 +920,7 @@ fn encode_rle_pair(out: &mut Vec<u8>, values: impl Iterator<Item = [u8; 2]>) {
         }
     }
     put_u64(out, runs.len() as u64);
-    for (v, run) in runs {
+    for &(v, run) in runs.iter() {
         out.extend_from_slice(&v);
         put_u64(out, run);
     }
@@ -850,6 +944,246 @@ fn decode_rle_pair(c: &mut Cursor<'_>, expected: usize, what: &str) -> Result<Ve
     Ok(values)
 }
 
+/// The original byte-at-a-time chunk encoder, retained verbatim as the
+/// byte-level reference the block-kernel encoder is proptested (and
+/// benchmarked) against. It uses the scalar varint encoders from
+/// [`crate::varint::scalar`] so the two paths share no kernel code.
+/// Not part of the supported API.
+#[doc(hidden)]
+pub mod reference {
+    use super::{
+        crc32, StoreRecord, CHUNK_HEADER_LEN, CHUNK_MAGIC, FLAG_PAGELOAD, FLAG_TIMESERIES,
+        FLAG_TRANSPORTS, FORMAT_VERSION, MAX_RECORDS_PER_CHUNK,
+    };
+    use crate::varint::scalar::{put_f64, put_i64, put_u64};
+
+    /// Encode `records` exactly as the pre-kernel scalar encoder did.
+    pub fn encode_chunk(records: &[StoreRecord]) -> Vec<u8> {
+        assert!(!records.is_empty(), "a chunk holds at least one record");
+        assert!(records.len() <= MAX_RECORDS_PER_CHUNK);
+
+        let mut payload = Vec::with_capacity(records.len() * 96);
+        put_group(&mut payload, encode_identity(records));
+        put_group(&mut payload, encode_geoloc(records));
+        put_group(&mut payload, encode_doh(records));
+        put_group(&mut payload, encode_do53(records));
+        let mut flags = 0u16;
+        if records.iter().any(|r| !r.transports.is_empty()) {
+            flags |= FLAG_TRANSPORTS;
+            put_group(&mut payload, encode_transports(records));
+        }
+        if records.iter().any(|r| !r.pages.is_empty()) {
+            flags |= FLAG_PAGELOAD;
+            put_group(&mut payload, encode_pageload(records));
+        }
+        if records.iter().any(|r| !r.windows.is_empty()) {
+            flags |= FLAG_TIMESERIES;
+            put_group(&mut payload, encode_timeseries(records));
+        }
+
+        let mut out = Vec::with_capacity(CHUNK_HEADER_LEN + payload.len());
+        out.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn put_group(out: &mut Vec<u8>, group: Vec<u8>) {
+        put_u64(out, group.len() as u64);
+        out.extend_from_slice(&group);
+    }
+
+    fn encode_identity(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, records[0].client_id);
+        for w in records.windows(2) {
+            put_i64(&mut out, w[1].client_id.wrapping_sub(w[0].client_id) as i64);
+        }
+        encode_rle_u32(&mut out, records.iter().map(|r| r.country_index));
+        put_u64(&mut out, records[0].prefix as u64);
+        for w in records.windows(2) {
+            put_i64(&mut out, i64::from(w[1].prefix) - i64::from(w[0].prefix));
+        }
+        out
+    }
+
+    fn encode_geoloc(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_rle_pair(&mut out, records.iter().map(|r| r.country_iso));
+        encode_rle_pair(&mut out, records.iter().map(|r| r.maxmind_country));
+        for r in records {
+            put_f64(&mut out, r.lat);
+        }
+        for r in records {
+            put_f64(&mut out, r.lon);
+        }
+        for r in records {
+            put_f64(&mut out, r.nameserver_distance_miles);
+        }
+        out
+    }
+
+    fn encode_doh(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            put_u64(&mut out, r.doh.len() as u64);
+        }
+        let flat = || records.iter().flat_map(|r| r.doh.iter());
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+        for s in flat() {
+            put_f64(&mut out, s.t_doh_ms);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.t_dohr_ms);
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.pop_index));
+        }
+        for s in flat() {
+            put_f64(&mut out, s.pop_distance_miles);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.nearest_pop_distance_miles);
+        }
+        out
+    }
+
+    fn encode_do53(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut bitmap = vec![0u8; records.len().div_ceil(8)];
+        for (i, r) in records.iter().enumerate() {
+            if r.do53_ms.is_some() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&bitmap);
+        for r in records {
+            if let Some(v) = r.do53_ms {
+                put_f64(&mut out, v);
+            }
+        }
+        encode_rle_u32(&mut out, records.iter().map(|r| u32::from(r.do53_source)));
+        out
+    }
+
+    fn encode_transports(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            put_u64(&mut out, r.transports.len() as u64);
+        }
+        let flat = || records.iter().flat_map(|r| r.transports.iter());
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+        for s in flat() {
+            put_f64(&mut out, s.cold_ms);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.warm_ms);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.resumed_ms);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.handshake_ms);
+        }
+        out
+    }
+
+    fn encode_pageload(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            put_u64(&mut out, r.pages.len() as u64);
+        }
+        let flat = || records.iter().flat_map(|r| r.pages.iter());
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.domains));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.unique_names));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.depth));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.cold_cache_hits));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.warm_cache_hits));
+        }
+        for s in flat() {
+            put_f64(&mut out, s.plt_cold_ms);
+        }
+        for s in flat() {
+            put_f64(&mut out, s.plt_warm_ms);
+        }
+        out
+    }
+
+    fn encode_timeseries(records: &[StoreRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            put_u64(&mut out, r.windows.len() as u64);
+        }
+        let flat = || records.iter().flat_map(|r| r.windows.iter());
+        encode_rle_u32(&mut out, flat().map(|s| s.window));
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.provider)));
+        encode_rle_u32(&mut out, flat().map(|s| u32::from(s.transport)));
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.queries));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.successes));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.cache_lookups));
+        }
+        for s in flat() {
+            put_u64(&mut out, u64::from(s.cache_hits));
+        }
+        for s in flat() {
+            put_f64(&mut out, s.latency_ms);
+        }
+        out
+    }
+
+    /// The allocating RLE encoder the scratch variant replaced.
+    pub fn encode_rle_u32(out: &mut Vec<u8>, values: impl Iterator<Item = u32>) {
+        let mut runs: Vec<(u32, u64)> = Vec::new();
+        for v in values {
+            match runs.last_mut() {
+                Some((last, run)) if *last == v => *run += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        put_u64(out, runs.len() as u64);
+        for (v, run) in runs {
+            put_u64(out, u64::from(v));
+            put_u64(out, run);
+        }
+    }
+
+    fn encode_rle_pair(out: &mut Vec<u8>, values: impl Iterator<Item = [u8; 2]>) {
+        let mut runs: Vec<([u8; 2], u64)> = Vec::new();
+        for v in values {
+            match runs.last_mut() {
+                Some((last, run)) if *last == v => *run += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        put_u64(out, runs.len() as u64);
+        for (v, run) in runs {
+            out.extend_from_slice(&v);
+            put_u64(out, run);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,6 +1205,32 @@ mod tests {
         verify_checksum(payload, crc, 0).unwrap();
         let back = decode_chunk(count, flags, payload, 0).unwrap();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn kernel_encoder_matches_scalar_reference_byte_for_byte() {
+        // Every record shape (legacy-only, plus each flag-gated group)
+        // through both encoders, with one scratch reused across all of
+        // them — stale scratch contents must never leak into a chunk.
+        let mut scratch = EncodeScratch::new();
+        let mut shapes: Vec<Vec<StoreRecord>> = vec![batch(7), batch(200)];
+        let mut mixed = batch(5);
+        mixed[1] = StoreRecord::test_record_with_transports(2);
+        mixed[2] = StoreRecord::test_record_with_pages(3);
+        mixed[3] = StoreRecord::test_record_with_windows(4);
+        mixed[4].do53_ms = None;
+        mixed[4].doh.clear();
+        shapes.push(mixed);
+        for records in &shapes {
+            let mut kernel = Vec::new();
+            encode_chunk_into(records, &mut scratch, &mut kernel);
+            assert_eq!(
+                kernel,
+                reference::encode_chunk(records),
+                "kernel vs scalar reference for a {}-record chunk",
+                records.len()
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@ use std::io::Read;
 pub struct ChunkReader<R: Read> {
     source: R,
     pending: VecDeque<StoreRecord>,
+    /// Payload scratch, reused across refills so a long scan performs
+    /// one payload allocation total, not one per chunk.
+    payload: Vec<u8>,
     /// Ordinal of the next chunk, for error context.
     next_chunk: u64,
     /// Set after an error or clean EOF; the iterator is fused.
@@ -29,6 +32,7 @@ impl<R: Read> ChunkReader<R> {
         ChunkReader {
             source,
             pending: VecDeque::new(),
+            payload: Vec::new(),
             next_chunk: 0,
             done: false,
         }
@@ -54,15 +58,16 @@ impl<R: Read> ChunkReader<R> {
             }
         }
         let (record_count, payload_len, crc, flags) = parse_header(&header, self.next_chunk)?;
-        let mut payload = vec![0u8; payload_len];
-        self.source.read_exact(&mut payload).map_err(|e| {
+        self.payload.clear();
+        self.payload.resize(payload_len, 0);
+        self.source.read_exact(&mut self.payload).map_err(|e| {
             StoreError::Corrupt(format!(
                 "chunk {}: truncated payload, wanted {payload_len} bytes ({e})",
                 self.next_chunk
             ))
         })?;
-        verify_checksum(&payload, crc, self.next_chunk)?;
-        let records = decode_chunk(record_count, flags, &payload, self.next_chunk)?;
+        verify_checksum(&self.payload, crc, self.next_chunk)?;
+        let records = decode_chunk(record_count, flags, &self.payload, self.next_chunk)?;
         self.pending.extend(records);
         self.next_chunk += 1;
         Ok(true)
@@ -94,7 +99,8 @@ impl<R: Read> Iterator for ChunkReader<R> {
 }
 
 /// `read_exact`, but a clean EOF before the first byte returns Ok(false).
-fn read_exact_or_eof<R: Read>(source: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
+/// Shared with the parallel scanner in [`crate::pipeline`].
+pub(crate) fn read_exact_or_eof<R: Read>(source: &mut R, buf: &mut [u8]) -> std::io::Result<bool> {
     let mut filled = 0usize;
     while filled < buf.len() {
         let n = source.read(&mut buf[filled..])?;

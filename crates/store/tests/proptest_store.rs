@@ -6,9 +6,10 @@
 //! prefix is caught by the CRC with a descriptive error rather than
 //! decoding into silently different records.
 
+use dohperf_store::chunk::CHUNK_HEADER_LEN;
 use dohperf_store::{
-    encode_chunk, ChunkReader, ChunkWriter, StoreDohSample, StorePageSample, StoreRecord,
-    StoreTransportSample, StoreWindowSample,
+    encode_chunk, fold_chunks, ChunkReader, ChunkWriter, EncoderPool, PipelineConfig,
+    StoreDohSample, StorePageSample, StoreRecord, StoreTransportSample, StoreWindowSample,
 };
 use proptest::prelude::*;
 
@@ -181,5 +182,129 @@ proptest! {
             msg.contains("checksum mismatch"),
             "flip at byte {} bit {} gave a non-checksum error: {}", pos, bit, msg
         );
+    }
+
+    /// The background encoder pipeline is invisible in the output: for
+    /// any batch, chunk budget, worker count, and queue depth, the
+    /// pipelined writer produces exactly the serial writer's bytes.
+    #[test]
+    fn pipelined_writer_matches_serial_bytes(
+        seeds in proptest::collection::vec(any::<u64>(), 0..48),
+        budget in 1usize..9,
+        workers in 1usize..5,
+        queue_depth in 1usize..6,
+    ) {
+        let records = batch(&seeds);
+        let mut serial = Vec::new();
+        let mut w = ChunkWriter::new(&mut serial, budget);
+        for r in &records {
+            w.push(r.clone()).expect("Vec sink cannot fail");
+        }
+        let serial_stats = w.finish().expect("finish serial");
+
+        let pool = EncoderPool::new(PipelineConfig { workers, queue_depth });
+        let mut piped = Vec::new();
+        let mut w = ChunkWriter::with_pool(&mut piped, budget, &pool);
+        for r in &records {
+            w.push(r.clone()).expect("Vec sink cannot fail");
+        }
+        let piped_stats = w.finish().expect("finish pipelined");
+
+        prop_assert_eq!(serial_stats, piped_stats);
+        prop_assert_eq!(serial, piped);
+    }
+
+    /// The parallel chunk fold visits the same chunks, in the same
+    /// canonical order, with the same decoded records, at any thread
+    /// count — so any fold-based analysis is identical to the serial one.
+    #[test]
+    fn parallel_fold_matches_serial_order(
+        seeds in proptest::collection::vec(any::<u64>(), 1..48),
+        budget in 1usize..9,
+    ) {
+        let records = batch(&seeds);
+        let mut bytes = Vec::new();
+        let mut w = ChunkWriter::new(&mut bytes, budget);
+        for r in &records {
+            w.push(r.clone()).expect("Vec sink cannot fail");
+        }
+        w.finish().expect("finish");
+
+        let mut serial: Vec<(u64, Vec<StoreRecord>)> = Vec::new();
+        fold_chunks(
+            &bytes[..],
+            1,
+            |seq, recs| Ok((seq, recs)),
+            |item| {
+                serial.push(item);
+                Ok(())
+            },
+        )
+        .expect("serial fold");
+
+        for threads in [2usize, 8] {
+            let mut parallel: Vec<(u64, Vec<StoreRecord>)> = Vec::new();
+            fold_chunks(
+                &bytes[..],
+                threads,
+                |seq, recs| Ok((seq, recs)),
+                |item| {
+                    parallel.push(item);
+                    Ok(())
+                },
+            )
+            .expect("parallel fold");
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+
+    /// A flipped bit is rejected by the parallel fold with the same
+    /// error — naming the same chunk ordinal — as the serial reader,
+    /// no matter which decoder thread hits it first.
+    #[test]
+    fn parallel_fold_reports_the_corrupt_chunk_ordinal(
+        seeds in proptest::collection::vec(any::<u64>(), 4..24),
+        budget in 1usize..4,
+        position in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let records = batch(&seeds);
+        let mut bytes = Vec::new();
+        let mut w = ChunkWriter::new(&mut bytes, budget);
+        for r in &records {
+            w.push(r.clone()).expect("Vec sink cannot fail");
+        }
+        w.finish().expect("finish");
+
+        // Walk the chunk headers to find each chunk's extent, then flip
+        // one checksummed bit (offset >= 16 within the chunk) somewhere.
+        let mut chunks: Vec<(usize, usize)> = Vec::new(); // (start, len)
+        let mut at = 0usize;
+        while at < bytes.len() {
+            let header: &[u8; CHUNK_HEADER_LEN] =
+                bytes[at..at + CHUNK_HEADER_LEN].try_into().unwrap();
+            let payload_len =
+                u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+            chunks.push((at, CHUNK_HEADER_LEN + payload_len));
+            at += CHUNK_HEADER_LEN + payload_len;
+        }
+        let target = (position as usize) % chunks.len();
+        let (start, len) = chunks[target];
+        let pos = start + 16 + (position as usize) % (len - 16);
+        bytes[pos] ^= 1u8 << bit;
+
+        let serial_err = fold_chunks(&bytes[..], 1, |_, _| Ok(()), |_| Ok(()))
+            .expect_err("serial fold must reject the flip")
+            .to_string();
+        prop_assert!(
+            serial_err.contains(&format!("chunk {target}")),
+            "serial error names the wrong chunk: {} (expected chunk {})", serial_err, target
+        );
+        for threads in [2usize, 8] {
+            let parallel_err = fold_chunks(&bytes[..], threads, |_, _| Ok(()), |_| Ok(()))
+                .expect_err("parallel fold must reject the flip")
+                .to_string();
+            prop_assert_eq!(&serial_err, &parallel_err);
+        }
     }
 }

@@ -43,8 +43,33 @@ fn missing_protocols_value_exits_2() {
 }
 
 #[test]
+fn threads_zero_exits_2_with_a_usage_hint() {
+    // The auto default is spelled by omitting the flag, not by passing
+    // 0: an explicit `--threads 0` is far more likely a typo'd count
+    // than a request for all cores, so it fails loudly.
+    let out = repro()
+        .args(["--threads", "0", "headline"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2), "--threads 0 must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--threads needs an integer >= 1"),
+        "stderr must explain the constraint:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("omit the flag to use all cores"),
+        "stderr must point at the auto spelling:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("usage: repro"),
+        "stderr must include the usage block:\n{stderr}"
+    );
+}
+
+#[test]
 fn shard_size_zero_exits_2_with_a_usage_hint() {
-    // 0 is not an auto value here (unlike --threads): the work-unit
+    // Like --threads, 0 is not an auto value: the work-unit
     // granularity must be at least one client, and silently accepting 0
     // would hide a typo'd flag value.
     let out = repro()

@@ -11,9 +11,12 @@
 //!   exactly, because the codec round-trips every f64 bit-for-bit.
 
 use dohperf_analysis::headline::headline_stats;
+use dohperf_analysis::streaming::{
+    cdfs_from_store, cdfs_from_store_threads, headline_from_store, headline_from_store_threads,
+};
 use dohperf_core::campaign::{Campaign, CampaignConfig, ProtocolSet};
-use dohperf_core::read_dataset;
-use dohperf_store::{MANIFEST_FILE, RECORDS_FILE};
+use dohperf_core::{read_dataset, read_dataset_threads};
+use dohperf_store::{PipelineConfig, MANIFEST_FILE, RECORDS_FILE};
 use std::fs;
 use std::path::PathBuf;
 
@@ -135,6 +138,98 @@ fn four_protocol_store_round_trips_and_stays_thread_invariant() {
         "4-protocol records.chunks diverged at 8 threads"
     );
     let _ = fs::remove_dir_all(&dir8);
+}
+
+#[test]
+fn encoder_pool_shape_never_changes_store_bytes() {
+    // The off-thread encode pipeline (DESIGN.md §17) must be invisible
+    // on disk: inline encoding and every (workers x queue_depth) pool
+    // shape produce the same records.chunks and manifest.bin.
+    let run = |pipeline: PipelineConfig, tag: &str| {
+        let dir = temp_store(tag);
+        Campaign::new(CampaignConfig::quick(2021))
+            .run_to_store_with(&dir, 0, pipeline)
+            .unwrap_or_else(|e| panic!("streaming campaign to {}: {e}", dir.display()));
+        dir
+    };
+    let serial = run(PipelineConfig::serial(), "pool-serial");
+    let chunks = fs::read(serial.join(RECORDS_FILE)).expect("serial chunks");
+    let manifest = fs::read(serial.join(MANIFEST_FILE)).expect("serial manifest");
+    assert!(!chunks.is_empty(), "store wrote no chunk bytes");
+    let _ = fs::remove_dir_all(&serial);
+
+    for (workers, queue_depth) in [(1, 1), (1, 4), (2, 1), (4, 8)] {
+        let tag = format!("pool-w{workers}q{queue_depth}");
+        let dir = run(
+            PipelineConfig {
+                workers,
+                queue_depth,
+            },
+            &tag,
+        );
+        let chunks_p = fs::read(dir.join(RECORDS_FILE)).expect("pipelined chunks");
+        let manifest_p = fs::read(dir.join(MANIFEST_FILE)).expect("pipelined manifest");
+        assert!(
+            chunks == chunks_p,
+            "records.chunks diverged with {workers} encoder workers, queue depth {queue_depth}"
+        );
+        assert!(
+            manifest == manifest_p,
+            "manifest.bin diverged with {workers} encoder workers, queue depth {queue_depth}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn parallel_from_store_reads_are_identical_to_serial() {
+    // The parallel decoder fans chunks across threads but folds them in
+    // canonical order, so the materialised dataset AND every sketch-based
+    // streaming analysis are identical — not just close — at any thread
+    // count.
+    let dir = write_store(2021, 0, 0, "parallel-read");
+
+    let serial = read_dataset_threads(&dir, 1).expect("serial read");
+    for threads in [2, 8] {
+        let parallel = read_dataset_threads(&dir, threads).expect("parallel read");
+        assert_eq!(
+            serial.records, parallel.records,
+            "records diverged at {threads} decoder threads"
+        );
+        assert_eq!(serial.countries, parallel.countries);
+        assert_eq!(serial.atlas_do53_ms, parallel.atlas_do53_ms);
+    }
+
+    let headline_1 = headline_from_store(&dir).expect("serial headline");
+    let cdfs_1 = cdfs_from_store(&dir).expect("serial cdfs");
+    for threads in [2, 8] {
+        let headline_n = headline_from_store_threads(&dir, threads).expect("parallel headline");
+        assert_eq!(
+            headline_1.median_doh1_ms, headline_n.median_doh1_ms,
+            "sketch median diverged at {threads} decoder threads"
+        );
+        assert_eq!(headline_1.median_do53_ms, headline_n.median_do53_ms);
+        assert_eq!(headline_1.median_dohr_ms, headline_n.median_dohr_ms);
+        assert_eq!(
+            headline_1.first_request_speedup_fraction,
+            headline_n.first_request_speedup_fraction
+        );
+        assert_eq!(headline_1.tripled_fraction, headline_n.tripled_fraction);
+
+        let cdfs_n = cdfs_from_store_threads(&dir, threads).expect("parallel cdfs");
+        assert_eq!(cdfs_1.len(), cdfs_n.len());
+        for (a, b) in cdfs_1.iter().zip(&cdfs_n) {
+            assert_eq!(a.provider, b.provider);
+            assert_eq!(
+                a.doh1.values, b.doh1.values,
+                "{}: CDF support diverged at {threads} decoder threads",
+                a.provider
+            );
+            assert_eq!(a.dohr.values, b.dohr.values);
+            assert_eq!(a.do53.values, b.do53.values);
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]
